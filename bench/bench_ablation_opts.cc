@@ -1,0 +1,52 @@
+// Ablation of Gumbo's §5.1 optimizations on GREEDY plans:
+//   (1) message packing on/off,
+//   (2) tuple-id references on/off,
+// over queries A1 (guard sharing), A3 (key sharing) and B1 (large
+// conjunction). These are the design choices DESIGN.md calls out; the
+// paper motivates them qualitatively, and this bench quantifies each.
+#include <cstdio>
+
+#include "bench_harness.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::printf("Ablation: message packing x tuple-id references (GREEDY)\n\n");
+
+  const std::vector<std::string> columns = {"pack+ids", "pack only",
+                                            "ids only", "neither"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+
+  auto run_all = [&](const data::Workload& w) {
+    std::vector<CellResult> row;
+    for (auto [pack, ids] : {std::pair{true, true},
+                             std::pair{true, false},
+                             std::pair{false, true},
+                             std::pair{false, false}}) {
+      ops::OpOptions op;
+      op.pack_messages = pack;
+      op.tuple_id_refs = ids;
+      row.push_back(RunStrategy(w, plan::Strategy::kGreedy, options,
+                                cost::CostModelVariant::kGumbo, op));
+    }
+    rows.push_back(std::move(row));
+    row_names.push_back(w.name);
+    std::printf("  ... %s done\n", w.name.c_str());
+  };
+
+  for (int qi : {1, 3}) {
+    auto w = data::MakeA(qi, options.MakeGeneratorConfig());
+    if (w.ok()) run_all(*w);
+  }
+  {
+    auto w = data::MakeB(1, options.MakeGeneratorConfig());
+    if (w.ok()) run_all(*w);
+  }
+  std::printf("\n");
+  PrintMetricBlock("Ablation: columns relative to full optimizations",
+                   columns, rows, row_names);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 3 (paper §5.2): BSGF queries A1-A5 under
+// SEQ / PAR / GREEDY / HPAR / HPARS / PPAR (and 1-ROUND where it
+// applies, i.e. A3), reporting net time, total time, HDFS input, and
+// mapper->reducer communication — absolute and relative to SEQ.
+#include <cstdio>
+
+#include "bench_harness.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::printf(
+      "Figure 3: BSGF queries A1-A5 across evaluation strategies\n"
+      "(materialized %zu tuples/relation; represents 100M-tuple paper "
+      "scale)\n\n",
+      options.tuples);
+
+  const std::vector<std::string> columns = {"SEQ",   "PAR",  "GREEDY",
+                                            "HPAR",  "HPARS", "PPAR",
+                                            "1-ROUND"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+
+  for (int qi = 1; qi <= 5; ++qi) {
+    auto w = data::MakeA(qi, options.MakeGeneratorConfig());
+    if (!w.ok()) {
+      std::fprintf(stderr, "A%d: %s\n", qi, w.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<CellResult> row;
+    row.push_back(RunStrategy(*w, plan::Strategy::kSeq, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kGreedy, options));
+    row.push_back(RunBaseline(*w, baselines::BaselineKind::kHivePar, options));
+    row.push_back(
+        RunBaseline(*w, baselines::BaselineKind::kHiveParSemiJoin, options));
+    row.push_back(RunBaseline(*w, baselines::BaselineKind::kPigPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kOneRound, options));
+    row_names.push_back(w->name);
+    rows.push_back(std::move(row));
+    std::printf("  ... %s done\n", w->name.c_str());
+  }
+  std::printf("\n");
+  PrintMetricBlock("Figure 3: A1-A5 (1-ROUND applies to A3 only)", columns,
+                   rows, row_names);
+  return 0;
+}

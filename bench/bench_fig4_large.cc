@@ -1,0 +1,46 @@
+// Reproduces Figure 4 (paper §5.2): the large BSGF queries B1 (16-atom
+// conjunction) and B2 (uniqueness query) under all strategies.
+#include <cstdio>
+
+#include "bench_harness.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::printf(
+      "Figure 4: large BSGF queries B1-B2 across evaluation strategies\n"
+      "(materialized %zu tuples/relation)\n\n",
+      options.tuples);
+
+  const std::vector<std::string> columns = {"SEQ",  "PAR",   "GREEDY",
+                                            "HPAR", "HPARS", "PPAR",
+                                            "1-ROUND"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+
+  for (int qi = 1; qi <= 2; ++qi) {
+    auto w = data::MakeB(qi, options.MakeGeneratorConfig());
+    if (!w.ok()) {
+      std::fprintf(stderr, "B%d: %s\n", qi, w.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<CellResult> row;
+    row.push_back(RunStrategy(*w, plan::Strategy::kSeq, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kGreedy, options));
+    row.push_back(RunBaseline(*w, baselines::BaselineKind::kHivePar, options));
+    row.push_back(
+        RunBaseline(*w, baselines::BaselineKind::kHiveParSemiJoin, options));
+    row.push_back(RunBaseline(*w, baselines::BaselineKind::kPigPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kOneRound, options));
+    row_names.push_back(w->name);
+    rows.push_back(std::move(row));
+    std::printf("  ... %s done\n", w->name.c_str());
+  }
+  std::printf("\n");
+  PrintMetricBlock("Figure 4: B1-B2 (1-ROUND applies to B2 only)", columns,
+                   rows, row_names);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 5 (paper §5.3): nested SGF query sets C1-C4 under
+// SEQUNIT / PARUNIT / GREEDY-SGF, values relative to SEQUNIT.
+#include <cstdio>
+
+#include "bench_harness.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::printf(
+      "Figure 5: SGF query sets C1-C4 across evaluation strategies\n"
+      "(materialized %zu tuples/relation)\n\n",
+      options.tuples);
+
+  const std::vector<std::string> columns = {"SEQUNIT", "PARUNIT",
+                                            "GREEDY-SGF"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+
+  for (int qi = 1; qi <= 4; ++qi) {
+    auto w = data::MakeC(qi, options.MakeGeneratorConfig());
+    if (!w.ok()) {
+      std::fprintf(stderr, "C%d: %s\n", qi, w.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<CellResult> row;
+    row.push_back(RunStrategy(*w, plan::Strategy::kSeqUnit, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kParUnit, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kGreedySgf, options));
+    row_names.push_back(w->name);
+    rows.push_back(std::move(row));
+    std::printf("  ... %s done\n", w->name.c_str());
+  }
+  std::printf("\n");
+  PrintMetricBlock("Figure 5: C1-C4", columns, rows, row_names);
+  return 0;
+}

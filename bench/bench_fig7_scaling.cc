@@ -1,0 +1,58 @@
+// Reproduces Figure 7 (paper §5.4): system characteristics of query A3
+// under SEQ / PAR / GREEDY / 1-ROUND while varying
+//   (a) data size  (200M .. 1600M represented tuples, 10 nodes),
+//   (b) cluster size (5 / 10 / 20 nodes, 800M tuples),
+//   (c) data and cluster size together (200M/5 .. 800M/20).
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/str_util.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+namespace {
+
+void RunSweep(const char* title,
+              const std::vector<std::pair<double, int>>& points,
+              const BenchOptions& base) {
+  const std::vector<std::string> columns = {"SEQ", "PAR", "GREEDY",
+                                            "1-ROUND"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+  for (const auto& [mtuples, nodes] : points) {
+    BenchOptions options = base;
+    options.represented_tuples = mtuples * 1e6;
+    options.cluster.nodes = nodes;
+    auto w = data::MakeA(3, options.MakeGeneratorConfig());
+    if (!w.ok()) {
+      std::fprintf(stderr, "A3: %s\n", w.status().ToString().c_str());
+      continue;
+    }
+    std::vector<CellResult> row;
+    row.push_back(RunStrategy(*w, plan::Strategy::kSeq, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kGreedy, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kOneRound, options));
+    row_names.push_back(StrFormat("%.0fM/%d nodes", mtuples, nodes));
+    rows.push_back(std::move(row));
+    std::printf("  ... %.0fM tuples / %d nodes done\n", mtuples, nodes);
+  }
+  std::printf("\n");
+  PrintMetricBlock(title, columns, rows, row_names);
+}
+
+}  // namespace
+
+int main() {
+  BenchOptions base = BenchOptions::FromEnv();
+  std::printf("Figure 7: scaling characteristics of query A3\n\n");
+
+  RunSweep("Figure 7a: varying data size (10 nodes)",
+           {{200, 10}, {400, 10}, {800, 10}, {1600, 10}}, base);
+  RunSweep("Figure 7b: varying cluster size (800M tuples)",
+           {{800, 5}, {800, 10}, {800, 20}}, base);
+  RunSweep("Figure 7c: varying data and cluster size together",
+           {{200, 5}, {400, 10}, {800, 20}}, base);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 8 (paper §5.4): varying the number of conditional
+// atoms (2..16) in an A3-shaped query under SEQ / PAR / GREEDY / 1-ROUND.
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/str_util.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::printf(
+      "Figure 8: varying the number of conditional atoms (A3 family)\n\n");
+
+  const std::vector<std::string> columns = {"SEQ", "PAR", "GREEDY",
+                                            "1-ROUND"};
+  std::vector<std::string> row_names;
+  std::vector<std::vector<CellResult>> rows;
+  for (int k : {2, 4, 6, 8, 10, 12, 14, 16}) {
+    auto w = data::MakeA3Family(k, options.MakeGeneratorConfig());
+    if (!w.ok()) {
+      std::fprintf(stderr, "A3(%d): %s\n", k, w.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<CellResult> row;
+    row.push_back(RunStrategy(*w, plan::Strategy::kSeq, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kPar, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kGreedy, options));
+    row.push_back(RunStrategy(*w, plan::Strategy::kOneRound, options));
+    row_names.push_back(StrFormat("%d atoms", k));
+    rows.push_back(std::move(row));
+    std::printf("  ... %d atoms done\n", k);
+  }
+  std::printf("\n");
+  PrintMetricBlock("Figure 8: query size sweep", columns, rows, row_names);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table 3 (paper §5.4): the increase in net and total time
+// when the conditional selectivity rate changes from 0.1 (high
+// selectivity) to 0.9 (low selectivity), for queries A1-A3 under
+// SEQ / PAR / GREEDY. Also prints the full sweep.
+#include <cstdio>
+#include <map>
+
+#include "bench_harness.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+int main() {
+  BenchOptions base = BenchOptions::FromEnv();
+  std::printf("Table 3: selectivity sweep on A1-A3\n\n");
+
+  const std::vector<double> rates = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<std::pair<std::string, plan::Strategy>> strategies = {
+      {"SEQ", plan::Strategy::kSeq},
+      {"PAR", plan::Strategy::kPar},
+      {"GREEDY", plan::Strategy::kGreedy},
+  };
+
+  // results[query][strategy][rate]
+  std::map<std::string, std::map<std::string, std::map<double, CellResult>>>
+      results;
+  for (int qi = 1; qi <= 3; ++qi) {
+    for (double rate : rates) {
+      BenchOptions options = base;
+      options.selectivity = rate;
+      auto w = data::MakeA(qi, options.MakeGeneratorConfig());
+      if (!w.ok()) {
+        std::fprintf(stderr, "A%d: %s\n", qi, w.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& [name, strategy] : strategies) {
+        results[w->name][name][rate] = RunStrategy(*w, strategy, options);
+      }
+      std::printf("  ... A%d selectivity %.1f done\n", qi, rate);
+    }
+  }
+
+  // Full sweep detail.
+  for (const char* metric : {"net", "total"}) {
+    bool net = std::string(metric) == "net";
+    std::printf("\n-- %s time (s) by selectivity rate --\n", metric);
+    std::vector<std::string> header = {"Strategy/Query"};
+    for (double r : rates) header.push_back(StrFormat("%.1f", r));
+    TablePrinter tp(header);
+    for (const auto& [qname, per_strategy] : results) {
+      for (const auto& [sname, per_rate] : per_strategy) {
+        std::vector<std::string> row = {sname + " " + qname};
+        for (double r : rates) {
+          const CellResult& c = per_rate.at(r);
+          row.push_back(c.ok ? StrFormat("%.0f", net
+                                                     ? c.metrics.net_time
+                                                     : c.metrics.total_time)
+                             : "--");
+        }
+        tp.AddRow(std::move(row));
+      }
+    }
+    std::printf("%s", tp.Render().c_str());
+  }
+
+  // The paper's Table 3: percentage increase from 0.1 to 0.9.
+  std::printf("\n==== Table 3: increase from selectivity 0.1 to 0.9 ====\n");
+  TablePrinter tp({"", "Net A1", "Net A2", "Net A3", "Total A1", "Total A2",
+                   "Total A3"});
+  for (const auto& [sname, unused] : std::map<std::string, int>{
+           {"SEQ", 0}, {"PAR", 0}, {"GREEDY", 0}}) {
+    std::vector<std::string> row = {sname};
+    for (bool net : {true, false}) {
+      for (int qi = 1; qi <= 3; ++qi) {
+        std::string qname = "A" + std::to_string(qi);
+        const CellResult& lo = results[qname][sname][0.1];
+        const CellResult& hi = results[qname][sname][0.9];
+        if (lo.ok && hi.ok) {
+          double a = net ? lo.metrics.net_time : lo.metrics.total_time;
+          double b = net ? hi.metrics.net_time : hi.metrics.total_time;
+          row.push_back(StrFormat("%.0f%%", 100.0 * (b - a) / a));
+        } else {
+          row.push_back("--");
+        }
+      }
+    }
+    tp.AddRow(std::move(row));
+  }
+  std::printf("%s", tp.Render().c_str());
+  return 0;
+}

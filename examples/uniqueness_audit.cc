@@ -1,0 +1,80 @@
+// Uniqueness audit: the paper's B2 scenario ("uniqueness query") applied
+// to a monitoring use case — find assets reported by EXACTLY ONE of four
+// monitoring feeds — and compare the fused 1-ROUND evaluation against
+// SEQ and PAR on the same data.
+//
+//   $ ./build/examples/uniqueness_audit
+#include <cstdio>
+
+#include "data/generator.h"
+#include "mr/engine.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "sgf/parser.h"
+
+using namespace gumbo;
+
+int main() {
+  Dictionary* dict = &Dictionary::Global();
+  // Assets(id, site, owner, class); FeedA..FeedD report asset ids.
+  const char* query_text =
+      "Orphans := SELECT (id, owner) FROM Assets(id, site, owner, cls) "
+      "WHERE (FeedA(id) AND NOT FeedB(id) AND NOT FeedC(id) AND NOT FeedD(id)) "
+      "OR (NOT FeedA(id) AND FeedB(id) AND NOT FeedC(id) AND NOT FeedD(id)) "
+      "OR (NOT FeedA(id) AND NOT FeedB(id) AND FeedC(id) AND NOT FeedD(id)) "
+      "OR (NOT FeedA(id) AND NOT FeedB(id) AND NOT FeedC(id) AND FeedD(id));";
+  auto query = sgf::ParseSgf(query_text, dict);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Audit query (uniqueness / B2 shape):\n%s\n",
+              query->ToString(dict).c_str());
+
+  // Synthetic inventory: 100k assets, four feeds each covering ~40%.
+  data::GeneratorConfig cfg;
+  cfg.tuples = 100000;
+  cfg.representation_scale = 1.0;
+  cfg.selectivity = 0.4;
+  cfg.seed = 7;
+  data::Generator gen(cfg);
+  Database db;
+  db.Put(gen.Guard("Assets", 4));
+  for (const char* feed : {"FeedA", "FeedB", "FeedC", "FeedD"}) {
+    db.Put(gen.Conditional(feed, 1));
+  }
+
+  cost::ClusterConfig cluster;
+  mr::Engine engine(cluster);
+  std::printf("%-10s %12s %12s %8s %8s\n", "strategy", "net (s)",
+              "total (s)", "jobs", "tuples");
+  for (plan::Strategy s : {plan::Strategy::kSeq, plan::Strategy::kPar,
+                           plan::Strategy::kGreedy,
+                           plan::Strategy::kOneRound}) {
+    plan::PlannerOptions options;
+    options.strategy = s;
+    plan::Planner planner(cluster, options);
+    Database work = db;
+    auto plan = planner.Plan(*query, work);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s: %s\n", StrategyName(s),
+                   plan.status().ToString().c_str());
+      continue;
+    }
+    auto result = plan::ExecutePlan(*plan, &engine, &work);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", StrategyName(s),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-10s %12.2f %12.2f %8d %8zu\n", StrategyName(s),
+                result->metrics.net_time, result->metrics.total_time,
+                result->metrics.jobs, work.Get("Orphans").value()->size());
+  }
+  std::printf(
+      "\nAll strategies return the same orphan set; 1-ROUND does it in a "
+      "single job because the condition is a Boolean combination over one "
+      "join key (paper section 5.1, optimization (4)).\n");
+  return 0;
+}

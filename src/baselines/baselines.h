@@ -1,0 +1,50 @@
+// Simulated Pig / Hive comparators (paper §5.2).
+//
+// These planners generate MR programs with the documented behavioural
+// characteristics of each system, run on the same simulated cluster:
+//
+//  * HPAR  — Hive with left-outer-join plans: one LOJ job per conditional
+//    atom, each materializing ALL guard rows plus a match flag (no
+//    reduction), executed *sequentially* (Hive's restriction that certain
+//    join stages cannot run in parallel), then a filter job. When all
+//    atoms share a join key Hive groups them into a single multi-way join,
+//    bringing the plan to 2 jobs (the paper's A3 observation).
+//  * HPARS — Hive with semi-join operators: one repartition semi-join job
+//    per atom, running in parallel, but with no grouping, no message
+//    packing, no tuple-id projection, and full-tuple shuffles on both
+//    sides; a final intersection job combines the results.
+//  * PPAR  — Pig COGROUP plans: one COGROUP job per atom producing a
+//    flagged copy of the full guard relation (no intermediate reduction),
+//    with Pig's input-based reducer allocation (1 GB of map input per
+//    reducer), plus a final combine job.
+//
+// Serialization overhead of the less compact systems is modeled by a
+// multiplier on intermediate bytes (kHiveOverhead / kPigOverhead).
+//
+// Only flat (dependency-free) SGF queries are supported — the paper's
+// Pig/Hive comparison (Figures 3 and 4) uses exactly those.
+#ifndef GUMBO_BASELINES_BASELINES_H_
+#define GUMBO_BASELINES_BASELINES_H_
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "plan/planner.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::baselines {
+
+inline constexpr double kHiveOverhead = 1.3;
+inline constexpr double kPigOverhead = 1.15;
+
+enum class BaselineKind { kHivePar, kHiveParSemiJoin, kPigPar };
+
+const char* BaselineName(BaselineKind kind);
+
+/// Builds the baseline plan for a flat SGF query.
+Result<plan::QueryPlan> PlanBaseline(BaselineKind kind,
+                                     const sgf::SgfQuery& query,
+                                     const Database& db);
+
+}  // namespace gumbo::baselines
+
+#endif  // GUMBO_BASELINES_BASELINES_H_

@@ -1,0 +1,10 @@
+#include "common/dictionary.h"
+
+namespace gumbo {
+
+Dictionary& Dictionary::Global() {
+  static Dictionary* dict = new Dictionary();
+  return *dict;
+}
+
+}  // namespace gumbo

@@ -1,0 +1,55 @@
+// Dictionary: string interning for Value handles.
+#ifndef GUMBO_COMMON_DICTIONARY_H_
+#define GUMBO_COMMON_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace gumbo {
+
+/// Maps strings to dense Value handles and back. Not thread-safe; interning
+/// happens during query parsing and data loading, which are single-threaded.
+class Dictionary {
+ public:
+  /// Returns the Value handle for `s`, interning it on first sight.
+  Value Intern(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return Value::StringId(it->second);
+    uint64_t id = strings_.size();
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    return Value::StringId(id);
+  }
+
+  /// Looks up the string for a string-valued handle. Returns "<bad-id>"
+  /// for out-of-range ids rather than crashing (useful in debug printing).
+  const std::string& Lookup(Value v) const {
+    static const std::string kBad = "<bad-id>";
+    if (!v.is_string() || v.string_id() >= strings_.size()) return kBad;
+    return strings_[v.string_id()];
+  }
+
+  /// Renders any value as text: integers as decimal, strings quoted.
+  std::string ToString(Value v) const {
+    if (v.is_int()) return std::to_string(v.AsInt());
+    return "\"" + Lookup(v) + "\"";
+  }
+
+  size_t size() const { return strings_.size(); }
+
+  /// A process-wide dictionary used by the parser and examples. Library
+  /// code takes an explicit Dictionary so tests can isolate state.
+  static Dictionary& Global();
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint64_t> index_;
+};
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_DICTIONARY_H_

@@ -1,0 +1,23 @@
+#include "common/relation.h"
+
+#include <algorithm>
+
+namespace gumbo {
+
+void Relation::SortAndDedupe() {
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  std::vector<Tuple> a = tuples_;
+  std::vector<Tuple> b = other.tuples_;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return a == b;
+}
+
+}  // namespace gumbo

@@ -1,0 +1,154 @@
+// Relation and Database: named sets of facts with byte-size accounting.
+//
+// A Relation is the in-memory representation of one relation instance. In
+// addition to the actual tuples it tracks a *represented size*: the paper's
+// experiments run on 1-4 GB relations; this repo executes on smaller
+// materialized samples while accounting bytes at a configurable
+// representation scale (see DESIGN.md "Substitutions"). All cost-model and
+// counter arithmetic uses the represented megabytes.
+#ifndef GUMBO_COMMON_RELATION_H_
+#define GUMBO_COMMON_RELATION_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace gumbo {
+
+/// One relation instance: a name, a fixed arity, and a bag of tuples that
+/// is normalized to a set on demand (SortAndDedupe).
+class Relation {
+ public:
+  Relation() : name_(), arity_(0) {}
+  Relation(std::string name, uint32_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t arity() const { return arity_; }
+
+  /// Appends a tuple. The tuple's size must equal the relation arity
+  /// (checked; returns InvalidArgument otherwise).
+  Status Add(Tuple t) {
+    if (t.size() != arity_) {
+      return Status::InvalidArgument("tuple arity " + std::to_string(t.size()) +
+                                     " != relation arity " +
+                                     std::to_string(arity_) + " for " + name_);
+    }
+    tuples_.push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  /// Appends without the arity check; used on hot paths where the arity is
+  /// enforced by construction. Asserts in debug builds.
+  void AddUnchecked(Tuple t) {
+    assert(t.size() == arity_);
+    tuples_.push_back(std::move(t));
+  }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Sorts tuples lexicographically and removes duplicates, giving the
+  /// relation canonical set semantics. Deterministic.
+  void SortAndDedupe();
+
+  /// Whether two relations hold the same set of tuples (both are
+  /// canonicalized by copy; inputs are untouched).
+  bool SetEquals(const Relation& other) const;
+
+  /// Bytes each tuple represents on disk, following the paper's data shape
+  /// (4 GB / 100M tuples = 40 B for 4-ary guards; 1 GB / 100M = 10 B for
+  /// conditionals). Defaults to 10 B per attribute.
+  double bytes_per_tuple() const {
+    return bytes_per_tuple_ > 0 ? bytes_per_tuple_ : 10.0 * arity_;
+  }
+  void set_bytes_per_tuple(double b) { bytes_per_tuple_ = b; }
+
+  /// Representation scale: each materialized tuple stands for `scale`
+  /// tuples of the represented experiment (DESIGN.md §2). Affects size
+  /// accounting only, never query results.
+  double representation_scale() const { return representation_scale_; }
+  void set_representation_scale(double s) { representation_scale_ = s; }
+
+  /// Represented size in MB: tuples * scale * bytes_per_tuple / 2^20.
+  double SizeMb() const {
+    return static_cast<double>(tuples_.size()) * representation_scale_ *
+           bytes_per_tuple() / (1024.0 * 1024.0);
+  }
+
+  /// Represented record count (tuples * scale); used for per-record
+  /// metadata accounting (Hadoop's 16 B map-output metadata).
+  double RepresentedRecords() const {
+    return static_cast<double>(tuples_.size()) * representation_scale_;
+  }
+
+ private:
+  std::string name_;
+  uint32_t arity_;
+  std::vector<Tuple> tuples_;
+  double bytes_per_tuple_ = -1.0;
+  double representation_scale_ = 1.0;
+};
+
+/// A database: a set of relation instances addressed by name.
+class Database {
+ public:
+  /// Creates an empty relation. Fails if the name is taken.
+  Status Create(const std::string& name, uint32_t arity) {
+    if (relations_.count(name) > 0) {
+      return Status::AlreadyExists("relation " + name);
+    }
+    relations_.emplace(name, Relation(name, arity));
+    return Status::Ok();
+  }
+
+  /// Inserts or replaces a relation under its own name.
+  void Put(Relation rel) { relations_[rel.name()] = std::move(rel); }
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  Result<const Relation*> Get(const std::string& name) const {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("relation " + name);
+    return &it->second;
+  }
+
+  Result<Relation*> GetMutable(const std::string& name) {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("relation " + name);
+    return &it->second;
+  }
+
+  /// Adds a fact to an existing relation.
+  Status AddFact(const std::string& name, Tuple t) {
+    GUMBO_ASSIGN_OR_RETURN(Relation * rel, GetMutable(name));
+    return rel->Add(std::move(t));
+  }
+
+  /// Removes a relation; returns false if absent.
+  bool Erase(const std::string& name) { return relations_.erase(name) > 0; }
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  // std::map for deterministic iteration order.
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_RELATION_H_

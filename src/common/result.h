@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr<T>.
+#ifndef GUMBO_COMMON_RESULT_H_
+#define GUMBO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gumbo {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored Result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gumbo
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// on success assigns the value to `lhs`. `lhs` may declare a variable.
+#define GUMBO_ASSIGN_OR_RETURN(lhs, expr)                      \
+  GUMBO_ASSIGN_OR_RETURN_IMPL_(                                \
+      GUMBO_RESULT_CONCAT_(gumbo_result_tmp_, __LINE__), lhs, expr)
+
+#define GUMBO_RESULT_CONCAT_INNER_(a, b) a##b
+#define GUMBO_RESULT_CONCAT_(a, b) GUMBO_RESULT_CONCAT_INNER_(a, b)
+
+#define GUMBO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#endif  // GUMBO_COMMON_RESULT_H_

@@ -1,0 +1,82 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomness in gumbo (data generation, sampling, randomized tests)
+// flows through these generators so that every experiment is reproducible
+// from a seed. SplitMix64 is used for seeding/hashing, Xoshiro256** for
+// bulk generation (both public-domain algorithms by Blackman & Vigna).
+#ifndef GUMBO_COMMON_RNG_H_
+#define GUMBO_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace gumbo {
+
+/// SplitMix64: tiny, statistically strong 64-bit mixer. Useful both as a
+/// stream generator and as a finalizer for hash values.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// One-shot mix of a 64-bit value (stateless).
+  static uint64_t Mix(uint64_t x) {
+    SplitMix64 m(x);
+    return m.Next();
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: fast all-purpose 64-bit generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift reduction (slight modulo bias is irrelevant for our
+  /// bounds, which are far below 2^64).
+  uint64_t Uniform(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4];
+};
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_RNG_H_

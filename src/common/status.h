@@ -1,0 +1,100 @@
+// Status: error handling without exceptions, in the style of
+// absl::Status / rocksdb::Status. All fallible public APIs in gumbo return
+// Status (or Result<T>, see result.h).
+#ifndef GUMBO_COMMON_STATUS_H_
+#define GUMBO_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gumbo {
+
+/// Canonical error space, a pragmatic subset of the absl canonical codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status is either OK or carries an error code plus a message.
+///
+/// Typical use:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+/// or via the GUMBO_RETURN_IF_ERROR macro.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace gumbo
+
+/// Propagates a non-OK Status to the caller.
+#define GUMBO_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::gumbo::Status gumbo_status_tmp_ = (expr);    \
+    if (!gumbo_status_tmp_.ok()) {                 \
+      return gumbo_status_tmp_;                    \
+    }                                              \
+  } while (false)
+
+#endif  // GUMBO_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers used across the project.
+#ifndef GUMBO_COMMON_STR_UTIL_H_
+#define GUMBO_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gumbo {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Whitespace trim (both ends).
+std::string_view StrTrim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Renders a double with `digits` significant decimals, trimming trailing
+/// zeros ("12.50" -> "12.5", "3.00" -> "3").
+std::string FormatDouble(double v, int digits = 2);
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_STR_UTIL_H_

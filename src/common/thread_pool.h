@@ -1,0 +1,59 @@
+// A fixed-size thread pool with a ParallelFor helper.
+//
+// The MapReduce engine uses this to execute map/reduce tasks with real
+// parallelism. Determinism of results is guaranteed by the engine (outputs
+// are collected per task index), not by scheduling order.
+#ifndef GUMBO_COMMON_THREAD_POOL_H_
+#define GUMBO_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gumbo {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
+  /// until all iterations finish. fn must be safe to call concurrently for
+  /// distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool for engine execution.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t inflight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_THREAD_POOL_H_

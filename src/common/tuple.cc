@@ -1,0 +1,24 @@
+#include "common/tuple.h"
+
+#include "common/dictionary.h"
+
+namespace gumbo {
+
+std::string Tuple::ToString(const Dictionary* dict) const {
+  std::string out = "(";
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (i > 0) out += ", ";
+    const Value& v = data()[i];
+    if (dict != nullptr) {
+      out += dict->ToString(v);
+    } else if (v.is_int()) {
+      out += std::to_string(v.AsInt());
+    } else {
+      out += "str#" + std::to_string(v.string_id());
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gumbo

@@ -1,0 +1,171 @@
+// Tuple: an ordered sequence of Values with small-size-optimized storage.
+//
+// Relations in the paper's experiments have arity at most four, so tuples
+// store up to four values inline and spill to the heap only beyond that
+// (e.g. composite shuffle keys). Value semantics throughout.
+#ifndef GUMBO_COMMON_TUPLE_H_
+#define GUMBO_COMMON_TUPLE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "common/value.h"
+
+namespace gumbo {
+
+class Dictionary;
+
+/// A fixed-arity row of Values. Cheap to copy at small arity; ordered and
+/// hashable so it can serve as a shuffle key.
+class Tuple {
+ public:
+  static constexpr uint32_t kInlineCapacity = 4;
+
+  Tuple() : size_(0), capacity_(kInlineCapacity) {}
+
+  Tuple(std::initializer_list<Value> vals) : Tuple() {
+    for (const Value& v : vals) PushBack(v);
+  }
+
+  /// Convenience: builds a tuple of integer values.
+  static Tuple Ints(std::initializer_list<int64_t> vals) {
+    Tuple t;
+    for (int64_t v : vals) t.PushBack(Value::Int(v));
+    return t;
+  }
+
+  Tuple(const Tuple& o) : Tuple() { CopyFrom(o); }
+  Tuple(Tuple&& o) noexcept : Tuple() { MoveFrom(std::move(o)); }
+  Tuple& operator=(const Tuple& o) {
+    if (this != &o) {
+      Clear();
+      CopyFrom(o);
+    }
+    return *this;
+  }
+  Tuple& operator=(Tuple&& o) noexcept {
+    if (this != &o) {
+      Clear();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+  ~Tuple() { Clear(); }
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Value& operator[](uint32_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  Value& operator[](uint32_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  const Value* begin() const { return data(); }
+  const Value* end() const { return data() + size_; }
+
+  void PushBack(Value v) {
+    if (size_ == capacity_) Grow();
+    data()[size_++] = v;
+  }
+
+  void Clear() {
+    if (!IsInline()) delete[] heap_;
+    size_ = 0;
+    capacity_ = kInlineCapacity;
+  }
+
+  bool operator==(const Tuple& o) const {
+    if (size_ != o.size_) return false;
+    const Value* a = data();
+    const Value* b = o.data();
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+
+  /// Lexicographic order (by raw value), used for deterministic sorting.
+  bool operator<(const Tuple& o) const {
+    uint32_t n = std::min(size_, o.size_);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (data()[i] < o.data()[i]) return true;
+      if (o.data()[i] < data()[i]) return false;
+    }
+    return size_ < o.size_;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ size_;
+    for (uint32_t i = 0; i < size_; ++i) {
+      uint64_t z = data()[i].raw() + h;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return h;
+  }
+
+  /// Renders as "(v1, v2, ...)" resolving strings through `dict` if given.
+  std::string ToString(const Dictionary* dict = nullptr) const;
+
+ private:
+  bool IsInline() const { return capacity_ == kInlineCapacity; }
+  Value* data() { return IsInline() ? inline_ : heap_; }
+  const Value* data() const { return IsInline() ? inline_ : heap_; }
+
+  void Grow() {
+    uint32_t new_cap = capacity_ * 2;
+    Value* heap = new Value[new_cap];
+    std::copy(data(), data() + size_, heap);
+    if (!IsInline()) delete[] heap_;
+    heap_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void CopyFrom(const Tuple& o) {
+    for (uint32_t i = 0; i < o.size_; ++i) PushBack(o.data()[i]);
+  }
+
+  void MoveFrom(Tuple&& o) {
+    if (o.IsInline()) {
+      std::copy(o.inline_, o.inline_ + o.size_, inline_);
+      size_ = o.size_;
+    } else {
+      heap_ = o.heap_;
+      size_ = o.size_;
+      capacity_ = o.capacity_;
+      o.capacity_ = kInlineCapacity;
+    }
+    o.size_ = 0;
+  }
+
+  union {
+    Value inline_[kInlineCapacity];
+    Value* heap_;
+  };
+  uint32_t size_;
+  uint32_t capacity_;
+};
+
+}  // namespace gumbo
+
+namespace std {
+template <>
+struct hash<gumbo::Tuple> {
+  size_t operator()(const gumbo::Tuple& t) const noexcept {
+    return static_cast<size_t>(t.Hash());
+  }
+};
+}  // namespace std
+
+#endif  // GUMBO_COMMON_TUPLE_H_

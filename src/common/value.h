@@ -1,0 +1,74 @@
+// Value: a data value from the paper's domain D.
+//
+// Values are 64-bit handles. Integers are stored directly; strings are
+// interned through a Dictionary (see dictionary.h) into a disjoint id
+// range, so Value comparison/hashing is always a single 64-bit compare.
+#ifndef GUMBO_COMMON_VALUE_H_
+#define GUMBO_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gumbo {
+
+/// A single data value. Integers occupy [0, kStringBase); interned string
+/// ids occupy [kStringBase, ...). Negative integers are also representable
+/// (two's complement raw values with the top tag bit clear are integers).
+class Value {
+ public:
+  /// Raw values at or above this bound denote interned strings.
+  static constexpr uint64_t kStringBase = 1ULL << 62;
+
+  /// Default-constructed Values are uninitialized (trivial constructor so
+  /// Tuple can hold Values in a union); use Value::Int(0) for a zero value.
+  Value() = default;
+
+  static Value Int(int64_t v) { return Value(static_cast<uint64_t>(v) & ~kTagMask()); }
+
+  /// Constructs a string handle from a dictionary id. Prefer
+  /// Dictionary::Intern, which calls this.
+  static Value StringId(uint64_t id) { return Value(kStringBase | id); }
+
+  bool is_string() const { return (raw_ & kStringBase) != 0; }
+  bool is_int() const { return !is_string(); }
+
+  /// The integer payload; meaningful only if is_int(). Sign-extends the
+  /// 62-bit stored value.
+  int64_t AsInt() const {
+    uint64_t v = raw_;
+    // Sign-extend from bit 61.
+    if (v & (1ULL << 61)) v |= kTagMask();
+    return static_cast<int64_t>(v);
+  }
+
+  /// The dictionary id; meaningful only if is_string().
+  uint64_t string_id() const { return raw_ & ~kStringBase; }
+
+  uint64_t raw() const { return raw_; }
+
+  bool operator==(const Value& o) const { return raw_ == o.raw_; }
+  bool operator!=(const Value& o) const { return raw_ != o.raw_; }
+  bool operator<(const Value& o) const { return raw_ < o.raw_; }
+
+ private:
+  static constexpr uint64_t kTagMask() { return 3ULL << 62; }
+  explicit Value(uint64_t raw) : raw_(raw) {}
+  uint64_t raw_;  // Uninitialized by default; see the default constructor.
+};
+
+}  // namespace gumbo
+
+namespace std {
+template <>
+struct hash<gumbo::Value> {
+  size_t operator()(const gumbo::Value& v) const noexcept {
+    // SplitMix64 finalizer inline to avoid the header dependency.
+    uint64_t z = v.raw() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+}  // namespace std
+
+#endif  // GUMBO_COMMON_VALUE_H_

@@ -1,0 +1,63 @@
+// Cost-model constants (paper Table 1 / Table 5) and cluster parameters.
+//
+// The values are the ones the authors benchmarked on the VSC cluster
+// (Appendix B). Byte-denominated knobs (buffers, split size, per-reducer
+// allocation) can be scaled down together with the data via Scaled(), which
+// preserves every ratio the experiments depend on (DESIGN.md §2).
+#ifndef GUMBO_COST_CONSTANTS_H_
+#define GUMBO_COST_CONSTANTS_H_
+
+namespace gumbo::cost {
+
+/// Per-MB I/O costs and merge parameters of the MapReduce cost model
+/// (paper §3.3, Tables 1 and 5).
+struct CostConstants {
+  double local_read = 0.03;    ///< l_r: local disk read cost (per MB)
+  double local_write = 0.085;  ///< l_w: local disk write cost (per MB)
+  double hdfs_read = 0.15;     ///< h_r: HDFS read cost (per MB)
+  double hdfs_write = 0.25;    ///< h_w: HDFS write cost (per MB)
+  double transfer = 0.017;     ///< t: network transfer cost (per MB)
+  double merge_factor = 10.0;  ///< D: external-sort merge factor
+  double buf_map_mb = 409.0;   ///< buf_map: map task sort buffer (MB)
+  double buf_red_mb = 512.0;   ///< buf_red: reduce task merge buffer (MB)
+  /// cost_h: fixed overhead of starting one MR job (cost-seconds). Not in
+  /// Table 5; Hadoop job startup is a few seconds wall-clock.
+  double job_overhead = 6.0;
+  /// Hadoop appends 16 bytes of map-output metadata per emitted record
+  /// (paper §3.3, footnote 2).
+  double metadata_bytes_per_record = 16.0;
+};
+
+/// The simulated cluster: topology plus the data-layout knobs that decide
+/// task counts. Defaults mirror the paper's testbed (10 nodes, 10 usable
+/// cores each per the YARN vcore setting, 128 MB HDFS splits, 256 MB of
+/// intermediate data per reducer — §5.1 optimization (3)).
+struct ClusterConfig {
+  int nodes = 10;
+  int map_slots_per_node = 10;
+  int reduce_slots_per_node = 10;
+  double split_mb = 128.0;        ///< HDFS split size => map task count
+  double mb_per_reducer = 256.0;  ///< intermediate MB per reduce task
+  CostConstants costs;
+
+  int TotalMapSlots() const { return nodes * map_slots_per_node; }
+  int TotalReduceSlots() const { return nodes * reduce_slots_per_node; }
+
+  /// Returns a copy with every byte-denominated knob multiplied by
+  /// `factor` (< 1 scales the cluster down to match scaled-down data while
+  /// preserving task counts and merge-pass counts). Cost constants are
+  /// per-MB and are left untouched.
+  ClusterConfig ScaledBytes(double factor) const {
+    ClusterConfig c = *this;
+    c.split_mb *= factor;
+    c.mb_per_reducer *= factor;
+    c.costs.buf_map_mb *= factor;
+    c.costs.buf_red_mb *= factor;
+    c.costs.job_overhead *= factor;
+    return c;
+  }
+};
+
+}  // namespace gumbo::cost
+
+#endif  // GUMBO_COST_CONSTANTS_H_

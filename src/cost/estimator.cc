@@ -1,0 +1,146 @@
+#include "cost/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/message.h"
+
+namespace gumbo::cost {
+
+namespace {
+
+constexpr double kMbPerByte = 1.0 / (1024.0 * 1024.0);
+
+// Collects emissions of a sampled map run.
+class SamplingEmitter : public mr::MapEmitter {
+ public:
+  void Emit(Tuple key, mr::Message value) override {
+    buffer_.push_back({std::move(key), std::move(value)});
+  }
+  const std::vector<mr::KeyValue>& buffer() const { return buffer_; }
+
+ private:
+  std::vector<mr::KeyValue> buffer_;
+};
+
+}  // namespace
+
+Result<RelationStats> CostEstimator::StatsOf(const std::string& name) const {
+  if (db_ != nullptr && db_->Contains(name)) {
+    const Relation* rel = db_->Get(name).value();
+    RelationStats stats;
+    stats.tuples = rel->RepresentedRecords();
+    stats.bytes_per_tuple = rel->bytes_per_tuple();
+    return stats;
+  }
+  if (catalog_ == nullptr) {
+    return Status::NotFound("stats for " + name + " (no catalog)");
+  }
+  return catalog_->Get(name);
+}
+
+Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
+                                                  size_t input_index) const {
+  const mr::JobInput& input = job.inputs[input_index];
+  MapPartition p;
+
+  // Materialized input: sample the real map function (Gumbo §5.1 opt (3)).
+  if (db_ != nullptr && db_->Contains(input.dataset)) {
+    const Relation* rel = db_->Get(input.dataset).value();
+    p.input_mb = rel->SizeMb();
+    p.num_mappers = std::max(
+        1, static_cast<int>(std::ceil(p.input_mb / config_.split_mb)));
+    size_t n = rel->size();
+    if (n == 0 || !job.mapper_factory) return p;
+    size_t s = std::min(sample_size_, n);
+    auto mapper = job.mapper_factory();
+    SamplingEmitter emitter;
+    for (size_t k = 0; k < s; ++k) {
+      size_t idx = k * n / s;  // stride sample, deterministic
+      mapper->Map(input_index, rel->tuples()[idx],
+                  static_cast<uint64_t>(idx), &emitter);
+    }
+    // Apply packing the way the engine would within a task.
+    double wire_bytes = 0.0;
+    double records = 0.0;
+    if (job.pack_messages) {
+      std::unordered_map<Tuple, double> per_key;
+      for (const mr::KeyValue& kv : emitter.buffer()) {
+        auto [it, inserted] = per_key.emplace(kv.key, 0.0);
+        if (inserted) it->second += mr::TupleWireBytes(kv.key);
+        it->second += kv.value.wire_bytes;
+      }
+      for (const auto& [k, b] : per_key) wire_bytes += b;
+      records = static_cast<double>(per_key.size());
+    } else {
+      for (const mr::KeyValue& kv : emitter.buffer()) {
+        wire_bytes += mr::TupleWireBytes(kv.key) + kv.value.wire_bytes;
+      }
+      records = static_cast<double>(emitter.buffer().size());
+    }
+    double blowup = static_cast<double>(n) / static_cast<double>(s) *
+                    rel->representation_scale();
+    p.output_mb = wire_bytes * blowup * job.intermediate_overhead_factor *
+                  kMbPerByte;
+    p.metadata_mb = records * blowup *
+                    config_.costs.metadata_bytes_per_record * kMbPerByte;
+    return p;
+  }
+
+  // Catalog fallback: structural upper bound via the job-input hints.
+  if (catalog_ == nullptr) {
+    return Status::NotFound("input " + input.dataset +
+                            " unmaterialized and no stats catalog");
+  }
+  GUMBO_ASSIGN_OR_RETURN(RelationStats stats, catalog_->Get(input.dataset));
+  p.input_mb = stats.SizeMb();
+  p.num_mappers =
+      std::max(1, static_cast<int>(std::ceil(p.input_mb / config_.split_mb)));
+  double bytes_per_msg = input.hint_bytes_per_message >= 0.0
+                             ? input.hint_bytes_per_message
+                             : stats.bytes_per_tuple;
+  double messages = stats.tuples * input.hint_messages_per_tuple;
+  p.output_mb = messages * bytes_per_msg * job.intermediate_overhead_factor *
+                kMbPerByte;
+  p.metadata_mb =
+      messages * config_.costs.metadata_bytes_per_record * kMbPerByte;
+  return p;
+}
+
+Result<JobEstimate> CostEstimator::EstimateJob(
+    const mr::JobSpec& job, double output_mb_upper_bound) const {
+  JobEstimate est;
+  est.partitions.reserve(job.inputs.size());
+  double intermediate_mb = 0.0;
+  double input_mb = 0.0;
+  for (size_t i = 0; i < job.inputs.size(); ++i) {
+    GUMBO_ASSIGN_OR_RETURN(MapPartition p, EstimateInput(job, i));
+    intermediate_mb += p.output_mb;
+    input_mb += p.input_mb;
+    est.partitions.push_back(p);
+  }
+  est.output_mb = output_mb_upper_bound >= 0.0 ? output_mb_upper_bound
+                                               : input_mb;  // paper's bound
+  switch (job.reducer_allocation) {
+    case mr::ReducerAllocation::kByIntermediateSize:
+      est.num_reducers = std::max(
+          1, static_cast<int>(std::ceil(intermediate_mb /
+                                        config_.mb_per_reducer)));
+      break;
+    case mr::ReducerAllocation::kByMapInputSize:
+      est.num_reducers = std::max(
+          1, static_cast<int>(
+                 std::ceil(input_mb / (4.0 * config_.mb_per_reducer))));
+      break;
+    case mr::ReducerAllocation::kFixed:
+      est.num_reducers = std::max(1, job.fixed_num_reducers);
+      break;
+  }
+  est.cost = JobCost(config_.costs, variant_, est.partitions, est.output_mb,
+                     est.num_reducers);
+  return est;
+}
+
+}  // namespace gumbo::cost

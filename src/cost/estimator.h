@@ -1,0 +1,106 @@
+// Cost estimation for query planning.
+//
+// Estimates the cost of candidate MR jobs *before* running them, the way
+// Gumbo does (paper §5.1, optimization (3)): the job's real map function is
+// simulated on a small sample of each input relation and the per-input
+// intermediate sizes are extrapolated; reducer counts follow from the
+// intermediate-size estimate. The resulting (N_i, M_i) partitions feed the
+// cost model of model.h under either variant (gumbo / wang), which is what
+// the §5.2 cost-model experiment compares.
+//
+// Relations that do not exist yet at planning time (outputs of earlier
+// batches of an SGF plan) are estimated from a StatsCatalog of declared
+// upper bounds (paper §4.1: "the output size K can be approximated by its
+// upper bound N1").
+#ifndef GUMBO_COST_ESTIMATOR_H_
+#define GUMBO_COST_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "cost/constants.h"
+#include "cost/model.h"
+#include "mr/job.h"
+
+namespace gumbo::cost {
+
+/// Declared statistics of one relation (possibly not yet materialized).
+struct RelationStats {
+  double tuples = 0.0;          ///< represented tuple count
+  double bytes_per_tuple = 0.0;
+  double SizeMb() const {
+    return tuples * bytes_per_tuple / (1024.0 * 1024.0);
+  }
+};
+
+/// Name -> stats map used for not-yet-materialized inputs.
+class StatsCatalog {
+ public:
+  void Put(const std::string& name, RelationStats stats) {
+    stats_[name] = stats;
+  }
+  bool Contains(const std::string& name) const {
+    return stats_.count(name) > 0;
+  }
+  Result<RelationStats> Get(const std::string& name) const {
+    auto it = stats_.find(name);
+    if (it == stats_.end()) return Status::NotFound("stats for " + name);
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, RelationStats> stats_;
+};
+
+/// Estimated job profile: the cost-model inputs plus the derived cost.
+struct JobEstimate {
+  std::vector<MapPartition> partitions;  // one per input
+  double output_mb = 0.0;                // K (upper bound)
+  int num_reducers = 1;
+  double cost = 0.0;
+};
+
+class CostEstimator {
+ public:
+  /// `db` supplies materialized relations for sampling; `catalog` supplies
+  /// declared stats for everything else. Both pointers must outlive the
+  /// estimator. `sample_size` caps the tuples sampled per input.
+  CostEstimator(const ClusterConfig& config, CostModelVariant variant,
+                const Database* db, const StatsCatalog* catalog,
+                size_t sample_size = 1024)
+      : config_(config),
+        variant_(variant),
+        db_(db),
+        catalog_(catalog),
+        sample_size_(sample_size) {}
+
+  CostModelVariant variant() const { return variant_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Estimates the cost of running `job`. `output_mb_upper_bound` is the
+  /// planner's bound on K (pass < 0 to default to the summed input sizes).
+  Result<JobEstimate> EstimateJob(const mr::JobSpec& job,
+                                  double output_mb_upper_bound = -1.0) const;
+
+  /// Stats for a dataset: from the materialized relation when available,
+  /// otherwise from the catalog.
+  Result<RelationStats> StatsOf(const std::string& name) const;
+
+ private:
+  /// Per-input (N, M, Mhat, mappers) via map-function sampling or catalog
+  /// fallback.
+  Result<MapPartition> EstimateInput(const mr::JobSpec& job,
+                                     size_t input_index) const;
+
+  const ClusterConfig& config_;
+  CostModelVariant variant_;
+  const Database* db_;
+  const StatsCatalog* catalog_;
+  size_t sample_size_;
+};
+
+}  // namespace gumbo::cost
+
+#endif  // GUMBO_COST_ESTIMATOR_H_

@@ -1,0 +1,81 @@
+#include "cost/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gumbo::cost {
+
+const char* CostModelVariantName(CostModelVariant v) {
+  switch (v) {
+    case CostModelVariant::kGumbo:
+      return "gumbo";
+    case CostModelVariant::kWang:
+      return "wang";
+  }
+  return "?";
+}
+
+double LogDCeil(double x, double d) {
+  double c = std::ceil(x);
+  if (c <= 1.0 || d <= 1.0) return 0.0;
+  return std::log(c) / std::log(d);
+}
+
+double MergeMapCost(const CostConstants& c, double output_mb,
+                    double metadata_mb, int num_mappers) {
+  if (output_mb <= 0.0) return 0.0;
+  int m = std::max(num_mappers, 1);
+  double per_mapper = (output_mb + metadata_mb) / static_cast<double>(m);
+  double passes = LogDCeil(per_mapper / c.buf_map_mb, c.merge_factor);
+  return (c.local_read + c.local_write) * output_mb * passes;
+}
+
+double MapCost(const CostConstants& c, const MapPartition& p) {
+  return c.hdfs_read * p.input_mb +
+         MergeMapCost(c, p.output_mb, p.metadata_mb, p.num_mappers) +
+         c.local_write * p.output_mb;
+}
+
+double MergeRedCost(const CostConstants& c, double shuffle_mb,
+                    int num_reducers) {
+  if (shuffle_mb <= 0.0) return 0.0;
+  int r = std::max(num_reducers, 1);
+  double per_reducer = shuffle_mb / static_cast<double>(r);
+  double passes = LogDCeil(per_reducer / c.buf_red_mb, c.merge_factor);
+  return (c.local_read + c.local_write) * shuffle_mb * passes;
+}
+
+double ReduceCost(const CostConstants& c, double shuffle_mb, double output_mb,
+                  int num_reducers) {
+  return c.transfer * shuffle_mb + MergeRedCost(c, shuffle_mb, num_reducers) +
+         c.hdfs_write * output_mb;
+}
+
+double JobCost(const CostConstants& c, CostModelVariant variant,
+               const std::vector<MapPartition>& partitions, double output_mb,
+               int num_reducers) {
+  double map_cost = 0.0;
+  double shuffle_mb = 0.0;
+  if (variant == CostModelVariant::kGumbo) {
+    for (const MapPartition& p : partitions) {
+      map_cost += MapCost(c, p);
+      shuffle_mb += p.output_mb;
+    }
+  } else {
+    MapPartition agg;
+    agg.num_mappers = 0;
+    for (const MapPartition& p : partitions) {
+      agg.input_mb += p.input_mb;
+      agg.output_mb += p.output_mb;
+      agg.metadata_mb += p.metadata_mb;
+      agg.num_mappers += p.num_mappers;
+    }
+    agg.num_mappers = std::max(agg.num_mappers, 1);
+    map_cost = MapCost(c, agg);
+    shuffle_mb = agg.output_mb;
+  }
+  return c.job_overhead + map_cost +
+         ReduceCost(c, shuffle_mb, output_mb, num_reducers);
+}
+
+}  // namespace gumbo::cost

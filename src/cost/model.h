@@ -1,0 +1,62 @@
+// The MapReduce I/O cost model (paper §3.3).
+//
+// Two variants are provided:
+//  * kGumbo — the paper's refinement: the map cost is summed per input
+//    partition (Equation 2), so inputs with different map input/output
+//    ratios are accounted separately;
+//  * kWang  — the Wang & Chan / Nykiel et al. baseline: one aggregate
+//    costmap over the summed sizes (Equation 3).
+//
+// All sizes are in MB of *represented* data; costs are in cost-seconds.
+#ifndef GUMBO_COST_MODEL_H_
+#define GUMBO_COST_MODEL_H_
+
+#include <vector>
+
+#include "cost/constants.h"
+
+namespace gumbo::cost {
+
+/// Which map-phase aggregation the model uses (see file comment).
+enum class CostModelVariant { kGumbo, kWang };
+
+const char* CostModelVariantName(CostModelVariant v);
+
+/// One uniform map input partition I_i (paper §3.3): N_i MB in, M_i MB of
+/// intermediate data out, Mhat_i MB of map-output metadata, m_i mappers.
+struct MapPartition {
+  double input_mb = 0.0;     ///< N_i
+  double output_mb = 0.0;    ///< M_i
+  double metadata_mb = 0.0;  ///< Mhat_i
+  int num_mappers = 1;       ///< m_i
+};
+
+/// mergemap(M_i): sort/merge cost on the map side.
+/// (l_r + l_w) * M_i * log_D ceil( ((M_i + Mhat_i)/m_i) / buf_map ).
+double MergeMapCost(const CostConstants& c, double output_mb,
+                    double metadata_mb, int num_mappers);
+
+/// costmap(N_i, M_i) = h_r*N_i + mergemap(M_i) + l_w*M_i.
+double MapCost(const CostConstants& c, const MapPartition& p);
+
+/// mergered(M) = (l_r + l_w) * M * log_D ceil( (M/r) / buf_red ).
+double MergeRedCost(const CostConstants& c, double shuffle_mb,
+                    int num_reducers);
+
+/// costred(M, K) = t*M + mergered(M) + h_w*K.
+double ReduceCost(const CostConstants& c, double shuffle_mb,
+                  double output_mb, int num_reducers);
+
+/// Full job cost: costh + map phase + reduce phase, where the map phase is
+/// aggregated according to `variant` (Equation 2 vs Equation 3). K is the
+/// reduce output size in MB.
+double JobCost(const CostConstants& c, CostModelVariant variant,
+               const std::vector<MapPartition>& partitions, double output_mb,
+               int num_reducers);
+
+/// Helper: ceil-log base D, clamped at zero; log_D ceil(x).
+double LogDCeil(double x, double d);
+
+}  // namespace gumbo::cost
+
+#endif  // GUMBO_COST_MODEL_H_

@@ -1,0 +1,77 @@
+#include "data/generator.h"
+
+#include "common/rng.h"
+
+namespace gumbo::data {
+
+namespace {
+
+uint64_t NameSalt(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Whether domain value v is selected for relation `salt` at `selectivity`.
+bool Selected(uint64_t v, uint64_t salt, double selectivity) {
+  uint64_t h = SplitMix64::Mix(v ^ salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < selectivity;
+}
+
+}  // namespace
+
+Relation Generator::Guard(const std::string& name, uint32_t arity) const {
+  Relation rel(name, arity);
+  rel.set_bytes_per_tuple(10.0 * arity);
+  rel.set_representation_scale(config_.representation_scale);
+  Xoshiro256 rng(config_.seed ^ NameSalt(name));
+  const uint64_t domain = config_.Domain();
+  rel.mutable_tuples().reserve(config_.tuples);
+  for (size_t i = 0; i < config_.tuples; ++i) {
+    Tuple t;
+    for (uint32_t a = 0; a < arity; ++a) {
+      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+    }
+    rel.AddUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+Relation Generator::Conditional(const std::string& name, uint32_t arity,
+                                double selectivity) const {
+  if (selectivity < 0.0) selectivity = config_.selectivity;
+  Relation rel(name, arity);
+  rel.set_bytes_per_tuple(10.0 * arity);
+  rel.set_representation_scale(config_.representation_scale);
+  Xoshiro256 rng(config_.seed ^ NameSalt(name) ^ 0x5eedULL);
+  const uint64_t domain = config_.Domain();
+  const uint64_t salt = NameSalt(name);
+  rel.mutable_tuples().reserve(config_.tuples);
+  // Pass 1: all selected domain values (ensures the advertised match
+  // fraction exactly over the domain).
+  for (uint64_t v = 0; v < domain && rel.size() < config_.tuples; ++v) {
+    if (!Selected(v, salt, selectivity)) continue;
+    Tuple t;
+    t.PushBack(Value::Int(static_cast<int64_t>(v)));
+    for (uint32_t a = 1; a < arity; ++a) {
+      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+    }
+    rel.AddUnchecked(std::move(t));
+  }
+  // Pass 2: pad with non-matching values (>= domain) up to the count.
+  while (rel.size() < config_.tuples) {
+    Tuple t;
+    t.PushBack(Value::Int(
+        static_cast<int64_t>(domain + rng.Uniform(domain) + 1)));
+    for (uint32_t a = 1; a < arity; ++a) {
+      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+    }
+    rel.AddUnchecked(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace gumbo::data

@@ -1,0 +1,68 @@
+// Synthetic data generation mirroring the paper's experimental data
+// (§5.1): guard relations of 100M 4-ary tuples (4 GB), conditional
+// relations of 100M narrow tuples (1 GB), with a configurable fraction of
+// conditional values matching the guard ("selectivity rate" — the
+// percentage of guard tuples a conditional relation matches, §5.4).
+//
+// This repo materializes a sample of each relation and declares the full
+// size through Relation::representation_scale (DESIGN.md §2), so cost and
+// byte accounting happen at paper scale while execution stays fast.
+//
+// Determinism & selectivity: a guard attribute value v in [0, domain) is
+// "selected" for conditional relation REL iff a salted hash of (v, REL)
+// falls below the selectivity threshold. Guard attributes are uniform over
+// the domain, so each conditional matches exactly `selectivity` of the
+// guard tuples in expectation, independently across relations.
+#ifndef GUMBO_DATA_GENERATOR_H_
+#define GUMBO_DATA_GENERATOR_H_
+
+#include <string>
+
+#include "common/relation.h"
+
+namespace gumbo::data {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  /// Materialized tuples per relation (guard and conditional alike, as in
+  /// the paper: "For the conditional relations we use the same number of
+  /// tuples").
+  size_t tuples = 250000;
+  /// Each materialized tuple represents this many tuples; the default
+  /// yields the paper's 100M-tuple relations (250k x 400).
+  double representation_scale = 400.0;
+  /// Fraction of guard tuples a conditional relation matches (paper
+  /// default: 50%).
+  double selectivity = 0.5;
+  /// Attribute value domain [0, domain); defaults to `tuples`.
+  size_t domain = 0;
+
+  size_t Domain() const { return domain > 0 ? domain : tuples; }
+};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config) : config_(config) {}
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// A guard relation: `arity` uniform attributes over the domain.
+  /// Density: 10 B per attribute (4-ary guard = 40 B, the paper's 4 GB at
+  /// 100M tuples).
+  Relation Guard(const std::string& name, uint32_t arity = 4) const;
+
+  /// A conditional relation whose first attribute carries the join values:
+  /// `selectivity` of the domain values selected for this relation name,
+  /// padded with non-matching values (>= domain) up to the tuple count.
+  /// Additional attributes are uniform. Pass selectivity < 0 to use the
+  /// config default.
+  Relation Conditional(const std::string& name, uint32_t arity = 1,
+                       double selectivity = -1.0) const;
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace gumbo::data
+
+#endif  // GUMBO_DATA_GENERATOR_H_

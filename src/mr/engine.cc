@@ -1,0 +1,301 @@
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "cost/model.h"
+
+namespace gumbo::mr {
+
+namespace {
+
+constexpr double kMbPerByte = 1.0 / (1024.0 * 1024.0);
+
+// One map task: a contiguous slice of one input relation.
+struct MapTaskSpec {
+  size_t input_index = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  double input_mb = 0.0;
+};
+
+// A packed shuffle record: one key plus all messages a map task emitted
+// for it (a singleton list per message when packing is disabled).
+struct PackedRecord {
+  Tuple key;
+  std::vector<Message> values;
+  double wire_bytes = 0.0;  // key bytes + value bytes (per materialized rec)
+};
+
+// Map task result: records pre-partitioned by reducer.
+struct MapTaskResult {
+  std::vector<std::vector<PackedRecord>> buckets;  // [reducer] -> records
+  double output_mb = 0.0;    // represented MB of intermediate data
+  double metadata_mb = 0.0;  // represented MB of per-record metadata
+};
+
+class VectorMapEmitter : public MapEmitter {
+ public:
+  void Emit(Tuple key, Message value) override {
+    buffer_.push_back({std::move(key), std::move(value)});
+  }
+  std::vector<KeyValue>& buffer() { return buffer_; }
+
+ private:
+  std::vector<KeyValue> buffer_;
+};
+
+class VectorReduceEmitter : public ReduceEmitter {
+ public:
+  explicit VectorReduceEmitter(size_t num_outputs) : outputs_(num_outputs) {}
+  void Emit(size_t output_index, Tuple tuple) override {
+    assert(output_index < outputs_.size());
+    outputs_[output_index].push_back(std::move(tuple));
+  }
+  std::vector<std::vector<Tuple>>& outputs() { return outputs_; }
+
+ private:
+  std::vector<std::vector<Tuple>> outputs_;
+};
+
+}  // namespace
+
+Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
+  if (!job.mapper_factory || !job.reducer_factory) {
+    return Status::InvalidArgument("job " + job.name +
+                                   ": missing mapper or reducer factory");
+  }
+  if (job.inputs.empty()) {
+    return Status::InvalidArgument("job " + job.name + ": no inputs");
+  }
+
+  // Resolve inputs and check a consistent representation scale.
+  std::vector<const Relation*> inputs;
+  inputs.reserve(job.inputs.size());
+  double scale = -1.0;
+  for (const JobInput& in : job.inputs) {
+    GUMBO_ASSIGN_OR_RETURN(const Relation* rel, db->Get(in.dataset));
+    if (scale < 0.0) {
+      scale = rel->representation_scale();
+    } else if (std::abs(scale - rel->representation_scale()) >
+               1e-9 * std::max(1.0, scale)) {
+      return Status::FailedPrecondition(
+          "job " + job.name + ": input " + in.dataset +
+          " has representation scale " +
+          std::to_string(rel->representation_scale()) +
+          ", expected " + std::to_string(scale));
+    }
+    inputs.push_back(rel);
+  }
+
+  // ---- Plan map tasks -----------------------------------------------------
+  std::vector<MapTaskSpec> tasks;
+  JobStats stats;
+  stats.job_name = job.name;
+  stats.job_overhead = config_.costs.job_overhead;
+  stats.inputs.resize(job.inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Relation* rel = inputs[i];
+    double mb = rel->SizeMb();
+    int ntasks = std::max(
+        1, static_cast<int>(std::ceil(mb / std::max(config_.split_mb, 1e-9))));
+    size_t n = rel->size();
+    for (int k = 0; k < ntasks; ++k) {
+      MapTaskSpec t;
+      t.input_index = i;
+      t.begin = n * static_cast<size_t>(k) / static_cast<size_t>(ntasks);
+      t.end = n * static_cast<size_t>(k + 1) / static_cast<size_t>(ntasks);
+      t.input_mb = static_cast<double>(t.end - t.begin) * scale *
+                   rel->bytes_per_tuple() * kMbPerByte;
+      tasks.push_back(t);
+    }
+    stats.inputs[i].dataset = job.inputs[i].dataset;
+    stats.inputs[i].input_mb = mb;
+    stats.inputs[i].num_map_tasks = ntasks;
+  }
+
+  // ---- Map phase (two passes when reducer count depends on intermediate
+  // size: we must know the total before partitioning; instead we buffer
+  // unpartitioned results, then bucket them once `r` is known) -------------
+  const double meta_bytes = config_.costs.metadata_bytes_per_record;
+  const double overhead = job.intermediate_overhead_factor;
+
+  struct RawTaskOut {
+    std::vector<PackedRecord> records;
+    double output_mb = 0.0;
+    double metadata_mb = 0.0;
+  };
+  std::vector<RawTaskOut> raw(tasks.size());
+
+  ThreadPool::Global().ParallelFor(tasks.size(), [&](size_t ti) {
+    const MapTaskSpec& t = tasks[ti];
+    const Relation* rel = inputs[t.input_index];
+    auto mapper = job.mapper_factory();
+    VectorMapEmitter emitter;
+    for (size_t j = t.begin; j < t.end; ++j) {
+      mapper->Map(t.input_index, rel->tuples()[j], static_cast<uint64_t>(j),
+                  &emitter);
+    }
+    RawTaskOut& out = raw[ti];
+    double wire_bytes = 0.0;
+    size_t record_count = 0;
+    if (job.pack_messages) {
+      // Group by key, preserving first-seen key order for determinism.
+      std::unordered_map<Tuple, size_t> index;
+      for (KeyValue& kv : emitter.buffer()) {
+        auto [it, inserted] = index.emplace(kv.key, out.records.size());
+        if (inserted) {
+          PackedRecord rec;
+          rec.key = kv.key;
+          rec.wire_bytes = TupleWireBytes(kv.key);
+          out.records.push_back(std::move(rec));
+        }
+        PackedRecord& rec = out.records[it->second];
+        rec.wire_bytes += kv.value.wire_bytes;
+        rec.values.push_back(std::move(kv.value));
+      }
+      record_count = out.records.size();
+    } else {
+      out.records.reserve(emitter.buffer().size());
+      for (KeyValue& kv : emitter.buffer()) {
+        PackedRecord rec;
+        rec.wire_bytes = TupleWireBytes(kv.key) + kv.value.wire_bytes;
+        rec.key = std::move(kv.key);
+        rec.values.push_back(std::move(kv.value));
+        out.records.push_back(std::move(rec));
+      }
+      record_count = out.records.size();
+    }
+    for (const PackedRecord& rec : out.records) wire_bytes += rec.wire_bytes;
+    out.output_mb = wire_bytes * overhead * scale * kMbPerByte;
+    out.metadata_mb = static_cast<double>(record_count) * meta_bytes * scale *
+                      kMbPerByte;
+  });
+
+  // Per-input aggregates and per-task map costs.
+  double total_intermediate_mb = 0.0;
+  double total_input_mb = 0.0;
+  stats.map_task_costs.resize(tasks.size());
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const MapTaskSpec& t = tasks[ti];
+    InputStats& is = stats.inputs[t.input_index];
+    is.output_mb += raw[ti].output_mb;
+    is.metadata_mb += raw[ti].metadata_mb;
+    total_intermediate_mb += raw[ti].output_mb;
+    total_input_mb += t.input_mb;
+    cost::MapPartition p;
+    p.input_mb = t.input_mb;
+    p.output_mb = raw[ti].output_mb;
+    p.metadata_mb = raw[ti].metadata_mb;
+    p.num_mappers = 1;
+    stats.map_task_costs[ti] = cost::MapCost(config_.costs, p);
+  }
+  stats.hdfs_read_mb = total_input_mb;
+  stats.shuffle_mb = total_intermediate_mb;
+
+  // ---- Choose reducer count ----------------------------------------------
+  int r = 1;
+  switch (job.reducer_allocation) {
+    case ReducerAllocation::kByIntermediateSize:
+      r = std::max(1, static_cast<int>(std::ceil(
+                          total_intermediate_mb / config_.mb_per_reducer)));
+      break;
+    case ReducerAllocation::kByMapInputSize:
+      // Pig's 1 GB of map input per reducer; expressed relative to the
+      // cluster's (possibly scaled) 256 MB intermediate allocation.
+      r = std::max(1, static_cast<int>(std::ceil(
+                          total_input_mb / (4.0 * config_.mb_per_reducer))));
+      break;
+    case ReducerAllocation::kFixed:
+      r = std::max(1, job.fixed_num_reducers);
+      break;
+  }
+  stats.num_reducers = r;
+
+  // ---- Partition ----------------------------------------------------------
+  std::vector<std::vector<std::vector<const PackedRecord*>>> partitioned(
+      tasks.size());
+  ThreadPool::Global().ParallelFor(tasks.size(), [&](size_t ti) {
+    auto& buckets = partitioned[ti];
+    buckets.resize(static_cast<size_t>(r));
+    for (const PackedRecord& rec : raw[ti].records) {
+      buckets[rec.key.Hash() % static_cast<uint64_t>(r)].push_back(&rec);
+    }
+  });
+
+  // ---- Reduce phase --------------------------------------------------------
+  struct ReduceTaskOut {
+    std::vector<std::vector<Tuple>> outputs;  // [output_index] -> tuples
+    double shuffle_mb = 0.0;
+    double output_mb = 0.0;
+  };
+  std::vector<ReduceTaskOut> red(static_cast<size_t>(r));
+
+  ThreadPool::Global().ParallelFor(static_cast<size_t>(r), [&](size_t rj) {
+    // Gather this partition's records from every map task, in task order.
+    std::unordered_map<Tuple, std::vector<Message>> groups;
+    double wire_bytes = 0.0;
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      for (const PackedRecord* rec : partitioned[ti][rj]) {
+        wire_bytes += rec->wire_bytes;
+        auto& vec = groups[rec->key];
+        vec.insert(vec.end(), rec->values.begin(), rec->values.end());
+      }
+    }
+    // Sorted key order for determinism.
+    std::vector<const Tuple*> keys;
+    keys.reserve(groups.size());
+    for (const auto& [k, v] : groups) keys.push_back(&k);
+    std::sort(keys.begin(), keys.end(),
+              [](const Tuple* a, const Tuple* b) { return *a < *b; });
+
+    auto reducer = job.reducer_factory();
+    VectorReduceEmitter emitter(job.outputs.size());
+    for (const Tuple* k : keys) {
+      reducer->Reduce(*k, groups[*k], &emitter);
+    }
+    ReduceTaskOut& out = red[rj];
+    out.shuffle_mb = wire_bytes * overhead * scale * kMbPerByte;
+    out.outputs = std::move(emitter.outputs());
+    for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
+      const JobOutput& spec = job.outputs[oi];
+      double bpt = spec.bytes_per_tuple > 0.0 ? spec.bytes_per_tuple
+                                              : 10.0 * spec.arity;
+      out.output_mb += static_cast<double>(out.outputs[oi].size()) * scale *
+                       bpt * kMbPerByte;
+    }
+  });
+
+  stats.reduce_task_costs.resize(static_cast<size_t>(r));
+  double total_output_mb = 0.0;
+  for (int rj = 0; rj < r; ++rj) {
+    stats.reduce_task_costs[static_cast<size_t>(rj)] = cost::ReduceCost(
+        config_.costs, red[static_cast<size_t>(rj)].shuffle_mb,
+        red[static_cast<size_t>(rj)].output_mb, /*num_reducers=*/1);
+    total_output_mb += red[static_cast<size_t>(rj)].output_mb;
+  }
+  stats.hdfs_write_mb = total_output_mb;
+
+  // ---- Write outputs -------------------------------------------------------
+  for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
+    const JobOutput& spec = job.outputs[oi];
+    Relation out(spec.dataset, spec.arity);
+    if (spec.bytes_per_tuple > 0.0) out.set_bytes_per_tuple(spec.bytes_per_tuple);
+    out.set_representation_scale(scale);
+    size_t total = 0;
+    for (const auto& rt : red) total += rt.outputs[oi].size();
+    out.mutable_tuples().reserve(total);
+    for (auto& rt : red) {
+      for (Tuple& t : rt.outputs[oi]) out.AddUnchecked(std::move(t));
+    }
+    if (spec.dedupe) out.SortAndDedupe();
+    db->Put(std::move(out));
+  }
+
+  return stats;
+}
+
+}  // namespace gumbo::mr

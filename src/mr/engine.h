@@ -1,0 +1,44 @@
+// Engine: executes one MapReduce job on real data with real parallelism,
+// while accounting I/O in *represented* megabytes for the cost model
+// (DESIGN.md §2, "real execution + modeled clock").
+//
+// Execution pipeline per job:
+//   1. each input relation is split into map tasks of split_mb represented
+//      megabytes (splits never span relations, matching HDFS);
+//   2. map tasks run on a thread pool; emitted key/values are grouped by
+//      key within the task when packing is enabled;
+//   3. the reducer count is chosen per the job's allocation policy;
+//      key/values are hash-partitioned;
+//   4. reduce tasks run on the thread pool, keys in sorted order, and
+//      write output relations back to the database.
+//
+// Results are deterministic: outputs are collected per task index and
+// concatenated in task order.
+#ifndef GUMBO_MR_ENGINE_H_
+#define GUMBO_MR_ENGINE_H_
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "cost/constants.h"
+#include "mr/job.h"
+#include "mr/stats.h"
+
+namespace gumbo::mr {
+
+class Engine {
+ public:
+  explicit Engine(cost::ClusterConfig config) : config_(std::move(config)) {}
+
+  const cost::ClusterConfig& config() const { return config_; }
+
+  /// Runs `job` against `db`: reads the input relations, writes (replaces)
+  /// the output relations, and returns the job's statistics.
+  Result<JobStats> Run(const JobSpec& job, Database* db);
+
+ private:
+  cost::ClusterConfig config_;
+};
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_ENGINE_H_

@@ -1,0 +1,103 @@
+// Job interfaces of the simulated MapReduce engine.
+#ifndef GUMBO_MR_JOB_H_
+#define GUMBO_MR_JOB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "mr/message.h"
+
+namespace gumbo::mr {
+
+/// Sink for map-side emissions.
+class MapEmitter {
+ public:
+  virtual ~MapEmitter() = default;
+  virtual void Emit(Tuple key, Message value) = 0;
+};
+
+/// Sink for reduce-side output tuples; output_index selects one of the
+/// job's declared outputs.
+class ReduceEmitter {
+ public:
+  virtual ~ReduceEmitter() = default;
+  virtual void Emit(size_t output_index, Tuple tuple) = 0;
+};
+
+/// User map function. One instance is created per map task, so Map may keep
+/// per-task state without synchronization.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Called once per input fact. `input_index` identifies which JobInput
+  /// the fact came from; `tuple_id` is the fact's index within its input
+  /// relation (stable across runs; used by the tuple-id optimization).
+  virtual void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+                   MapEmitter* emitter) = 0;
+};
+
+/// User reduce function. One instance per reduce task.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  /// Called once per key group, keys in sorted order within the task.
+  virtual void Reduce(const Tuple& key, const std::vector<Message>& values,
+                      ReduceEmitter* emitter) = 0;
+};
+
+/// How the engine picks the number of reduce tasks.
+enum class ReducerAllocation {
+  /// Gumbo §5.1 optimization (3): one reducer per mb_per_reducer of
+  /// intermediate (map output) data.
+  kByIntermediateSize,
+  /// Pig's default policy: one reducer per GB of *map input* data.
+  kByMapInputSize,
+  /// Fixed count given in JobSpec::fixed_num_reducers.
+  kFixed,
+};
+
+struct JobInput {
+  std::string dataset;
+  /// Planning hints used by the cost estimator when the dataset is not
+  /// materialized yet (outputs of earlier plan stages). Operator builders
+  /// fill these with structural upper bounds.
+  double hint_messages_per_tuple = 1.0;
+  double hint_bytes_per_message = -1.0;  ///< <0: assume input tuple size
+};
+
+struct JobOutput {
+  std::string dataset;
+  uint32_t arity = 0;
+  /// Wire density of output tuples (defaults to 10 B per attribute).
+  double bytes_per_tuple = 0.0;
+  /// Whether the executor should canonicalize (sort + dedupe) the dataset
+  /// after the job. Final query outputs set this; intermediate semi-join
+  /// results are duplicate-free by construction.
+  bool dedupe = false;
+};
+
+/// A full MapReduce job specification.
+struct JobSpec {
+  std::string name;
+  std::vector<JobInput> inputs;
+  std::vector<JobOutput> outputs;
+  /// Factories: the engine instantiates one mapper per map task and one
+  /// reducer per reduce task.
+  std::function<std::unique_ptr<Mapper>()> mapper_factory;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  /// Message packing (Gumbo §5.1 optimization (1)): all values emitted by
+  /// one map task for the same key share a single key header on the wire.
+  bool pack_messages = true;
+  ReducerAllocation reducer_allocation = ReducerAllocation::kByIntermediateSize;
+  int fixed_num_reducers = 1;
+  /// Multiplier on intermediate wire bytes; baselines use it to model
+  /// serialization overhead of less compact systems.
+  double intermediate_overhead_factor = 1.0;
+};
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_JOB_H_

@@ -1,0 +1,44 @@
+// Intermediate key/value data of the simulated MapReduce engine.
+//
+// Keys are Tuples. Values are Messages: a small operator-defined header
+// (tag + aux) plus an optional Tuple payload and an explicit wire size in
+// bytes. Operators set the wire size to what a compact Hadoop
+// serialization would use (see ops/messages.h); the engine turns it into
+// represented megabytes for the cost model.
+#ifndef GUMBO_MR_MESSAGE_H_
+#define GUMBO_MR_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/tuple.h"
+
+namespace gumbo::mr {
+
+/// One value shuffled from a mapper to a reducer.
+struct Message {
+  /// Operator-defined discriminator (e.g. request vs assert).
+  uint32_t tag = 0;
+  /// Operator-defined auxiliary id (e.g. condition id, equation index).
+  uint32_t aux = 0;
+  /// Optional tuple payload (e.g. the projected guard tuple).
+  Tuple payload;
+  /// Wire size of this value in bytes, excluding the key (the engine
+  /// accounts key bytes once per packed list or once per message when
+  /// packing is disabled).
+  double wire_bytes = 0.0;
+};
+
+struct KeyValue {
+  Tuple key;
+  Message value;
+};
+
+/// Bytes of a tuple on the wire at the paper's data densities
+/// (10 bytes per attribute by default).
+inline double TupleWireBytes(const Tuple& t, double bytes_per_value = 10.0) {
+  return bytes_per_value * static_cast<double>(t.size());
+}
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_MESSAGE_H_

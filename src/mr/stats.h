@@ -1,0 +1,66 @@
+// Execution statistics of jobs and programs — the paper's four metrics
+// (total time, net time, input bytes, communication bytes) plus per-task
+// detail consumed by the net-time scheduler.
+#ifndef GUMBO_MR_STATS_H_
+#define GUMBO_MR_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace gumbo::mr {
+
+/// Per-input-partition accounting (maps onto the cost model's (N_i, M_i)).
+struct InputStats {
+  std::string dataset;
+  double input_mb = 0.0;     ///< N_i: HDFS bytes read
+  double output_mb = 0.0;    ///< M_i: intermediate bytes produced
+  double metadata_mb = 0.0;  ///< Mhat_i
+  int num_map_tasks = 0;     ///< m_i
+};
+
+struct JobStats {
+  std::string job_name;
+  std::vector<InputStats> inputs;
+  std::vector<double> map_task_costs;     ///< cost-seconds per map task
+  std::vector<double> reduce_task_costs;  ///< cost-seconds per reduce task
+  int num_reducers = 0;
+  double hdfs_read_mb = 0.0;
+  double shuffle_mb = 0.0;  ///< communication: mapper -> reducer bytes
+  double hdfs_write_mb = 0.0;
+  double job_overhead = 0.0;  ///< cost_h
+
+  /// Aggregate cost of the job = cost_h + sum of all task costs.
+  double TotalCost() const {
+    double c = job_overhead;
+    for (double t : map_task_costs) c += t;
+    for (double t : reduce_task_costs) c += t;
+    return c;
+  }
+};
+
+struct ProgramStats {
+  std::vector<JobStats> jobs;
+  double total_time = 0.0;  ///< aggregate task time across all jobs
+  double net_time = 0.0;    ///< simulated makespan (slot-constrained)
+  int rounds = 0;           ///< longest dependency chain of jobs
+
+  double HdfsReadMb() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.hdfs_read_mb;
+    return v;
+  }
+  double ShuffleMb() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.shuffle_mb;
+    return v;
+  }
+  double HdfsWriteMb() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.hdfs_write_mb;
+    return v;
+  }
+};
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_STATS_H_

@@ -1,0 +1,180 @@
+#include "ops/chain.h"
+
+#include <memory>
+
+#include "ops/messages.h"
+
+namespace gumbo::ops {
+
+namespace {
+
+struct CompiledStep {
+  ChainStepSpec spec;
+  std::vector<std::string> key_vars;
+};
+
+class ChainMapper : public mr::Mapper {
+ public:
+  explicit ChainMapper(std::shared_ptr<const CompiledStep> c)
+      : c_(std::move(c)) {}
+
+  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+           mr::MapEmitter* emitter) override {
+    (void)tuple_id;
+    const ChainStepSpec& s = c_->spec;
+    if (input_index == 0) {
+      if (s.filter_guard_pattern && !s.guard.Conforms(fact)) return;
+      mr::Message msg;
+      msg.tag = kTagRequest;
+      msg.payload = fact;
+      msg.wire_bytes = RequestWireBytes(mr::TupleWireBytes(fact));
+      emitter->Emit(s.guard.Project(fact, c_->key_vars), std::move(msg));
+    } else {
+      if (!s.conditional.Conforms(fact)) return;
+      mr::Message msg;
+      msg.tag = kTagAssert;
+      msg.wire_bytes = AssertWireBytes();
+      emitter->Emit(s.conditional.Project(fact, c_->key_vars),
+                    std::move(msg));
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledStep> c_;
+};
+
+class ChainReducer : public mr::Reducer {
+ public:
+  explicit ChainReducer(std::shared_ptr<const CompiledStep> c)
+      : c_(std::move(c)) {}
+
+  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+              mr::ReduceEmitter* emitter) override {
+    (void)key;
+    bool asserted = false;
+    for (const mr::Message& m : values) {
+      if (m.tag == kTagAssert) {
+        asserted = true;
+        break;
+      }
+    }
+    const ChainStepSpec& s = c_->spec;
+    if (asserted != s.positive) return;
+    for (const mr::Message& m : values) {
+      if (m.tag != kTagRequest) continue;
+      if (s.emit_projection) {
+        emitter->Emit(0, s.guard.Project(m.payload, s.select_vars));
+      } else {
+        emitter->Emit(0, m.payload);
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledStep> c_;
+};
+
+// Union/projection: map every chain-output tuple to its projection and
+// emit the key once per group.
+struct CompiledUnion {
+  sgf::Atom guard;
+  std::vector<std::string> select_vars;
+};
+
+class UnionMapper : public mr::Mapper {
+ public:
+  explicit UnionMapper(std::shared_ptr<const CompiledUnion> c)
+      : c_(std::move(c)) {}
+  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+           mr::MapEmitter* emitter) override {
+    (void)input_index;
+    (void)tuple_id;
+    mr::Message msg;
+    msg.tag = kTagGuard;
+    msg.wire_bytes = kTagBytes;
+    emitter->Emit(c_->guard.Project(fact, c_->select_vars), std::move(msg));
+  }
+
+ private:
+  std::shared_ptr<const CompiledUnion> c_;
+};
+
+class UnionReducer : public mr::Reducer {
+ public:
+  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+              mr::ReduceEmitter* emitter) override {
+    (void)values;
+    emitter->Emit(0, key);
+  }
+};
+
+}  // namespace
+
+Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
+                                      const std::string& job_name) {
+  if (step.emit_projection && step.select_vars.empty()) {
+    return Status::InvalidArgument("chain step " + job_name +
+                                   ": projection without select vars");
+  }
+  auto compiled = std::make_shared<CompiledStep>();
+  compiled->spec = step;
+  compiled->key_vars = step.conditional.SharedVariables(step.guard);
+
+  mr::JobSpec spec;
+  spec.name = job_name;
+  // Two logical inputs even when both sides read the same dataset: the
+  // roles are distinguished by input index, and Hadoop would likewise read
+  // a relation twice when it is mounted as two job inputs.
+  spec.inputs.push_back({step.input_dataset});
+  spec.inputs.push_back({step.conditional_dataset});
+
+  mr::JobOutput out;
+  out.dataset = step.output_dataset;
+  if (step.emit_projection) {
+    out.arity = static_cast<uint32_t>(step.select_vars.size());
+    out.bytes_per_tuple = 10.0 * static_cast<double>(out.arity);
+    out.dedupe = true;
+  } else {
+    out.arity = step.guard.arity();
+    out.bytes_per_tuple = 10.0 * static_cast<double>(out.arity);
+    out.dedupe = false;
+  }
+  spec.outputs.push_back(std::move(out));
+
+  spec.mapper_factory = [compiled] {
+    return std::make_unique<ChainMapper>(compiled);
+  };
+  spec.reducer_factory = [compiled] {
+    return std::make_unique<ChainReducer>(compiled);
+  };
+  return spec;
+}
+
+Result<mr::JobSpec> BuildUnionProjectJob(
+    const std::vector<std::string>& chain_outputs, const sgf::Atom& guard,
+    const std::vector<std::string>& select_vars,
+    const std::string& output_dataset, const std::string& job_name) {
+  if (chain_outputs.empty()) {
+    return Status::InvalidArgument("union: no inputs");
+  }
+  auto compiled = std::make_shared<CompiledUnion>();
+  compiled->guard = guard;
+  compiled->select_vars = select_vars;
+
+  mr::JobSpec spec;
+  spec.name = job_name;
+  for (const std::string& ds : chain_outputs) spec.inputs.push_back({ds});
+  mr::JobOutput out;
+  out.dataset = output_dataset;
+  out.arity = static_cast<uint32_t>(select_vars.size());
+  out.bytes_per_tuple = 10.0 * static_cast<double>(out.arity);
+  out.dedupe = true;
+  spec.outputs.push_back(std::move(out));
+  spec.mapper_factory = [compiled] {
+    return std::make_unique<UnionMapper>(compiled);
+  };
+  spec.reducer_factory = [] { return std::make_unique<UnionReducer>(); };
+  return spec;
+}
+
+}  // namespace gumbo::ops

@@ -1,0 +1,198 @@
+#include "ops/eval.h"
+
+#include <memory>
+#include <set>
+
+#include "ops/messages.h"
+
+namespace gumbo::ops {
+
+namespace {
+
+// Compiled EVAL job description shared by all task instances.
+struct CompiledEval {
+  struct Task {
+    sgf::BsgfQuery query;
+    size_t output_index = 0;
+    uint32_t task_id = 0;
+  };
+  std::vector<Task> tasks;
+  // Input routing: an input is either a guard input of a task or an X_i.
+  struct InputRoute {
+    size_t task = 0;
+    bool is_guard = false;
+    uint32_t atom_index = 0;  // which conditional atom when !is_guard
+  };
+  std::vector<std::vector<InputRoute>> routes;  // per input index
+  bool tuple_id_refs = true;
+};
+
+// Key layout: (task_id, guard-identity...), where the identity is the
+// tuple id (id mode) or the full guard tuple.
+Tuple MakeKey(uint32_t task_id, const Tuple& identity) {
+  Tuple key;
+  key.PushBack(Value::Int(task_id));
+  for (const Value& v : identity) key.PushBack(v);
+  return key;
+}
+
+class EvalMapper : public mr::Mapper {
+ public:
+  explicit EvalMapper(std::shared_ptr<const CompiledEval> c)
+      : c_(std::move(c)) {}
+
+  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+           mr::MapEmitter* emitter) override {
+    for (const auto& route : c_->routes[input_index]) {
+      const auto& task = c_->tasks[route.task];
+      if (route.is_guard) {
+        if (!task.query.guard().Conforms(fact)) continue;
+        mr::Message msg;
+        msg.tag = kTagGuard;
+        if (c_->tuple_id_refs) {
+          // Ship the guard tuple to resolve the id at the reducer.
+          msg.payload = fact;
+          msg.wire_bytes =
+              kTagBytes + mr::TupleWireBytes(fact);
+          Tuple identity{Value::Int(static_cast<int64_t>(tuple_id))};
+          emitter->Emit(MakeKey(task.task_id, identity), std::move(msg));
+        } else {
+          msg.wire_bytes = kTagBytes;
+          emitter->Emit(MakeKey(task.task_id, fact), std::move(msg));
+        }
+      } else {
+        // Membership fact of X_{atom_index}: the fact IS the identity
+        // (an id in id mode, the guard tuple otherwise).
+        mr::Message msg;
+        msg.tag = kTagX;
+        msg.aux = route.atom_index;
+        msg.wire_bytes = kTagBytes + kSmallIdBytes;
+        emitter->Emit(MakeKey(task.task_id, fact), std::move(msg));
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledEval> c_;
+};
+
+class EvalReducer : public mr::Reducer {
+ public:
+  explicit EvalReducer(std::shared_ptr<const CompiledEval> c)
+      : c_(std::move(c)) {}
+
+  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+              mr::ReduceEmitter* emitter) override {
+    uint32_t task_id = static_cast<uint32_t>(key[0].AsInt());
+    const auto& task = c_->tasks[task_id];
+    const Tuple* guard_fact = nullptr;
+    truth_.assign(task.query.num_conditional_atoms(), false);
+    for (const mr::Message& m : values) {
+      if (m.tag == kTagGuard) {
+        if (guard_fact == nullptr) guard_fact = &m.payload;
+      } else if (m.tag == kTagX) {
+        truth_[m.aux] = true;
+      }
+    }
+    if (guard_fact == nullptr) {
+      // No guard fact for this key: X_i entries can only originate from
+      // guard facts, so this indicates a plan bug in full-tuple mode; in
+      // id mode it cannot happen either. Ignore defensively.
+      return;
+    }
+    bool keep = true;
+    if (task.query.has_condition()) {
+      keep = task.query.condition()->Evaluate(
+          [&](size_t i) { return truth_[i]; });
+    }
+    if (!keep) return;
+    const sgf::BsgfQuery& q = task.query;
+    Tuple out;
+    if (c_->tuple_id_refs) {
+      out = q.guard().Project(*guard_fact, q.select_vars());
+    } else {
+      // Key = (task_id, guard tuple); strip the prefix and project.
+      Tuple fact;
+      for (uint32_t i = 1; i < key.size(); ++i) fact.PushBack(key[i]);
+      out = q.guard().Project(fact, q.select_vars());
+    }
+    emitter->Emit(task.output_index, std::move(out));
+  }
+
+ private:
+  std::shared_ptr<const CompiledEval> c_;
+  std::vector<bool> truth_;
+};
+
+}  // namespace
+
+Result<mr::JobSpec> BuildEvalJob(const std::vector<EvalTask>& tasks,
+                                 const OpOptions& options,
+                                 const std::string& job_name) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("EVAL: no tasks");
+  }
+  auto compiled = std::make_shared<CompiledEval>();
+  compiled->tuple_id_refs = options.tuple_id_refs;
+
+  mr::JobSpec spec;
+  spec.name = job_name;
+  spec.pack_messages = options.pack_messages;
+
+  std::vector<std::string> inputs;
+  auto input_index_of = [&](const std::string& ds) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i] == ds) return i;
+    }
+    inputs.push_back(ds);
+    return inputs.size() - 1;
+  };
+
+  std::set<std::string> output_names;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const EvalTask& in = tasks[ti];
+    if (in.x_datasets.size() != in.query.num_conditional_atoms()) {
+      return Status::InvalidArgument(
+          "EVAL task " + in.query.output() + ": " +
+          std::to_string(in.x_datasets.size()) + " X datasets for " +
+          std::to_string(in.query.num_conditional_atoms()) + " atoms");
+    }
+    if (!output_names.insert(in.output_dataset).second) {
+      return Status::InvalidArgument("EVAL: duplicate output " +
+                                     in.output_dataset);
+    }
+    CompiledEval::Task task;
+    task.query = in.query;
+    task.task_id = static_cast<uint32_t>(ti);
+    task.output_index = ti;
+    compiled->tasks.push_back(std::move(task));
+
+    size_t gi = input_index_of(in.guard_dataset);
+    compiled->routes.resize(inputs.size());
+    compiled->routes[gi].push_back({ti, true, 0});
+    for (size_t ai = 0; ai < in.x_datasets.size(); ++ai) {
+      size_t xi = input_index_of(in.x_datasets[ai]);
+      compiled->routes.resize(inputs.size());
+      compiled->routes[xi].push_back({ti, false, static_cast<uint32_t>(ai)});
+    }
+
+    mr::JobOutput out;
+    out.dataset = in.output_dataset;
+    out.arity = in.query.OutputArity();
+    out.bytes_per_tuple = 10.0 * static_cast<double>(in.query.OutputArity());
+    out.dedupe = true;
+    spec.outputs.push_back(std::move(out));
+  }
+  compiled->routes.resize(inputs.size());
+  for (const std::string& ds : inputs) spec.inputs.push_back({ds});
+
+  spec.mapper_factory = [compiled] {
+    return std::make_unique<EvalMapper>(compiled);
+  };
+  spec.reducer_factory = [compiled] {
+    return std::make_unique<EvalReducer>(compiled);
+  };
+  return spec;
+}
+
+}  // namespace gumbo::ops

@@ -1,0 +1,51 @@
+// EVAL: the Boolean-combination MapReduce job (paper §4.3).
+//
+// EVAL(X0, phi) computes the guard tuples of X0 satisfying the Boolean
+// formula phi over the semi-join outputs X1..Xn: the mapper emits <a : i>
+// for each fact a in X_i (and <a : guard> for X0 itself); the reducer
+// evaluates phi on the set of indices present and outputs the SELECT
+// projection of the guard fact when it holds.
+//
+// Multiple formulas Y1 AND phi1, ..., Ym AND phim are evaluated in one job
+// (paper: EVAL(Y1, phi1, ..., Yn, phin)); keys are disambiguated by a task
+// id prefix.
+//
+// With the tuple-id optimization the X_i hold guard tuple ids; the guard
+// relation is re-read and shuffled once to resolve ids back to tuples
+// (paper §5.1, optimization (2)).
+#ifndef GUMBO_OPS_EVAL_H_
+#define GUMBO_OPS_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/job.h"
+#include "ops/msj.h"
+#include "sgf/bsgf.h"
+
+namespace gumbo::ops {
+
+/// One formula evaluation: the EVAL-side remainder of one BSGF query.
+struct EvalTask {
+  /// The BSGF query this task finalizes. Supplies the guard atom, the
+  /// select variables, and the condition tree.
+  sgf::BsgfQuery query;
+  /// Dataset the guard atom reads (usually query.guard().relation(), but
+  /// plans may redirect to an intermediate).
+  std::string guard_dataset;
+  /// Dataset of X_i for each conditional atom i of the query (same order
+  /// as query.conditional_atoms()).
+  std::vector<std::string> x_datasets;
+  /// Output dataset; receives the deduplicated SELECT projection.
+  std::string output_dataset;
+};
+
+/// Builds one MR job evaluating all `tasks`.
+Result<mr::JobSpec> BuildEvalJob(const std::vector<EvalTask>& tasks,
+                                 const OpOptions& options,
+                                 const std::string& job_name);
+
+}  // namespace gumbo::ops
+
+#endif  // GUMBO_OPS_EVAL_H_

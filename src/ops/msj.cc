@@ -1,0 +1,228 @@
+#include "ops/msj.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "ops/messages.h"
+
+namespace gumbo::ops {
+
+namespace {
+
+// Compiled form of an MSJ job, shared (read-only) by all mapper/reducer
+// instances.
+struct CompiledMsj {
+  struct Equation {
+    sgf::Atom guard;
+    sgf::Atom conditional;
+    std::vector<std::string> key_vars;  // join key, kappa-order
+    uint32_t cond_id = 0;               // canonical condition id
+    size_t output_index = 0;            // into JobSpec::outputs
+    double payload_bytes = 0.0;         // request payload wire size
+  };
+  std::vector<Equation> equations;
+  // Routing: per input dataset index, which equations read it as guard /
+  // as conditional.
+  std::vector<std::vector<size_t>> guard_eqs_of_input;
+  std::vector<std::vector<size_t>> cond_eqs_of_input;
+  size_t num_conditions = 0;
+  bool tuple_id_refs = true;
+};
+
+class MsjMapper : public mr::Mapper {
+ public:
+  explicit MsjMapper(std::shared_ptr<const CompiledMsj> c) : c_(std::move(c)) {}
+
+  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+           mr::MapEmitter* emitter) override {
+    // Guard role: one request per equation this fact guards.
+    for (size_t ei : c_->guard_eqs_of_input[input_index]) {
+      const auto& eq = c_->equations[ei];
+      if (!eq.guard.Conforms(fact)) continue;
+      mr::Message msg;
+      msg.tag = kTagRequest;
+      msg.aux = static_cast<uint32_t>(ei);
+      if (c_->tuple_id_refs) {
+        msg.payload = Tuple{Value::Int(static_cast<int64_t>(tuple_id))};
+      } else {
+        msg.payload = fact;
+      }
+      msg.wire_bytes = RequestWireBytes(eq.payload_bytes);
+      emitter->Emit(eq.guard.Project(fact, eq.key_vars), std::move(msg));
+    }
+    // Conditional role: one assert per *distinct* (condition id, key).
+    seen_.clear();
+    for (size_t ei : c_->cond_eqs_of_input[input_index]) {
+      const auto& eq = c_->equations[ei];
+      if (!eq.conditional.Conforms(fact)) continue;
+      Tuple key = eq.conditional.Project(fact, eq.key_vars);
+      bool duplicate = false;
+      for (const auto& [cid, k] : seen_) {
+        if (cid == eq.cond_id && k == key) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      seen_.emplace_back(eq.cond_id, key);
+      mr::Message msg;
+      msg.tag = kTagAssert;
+      msg.aux = eq.cond_id;
+      msg.wire_bytes = AssertWireBytes();
+      emitter->Emit(std::move(key), std::move(msg));
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledMsj> c_;
+  // Scratch: (cond_id, key) pairs asserted for the current fact.
+  std::vector<std::pair<uint32_t, Tuple>> seen_;
+};
+
+class MsjReducer : public mr::Reducer {
+ public:
+  explicit MsjReducer(std::shared_ptr<const CompiledMsj> c)
+      : c_(std::move(c)), asserted_(c_->num_conditions, false) {}
+
+  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+              mr::ReduceEmitter* emitter) override {
+    (void)key;
+    std::fill(asserted_.begin(), asserted_.end(), false);
+    for (const mr::Message& m : values) {
+      if (m.tag == kTagAssert) asserted_[m.aux] = true;
+    }
+    for (const mr::Message& m : values) {
+      if (m.tag != kTagRequest) continue;
+      const auto& eq = c_->equations[m.aux];
+      if (asserted_[eq.cond_id]) {
+        emitter->Emit(eq.output_index, m.payload);
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledMsj> c_;
+  std::vector<bool> asserted_;
+};
+
+}  // namespace
+
+Result<mr::JobSpec> BuildMsjJob(const std::vector<SemiJoinEquation>& equations,
+                                const OpOptions& options,
+                                const std::string& job_name) {
+  if (equations.empty()) {
+    return Status::InvalidArgument("MSJ: empty equation set");
+  }
+  // Output names pairwise distinct and disjoint from inputs.
+  std::set<std::string> outputs;
+  std::set<std::string> input_names;
+  for (const auto& eq : equations) {
+    if (!outputs.insert(eq.output).second) {
+      return Status::InvalidArgument("MSJ: duplicate output " + eq.output);
+    }
+    input_names.insert(eq.guard_dataset);
+    input_names.insert(eq.conditional_dataset);
+  }
+  for (const auto& out : outputs) {
+    if (input_names.count(out) > 0) {
+      return Status::InvalidArgument("MSJ: output " + out +
+                                     " also appears as an input");
+    }
+  }
+
+  auto compiled = std::make_shared<CompiledMsj>();
+  compiled->tuple_id_refs = options.tuple_id_refs;
+
+  mr::JobSpec spec;
+  spec.name = job_name;
+  spec.pack_messages = options.pack_messages;
+
+  // Distinct input datasets, in first-mention order.
+  std::vector<std::string> inputs;
+  auto input_index_of = [&](const std::string& ds) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i] == ds) return i;
+    }
+    inputs.push_back(ds);
+    return inputs.size() - 1;
+  };
+
+  // Condition ids: canonical signature -> id. The signature includes the
+  // dataset (two atoms over different relation instances never share).
+  std::map<std::string, uint32_t> cond_ids;
+
+  for (size_t ei = 0; ei < equations.size(); ++ei) {
+    const SemiJoinEquation& in = equations[ei];
+    CompiledMsj::Equation eq;
+    eq.guard = in.guard;
+    eq.conditional = in.conditional;
+    eq.key_vars = in.conditional.SharedVariables(in.guard);
+    std::string sig =
+        in.conditional_dataset + "|" +
+        in.conditional.ConditionSignature(eq.key_vars);
+    auto [it, inserted] =
+        cond_ids.emplace(sig, static_cast<uint32_t>(cond_ids.size()));
+    eq.cond_id = it->second;
+    eq.payload_bytes = options.tuple_id_refs
+                           ? kTupleIdBytes
+                           : 10.0 * static_cast<double>(in.guard.arity());
+    eq.output_index = ei;
+    compiled->equations.push_back(std::move(eq));
+
+    size_t gi = input_index_of(in.guard_dataset);
+    size_t ci = input_index_of(in.conditional_dataset);
+    compiled->guard_eqs_of_input.resize(inputs.size());
+    compiled->cond_eqs_of_input.resize(inputs.size());
+    compiled->guard_eqs_of_input[gi].push_back(ei);
+    compiled->cond_eqs_of_input[ci].push_back(ei);
+
+    mr::JobOutput out;
+    out.dataset = in.output;
+    out.arity = options.tuple_id_refs ? 1 : in.guard.arity();
+    out.bytes_per_tuple =
+        options.tuple_id_refs ? kTupleIdBytes
+                              : 10.0 * static_cast<double>(in.guard.arity());
+    out.dedupe = false;
+    spec.outputs.push_back(std::move(out));
+  }
+  compiled->guard_eqs_of_input.resize(inputs.size());
+  compiled->cond_eqs_of_input.resize(inputs.size());
+  compiled->num_conditions = cond_ids.size();
+
+  // Inputs plus estimator hints: per input, the (upper-bound) message
+  // count per tuple and the average message wire size, derived from the
+  // equations routed to it.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    mr::JobInput in;
+    in.dataset = inputs[i];
+    double msgs = 0.0;
+    double bytes = 0.0;
+    for (size_t ei : compiled->guard_eqs_of_input[i]) {
+      const auto& eq = compiled->equations[ei];
+      msgs += 1.0;
+      bytes += 10.0 * static_cast<double>(eq.key_vars.size()) +
+               RequestWireBytes(eq.payload_bytes);
+    }
+    for (size_t ei : compiled->cond_eqs_of_input[i]) {
+      const auto& eq = compiled->equations[ei];
+      msgs += 1.0;
+      bytes += 10.0 * static_cast<double>(eq.key_vars.size()) +
+               AssertWireBytes();
+    }
+    in.hint_messages_per_tuple = msgs;
+    in.hint_bytes_per_message = msgs > 0.0 ? bytes / msgs : 0.0;
+    spec.inputs.push_back(std::move(in));
+  }
+
+  spec.mapper_factory = [compiled] {
+    return std::make_unique<MsjMapper>(compiled);
+  };
+  spec.reducer_factory = [compiled] {
+    return std::make_unique<MsjReducer>(compiled);
+  };
+  return spec;
+}
+
+}  // namespace gumbo::ops

@@ -1,0 +1,63 @@
+// MSJ: the multi-semi-join MapReduce operator (paper §4.2, Algorithm 1).
+//
+// MSJ(S) evaluates a set S of semi-join equations
+//     X_i := pi(alpha_i |x kappa_i)
+// in ONE MapReduce job. The mapper emits, for every guard-conforming fact,
+// one Request message per equation (keyed by the equation's join key), and
+// for every conditional-conforming fact one Assert message per *distinct
+// condition* (keyed the same way). The reducer joins Requests with Asserts
+// and writes each X_i.
+//
+// Sharing effects captured exactly as in the paper:
+//  * guard sharing     — each input relation is read once per job;
+//  * condition sharing — equations whose conditional atoms have the same
+//    canonical signature w.r.t. their join key (Atom::ConditionSignature)
+//    share Assert messages (query A2's S(x), S(y), ... all assert "S");
+//  * key sharing       — message packing merges per-key messages into one
+//    record (query A3's S(x), T(x), U(x), V(x) share the key x).
+//
+// Output contents: each X_i holds, for every guard fact satisfying the
+// semi-join, either the full guard tuple (arity of the guard) or — with
+// the tuple-id optimization — the 8-byte id of the guard fact. The final
+// SELECT projection happens in the downstream EVAL job; projecting earlier
+// would be incorrect when distinct guard facts agree on the select
+// variables but satisfy different atoms (see DESIGN.md).
+#ifndef GUMBO_OPS_MSJ_H_
+#define GUMBO_OPS_MSJ_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/job.h"
+#include "sgf/atom.h"
+
+namespace gumbo::ops {
+
+/// One semi-join equation X := alpha |x kappa.
+struct SemiJoinEquation {
+  std::string output;     ///< dataset name for X
+  sgf::Atom guard;        ///< alpha
+  std::string guard_dataset;  ///< relation instance alpha reads
+  sgf::Atom conditional;  ///< kappa
+  std::string conditional_dataset;  ///< relation instance kappa reads
+};
+
+/// Operator-level options shared by MSJ / EVAL / 1-ROUND builders.
+struct OpOptions {
+  /// Gumbo §5.1 optimization (2): ship guard tuple ids instead of tuples.
+  bool tuple_id_refs = true;
+  /// Gumbo §5.1 optimization (1): message packing.
+  bool pack_messages = true;
+};
+
+/// Builds the single MR job computing every equation in `equations`.
+/// Requirements (checked): non-empty; pairwise distinct output names; no
+/// output name appears as an input dataset.
+Result<mr::JobSpec> BuildMsjJob(const std::vector<SemiJoinEquation>& equations,
+                                const OpOptions& options,
+                                const std::string& job_name);
+
+}  // namespace gumbo::ops
+
+#endif  // GUMBO_OPS_MSJ_H_

@@ -1,0 +1,340 @@
+#include "ops/one_round.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "ops/messages.h"
+
+namespace gumbo::ops {
+
+bool CanOneRound(const sgf::BsgfQuery& query) {
+  if (!query.has_condition()) return true;
+  if (query.AllAtomsShareJoinKey()) return true;
+  return query.condition()->IsDisjunctionOfLiterals();
+}
+
+namespace {
+
+// A key group: the conditional atoms sharing one join key, evaluated
+// together at a reducer.
+struct KeyGroup {
+  std::vector<std::string> key_vars;
+  enum class Mode {
+    kFullCondition,     // single group covering all atoms (case a)
+    kLocalDisjunction,  // OR of this group's literals (case b)
+    kUnconditional,     // no WHERE clause: emit always
+  };
+  Mode mode = Mode::kFullCondition;
+  /// Atoms in this group; `negated` applies in kLocalDisjunction mode.
+  struct Literal {
+    uint32_t atom_index = 0;
+    bool negated = false;
+    uint32_t cond_id = 0;  // per-group canonical condition id
+  };
+  std::vector<Literal> literals;
+  size_t num_cond_ids = 0;
+};
+
+struct CompiledOneRound {
+  struct Task {
+    sgf::BsgfQuery query;
+    std::vector<KeyGroup> groups;
+    size_t output_index = 0;
+    double payload_bytes = 0.0;  // SELECT projection wire size
+  };
+  std::vector<Task> tasks;
+  struct CondRoute {
+    size_t task;
+    size_t group;
+    uint32_t atom_index;
+    uint32_t cond_id;
+  };
+  // Input routing.
+  std::vector<std::vector<size_t>> guard_tasks_of_input;
+  std::vector<std::vector<CondRoute>> cond_routes_of_input;
+};
+
+// Key layout: (task_id, group_id, join-key values...).
+Tuple MakeKey(size_t task, size_t group, const Tuple& projected) {
+  Tuple key;
+  key.PushBack(Value::Int(static_cast<int64_t>(task)));
+  key.PushBack(Value::Int(static_cast<int64_t>(group)));
+  for (const Value& v : projected) key.PushBack(v);
+  return key;
+}
+
+class OneRoundMapper : public mr::Mapper {
+ public:
+  explicit OneRoundMapper(std::shared_ptr<const CompiledOneRound> c)
+      : c_(std::move(c)) {}
+
+  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+           mr::MapEmitter* emitter) override {
+    (void)tuple_id;
+    for (size_t ti : c_->guard_tasks_of_input[input_index]) {
+      const auto& task = c_->tasks[ti];
+      if (!task.query.guard().Conforms(fact)) continue;
+      Tuple projection =
+          task.query.guard().Project(fact, task.query.select_vars());
+      for (size_t gi = 0; gi < task.groups.size(); ++gi) {
+        mr::Message msg;
+        msg.tag = kTagRequest;
+        msg.payload = projection;
+        msg.wire_bytes = RequestWireBytes(task.payload_bytes);
+        emitter->Emit(
+            MakeKey(ti, gi,
+                    task.query.guard().Project(fact,
+                                               task.groups[gi].key_vars)),
+            std::move(msg));
+      }
+    }
+    seen_.clear();
+    for (const auto& route : c_->cond_routes_of_input[input_index]) {
+      const auto& task = c_->tasks[route.task];
+      const sgf::Atom& atom =
+          task.query.conditional_atoms()[route.atom_index];
+      if (!atom.Conforms(fact)) continue;
+      const KeyGroup& group = task.groups[route.group];
+      Tuple key =
+          MakeKey(route.task, route.group,
+                  atom.Project(fact, group.key_vars));
+      // Dedupe identical asserts for this fact (shared signatures).
+      bool dup = false;
+      for (const auto& [cid, k] : seen_) {
+        if (cid == route.cond_id && k == key) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      seen_.emplace_back(route.cond_id, key);
+      mr::Message msg;
+      msg.tag = kTagAssert;
+      msg.aux = route.cond_id;
+      msg.wire_bytes = AssertWireBytes();
+      emitter->Emit(std::move(key), std::move(msg));
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledOneRound> c_;
+  std::vector<std::pair<uint32_t, Tuple>> seen_;
+};
+
+class OneRoundReducer : public mr::Reducer {
+ public:
+  explicit OneRoundReducer(std::shared_ptr<const CompiledOneRound> c)
+      : c_(std::move(c)) {}
+
+  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+              mr::ReduceEmitter* emitter) override {
+    size_t ti = static_cast<size_t>(key[0].AsInt());
+    size_t gi = static_cast<size_t>(key[1].AsInt());
+    const auto& task = c_->tasks[ti];
+    const KeyGroup& group = task.groups[gi];
+    asserted_.assign(group.num_cond_ids, false);
+    for (const mr::Message& m : values) {
+      if (m.tag == kTagAssert) asserted_[m.aux] = true;
+    }
+    bool holds = false;
+    switch (group.mode) {
+      case KeyGroup::Mode::kUnconditional:
+        holds = true;
+        break;
+      case KeyGroup::Mode::kFullCondition: {
+        // truth of atom i = asserted[cond_id of i]; atoms are indexed by
+        // their position in the query.
+        holds = task.query.condition()->Evaluate([&](size_t atom) {
+          for (const auto& lit : group.literals) {
+            if (lit.atom_index == atom) return !!asserted_[lit.cond_id];
+          }
+          return false;  // unreachable: all atoms are in the single group
+        });
+        break;
+      }
+      case KeyGroup::Mode::kLocalDisjunction: {
+        for (const auto& lit : group.literals) {
+          bool truth = asserted_[lit.cond_id];
+          if (lit.negated ? !truth : truth) {
+            holds = true;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (!holds) return;
+    for (const mr::Message& m : values) {
+      if (m.tag == kTagRequest) emitter->Emit(task.output_index, m.payload);
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledOneRound> c_;
+  std::vector<bool> asserted_;
+};
+
+// Marks which atoms appear under NOT in a disjunction-of-literals tree.
+void CollectLiteralSigns(const sgf::Condition& c, std::vector<bool>* negated) {
+  switch (c.kind()) {
+    case sgf::Condition::Kind::kAtom:
+      return;
+    case sgf::Condition::Kind::kNot:
+      (*negated)[c.child()->atom_index()] = true;
+      return;
+    case sgf::Condition::Kind::kOr:
+      CollectLiteralSigns(*c.lhs(), negated);
+      CollectLiteralSigns(*c.rhs(), negated);
+      return;
+    case sgf::Condition::Kind::kAnd:
+      // Unreachable for IsDisjunctionOfLiterals inputs.
+      return;
+  }
+}
+
+}  // namespace
+
+Result<mr::JobSpec> BuildOneRoundJob(const std::vector<OneRoundTask>& tasks,
+                                     const OpOptions& options,
+                                     const std::string& job_name) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("1-ROUND: no tasks");
+  }
+  auto compiled = std::make_shared<CompiledOneRound>();
+
+  mr::JobSpec spec;
+  spec.name = job_name;
+  spec.pack_messages = options.pack_messages;
+
+  std::vector<std::string> inputs;
+  auto input_index_of = [&](const std::string& ds) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i] == ds) return i;
+    }
+    inputs.push_back(ds);
+    return inputs.size() - 1;
+  };
+  auto grow_routes = [&] {
+    compiled->guard_tasks_of_input.resize(inputs.size());
+    compiled->cond_routes_of_input.resize(inputs.size());
+  };
+
+  std::set<std::string> output_names;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const OneRoundTask& in = tasks[ti];
+    if (!CanOneRound(in.query)) {
+      return Status::FailedPrecondition(
+          "1-ROUND: query " + in.query.output() +
+          " does not qualify (mixed keys with conjunction)");
+    }
+    if (in.conditional_datasets.size() != in.query.num_conditional_atoms()) {
+      return Status::InvalidArgument(
+          "1-ROUND: dataset count mismatch for " + in.query.output());
+    }
+    if (!output_names.insert(in.output_dataset).second) {
+      return Status::InvalidArgument("1-ROUND: duplicate output " +
+                                     in.output_dataset);
+    }
+
+    CompiledOneRound::Task task;
+    task.query = in.query;
+    task.output_index = ti;
+    task.payload_bytes =
+        10.0 * static_cast<double>(in.query.select_vars().size());
+
+    // Build key groups.
+    const auto& atoms = in.query.conditional_atoms();
+    if (!in.query.has_condition()) {
+      KeyGroup g;
+      g.mode = KeyGroup::Mode::kUnconditional;
+      task.groups.push_back(std::move(g));
+    } else if (in.query.AllAtomsShareJoinKey()) {
+      KeyGroup g;
+      g.mode = KeyGroup::Mode::kFullCondition;
+      g.key_vars = in.query.JoinKeyOf(0);
+      std::map<std::string, uint32_t> ids;
+      for (uint32_t ai = 0; ai < atoms.size(); ++ai) {
+        std::string sig = in.conditional_datasets[ai] + "|" +
+                          atoms[ai].ConditionSignature(g.key_vars);
+        auto [it, ins] = ids.emplace(sig, static_cast<uint32_t>(ids.size()));
+        g.literals.push_back({ai, false, it->second});
+      }
+      g.num_cond_ids = ids.size();
+      task.groups.push_back(std::move(g));
+    } else {
+      // Disjunction of literals: group atoms by join key. Literal signs
+      // come from the condition tree (atom or NOT atom leaves).
+      std::vector<bool> negated(atoms.size(), false);
+      CollectLiteralSigns(*in.query.condition(), &negated);
+      std::map<std::vector<std::string>, size_t> group_of_key;
+      for (uint32_t ai = 0; ai < atoms.size(); ++ai) {
+        std::vector<std::string> kv = in.query.JoinKeyOf(ai);
+        auto [it, ins] = group_of_key.emplace(kv, task.groups.size());
+        if (ins) {
+          KeyGroup g;
+          g.mode = KeyGroup::Mode::kLocalDisjunction;
+          g.key_vars = kv;
+          task.groups.push_back(std::move(g));
+        }
+        KeyGroup& g = task.groups[it->second];
+        std::string sig = in.conditional_datasets[ai] + "|" +
+                          atoms[ai].ConditionSignature(g.key_vars);
+        // Per-group condition ids.
+        uint32_t cid = 0;
+        bool found = false;
+        for (const auto& lit : g.literals) {
+          std::string other_sig =
+              in.conditional_datasets[lit.atom_index] + "|" +
+              atoms[lit.atom_index].ConditionSignature(g.key_vars);
+          if (other_sig == sig) {
+            cid = lit.cond_id;
+            found = true;
+            break;
+          }
+        }
+        if (!found) cid = static_cast<uint32_t>(g.num_cond_ids++);
+        g.literals.push_back({ai, negated[ai], cid});
+      }
+    }
+
+    // Routing.
+    size_t gi = input_index_of(in.guard_dataset);
+    grow_routes();
+    compiled->guard_tasks_of_input[gi].push_back(ti);
+    for (uint32_t ai = 0; ai < atoms.size(); ++ai) {
+      size_t ii = input_index_of(in.conditional_datasets[ai]);
+      grow_routes();
+      // Find the group and cond id of this atom.
+      for (size_t g = 0; g < task.groups.size(); ++g) {
+        for (const auto& lit : task.groups[g].literals) {
+          if (lit.atom_index == ai) {
+            compiled->cond_routes_of_input[ii].push_back(
+                {ti, g, ai, lit.cond_id});
+          }
+        }
+      }
+    }
+    compiled->tasks.push_back(std::move(task));
+
+    mr::JobOutput out;
+    out.dataset = in.output_dataset;
+    out.arity = in.query.OutputArity();
+    out.bytes_per_tuple = 10.0 * static_cast<double>(in.query.OutputArity());
+    out.dedupe = true;
+    spec.outputs.push_back(std::move(out));
+  }
+  grow_routes();
+  for (const std::string& ds : inputs) spec.inputs.push_back({ds});
+
+  spec.mapper_factory = [compiled] {
+    return std::make_unique<OneRoundMapper>(compiled);
+  };
+  spec.reducer_factory = [compiled] {
+    return std::make_unique<OneRoundReducer>(compiled);
+  };
+  return spec;
+}
+
+}  // namespace gumbo::ops

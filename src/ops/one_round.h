@@ -1,0 +1,51 @@
+// 1-ROUND: the fused MSJ+EVAL job (paper §5.1, optimization (4)).
+//
+// A BSGF query can be answered in a single MapReduce job when, for every
+// guard fact, the truth of the WHERE condition is decidable at one reducer
+// (or decomposes into per-reducer disjuncts). Two cases:
+//
+//  (a) all conditional atoms share the same join key (e.g. query A3):
+//      the guard fact sends one request carrying its SELECT projection;
+//      the reducer sees every Assert relevant to the fact and evaluates
+//      the full condition;
+//  (b) the condition is a disjunction of literals (atoms / negated atoms),
+//      possibly with different keys: the guard fact sends one request per
+//      distinct key group; each reducer evaluates the OR of its local
+//      literals and emits on success; the union over reducers implements
+//      the disjunction (duplicates removed by the output dedupe).
+//
+// Queries with no WHERE clause degenerate to a projection job.
+#ifndef GUMBO_OPS_ONE_ROUND_H_
+#define GUMBO_OPS_ONE_ROUND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mr/job.h"
+#include "ops/msj.h"
+#include "sgf/bsgf.h"
+
+namespace gumbo::ops {
+
+/// Whether `query` qualifies for 1-ROUND evaluation.
+bool CanOneRound(const sgf::BsgfQuery& query);
+
+/// One fused single-job evaluation of a BSGF query.
+struct OneRoundTask {
+  sgf::BsgfQuery query;
+  std::string guard_dataset;
+  /// Dataset per conditional atom (same order as the query's atoms).
+  std::vector<std::string> conditional_datasets;
+  std::string output_dataset;
+};
+
+/// Builds one MR job evaluating all `tasks`; every task's query must
+/// satisfy CanOneRound.
+Result<mr::JobSpec> BuildOneRoundJob(const std::vector<OneRoundTask>& tasks,
+                                     const OpOptions& options,
+                                     const std::string& job_name);
+
+}  // namespace gumbo::ops
+
+#endif  // GUMBO_OPS_ONE_ROUND_H_

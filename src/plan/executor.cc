@@ -1,0 +1,50 @@
+#include "plan/executor.h"
+
+#include "sgf/naive_eval.h"
+
+namespace gumbo::plan {
+
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
+                                    Database* db) {
+  ExecutionResult result;
+  GUMBO_ASSIGN_OR_RETURN(result.stats,
+                         mr::RunProgram(plan.program, engine, db));
+  for (const std::string& name : plan.intermediates) {
+    db->Erase(name);
+  }
+  Metrics& m = result.metrics;
+  m.net_time = result.stats.net_time;
+  m.total_time = result.stats.total_time;
+  m.input_mb = result.stats.HdfsReadMb();
+  m.communication_mb = result.stats.ShuffleMb();
+  m.output_mb = result.stats.HdfsWriteMb();
+  m.jobs = static_cast<int>(result.stats.jobs.size());
+  m.rounds = result.stats.rounds;
+  return result;
+}
+
+Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
+                                         const Planner& planner,
+                                         mr::Engine* engine, Database* db) {
+  // Reference run first, on the pristine database.
+  GUMBO_ASSIGN_OR_RETURN(Database expected, sgf::NaiveEvalSgf(query, *db));
+
+  GUMBO_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query, *db));
+  GUMBO_ASSIGN_OR_RETURN(ExecutionResult result,
+                         ExecutePlan(plan, engine, db));
+
+  for (const auto& q : query.subqueries()) {
+    GUMBO_ASSIGN_OR_RETURN(const Relation* got, db->Get(q.output()));
+    GUMBO_ASSIGN_OR_RETURN(const Relation* want, expected.Get(q.output()));
+    if (!got->SetEquals(*want)) {
+      return Status::FailedPrecondition(
+          "strategy " + std::string(StrategyName(planner.options().strategy)) +
+          " produced wrong result for " + q.output() + ": got " +
+          std::to_string(got->size()) + " tuples, reference has " +
+          std::to_string(want->size()));
+    }
+  }
+  return result;
+}
+
+}  // namespace gumbo::plan

@@ -1,0 +1,46 @@
+// Plan execution: runs a QueryPlan's MR program, collects the paper's
+// metrics, cleans up intermediates, and (optionally) verifies results
+// against the naive reference evaluator.
+#ifndef GUMBO_PLAN_EXECUTOR_H_
+#define GUMBO_PLAN_EXECUTOR_H_
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "mr/program.h"
+#include "plan/planner.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::plan {
+
+/// The paper's four performance metrics (§5.1) plus bookkeeping.
+struct Metrics {
+  double net_time = 0.0;        ///< query submission -> final result
+  double total_time = 0.0;      ///< aggregate task time
+  double input_mb = 0.0;        ///< bytes read from HDFS over the plan
+  double communication_mb = 0.0;///< bytes shuffled mapper -> reducer
+  double output_mb = 0.0;
+  int jobs = 0;
+  int rounds = 0;
+};
+
+struct ExecutionResult {
+  Metrics metrics;
+  mr::ProgramStats stats;
+};
+
+/// Executes `plan` against `db` (which must hold the base relations).
+/// On success the produced output relations are left in `db` and all
+/// intermediate datasets are dropped.
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
+                                    Database* db);
+
+/// Plans + executes + verifies in one call: evaluates `query` under
+/// `planner`'s strategy and checks every produced relation against
+/// sgf::NaiveEvalSgf. Returns FailedPrecondition on any mismatch.
+Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
+                                         const Planner& planner,
+                                         mr::Engine* engine, Database* db);
+
+}  // namespace gumbo::plan
+
+#endif  // GUMBO_PLAN_EXECUTOR_H_

@@ -1,0 +1,84 @@
+// Strategy-based query planning: turns an SGF query into an executable
+// MapReduce program (paper §4.4–§4.7, §5).
+//
+// Strategies, matching the paper's experimental nomenclature:
+//   SEQ        — sequential semi-join chains per DNF clause (§5.2);
+//   PAR        — every semi-join in its own MSJ job, one EVAL (§5.2);
+//   GREEDY     — Greedy-BSGF grouping of semi-joins into MSJ jobs + EVAL;
+//   OPT        — brute-force optimal grouping (small queries);
+//   1-ROUND    — fused MSJ+EVAL single job (§5.1 opt (4); only for
+//                qualifying queries, see ops::CanOneRound);
+//   SEQUNIT    — nested SGF: one subquery at a time, PAR inside (§5.3);
+//   PARUNIT    — nested SGF: level by level, PAR inside (§5.3);
+//   GREEDY-SGF — Greedy-SGF multiway toposort, GREEDY inside (§4.6);
+//   OPT-SGF    — brute-force best multiway toposort, GREEDY inside.
+//
+// Flat strategies applied to nested queries operate level by level.
+#ifndef GUMBO_PLAN_PLANNER_H_
+#define GUMBO_PLAN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "cost/estimator.h"
+#include "mr/program.h"
+#include "ops/msj.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::plan {
+
+enum class Strategy {
+  kSeq,
+  kPar,
+  kGreedy,
+  kOpt,
+  kOneRound,
+  kSeqUnit,
+  kParUnit,
+  kGreedySgf,
+  kOptSgf,
+};
+
+const char* StrategyName(Strategy s);
+Result<Strategy> StrategyFromName(const std::string& name);
+
+struct PlannerOptions {
+  Strategy strategy = Strategy::kGreedy;
+  ops::OpOptions op;  ///< packing / tuple-id toggles (§5.1 opts (1),(2))
+  cost::CostModelVariant cost_variant = cost::CostModelVariant::kGumbo;
+  size_t sample_size = 1024;  ///< map-sampling size for cost estimation
+  size_t opt_max_n = 10;      ///< brute-force grouping limit
+};
+
+/// A fully-lowered plan: the MR program plus dataset bookkeeping.
+struct QueryPlan {
+  mr::Program program;
+  /// Output dataset per subquery (dataset name == subquery output name).
+  std::vector<std::string> outputs;
+  /// Intermediate datasets to drop after execution.
+  std::vector<std::string> intermediates;
+  /// Human-readable plan summary (one line per job).
+  std::string description;
+};
+
+class Planner {
+ public:
+  Planner(const cost::ClusterConfig& config, PlannerOptions options)
+      : config_(config), options_(std::move(options)) {}
+
+  const PlannerOptions& options() const { return options_; }
+
+  /// Plans `query` against the (base-relation) database `db`. The query
+  /// must validate (sgf::ValidateSgf).
+  Result<QueryPlan> Plan(const sgf::SgfQuery& query, const Database& db) const;
+
+ private:
+  cost::ClusterConfig config_;
+  PlannerOptions options_;
+};
+
+}  // namespace gumbo::plan
+
+#endif  // GUMBO_PLAN_PLANNER_H_

@@ -1,0 +1,173 @@
+#include "plan/toposort.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace gumbo::plan {
+
+size_t Overlap(const sgf::SgfQuery& query, size_t query_index,
+               const std::vector<size_t>& batch) {
+  std::set<std::string> mine;
+  for (const std::string& rel :
+       query.subqueries()[query_index].InputRelations()) {
+    mine.insert(rel);
+  }
+  std::set<std::string> shared;
+  for (size_t other : batch) {
+    for (const std::string& rel : query.subqueries()[other].InputRelations()) {
+      if (mine.count(rel) > 0) shared.insert(rel);
+    }
+  }
+  return shared.size();
+}
+
+bool IsValidMultiwaySort(const sgf::DependencyGraph& graph,
+                         const Batches& batches) {
+  const size_t n = graph.size();
+  std::vector<int> batch_of(n, -1);
+  size_t seen = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    for (size_t v : batches[b]) {
+      if (v >= n || batch_of[v] != -1) return false;
+      batch_of[v] = static_cast<int>(b);
+      ++seen;
+    }
+  }
+  if (seen != n) return false;
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v : graph.Successors(u)) {
+      if (batch_of[u] >= batch_of[v]) return false;
+    }
+  }
+  return true;
+}
+
+Result<Batches> GreedySgfSort(const sgf::SgfQuery& query) {
+  const size_t n = query.size();
+  if (n == 0) return Status::InvalidArgument("empty SGF query");
+  sgf::DependencyGraph graph = query.BuildDependencyGraph();
+  if (!graph.IsAcyclic()) {
+    return Status::InvalidArgument("dependency graph has a cycle");
+  }
+
+  std::vector<bool> red(n, false);
+  std::vector<int> batch_of(n, -1);
+  Batches batches;
+
+  for (size_t step = 0; step < n; ++step) {
+    // D: blue vertices with no blue predecessors.
+    std::vector<size_t> ready;
+    for (size_t v = 0; v < n; ++v) {
+      if (red[v]) continue;
+      bool ok = true;
+      for (size_t p : graph.Predecessors(v)) {
+        if (!red[p]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ready.push_back(v);
+    }
+    // Find (u, F_i) maximizing non-zero overlap subject to validity:
+    // every predecessor of u must lie strictly before batch i.
+    size_t best_u = ready.front();
+    int best_batch = -1;
+    size_t best_overlap = 0;
+    for (size_t u : ready) {
+      int min_batch = 0;  // earliest batch u may join
+      for (size_t p : graph.Predecessors(u)) {
+        min_batch = std::max(min_batch, batch_of[p] + 1);
+      }
+      for (size_t b = static_cast<size_t>(min_batch); b < batches.size();
+           ++b) {
+        size_t ov = Overlap(query, u, batches[b]);
+        if (ov > best_overlap) {
+          best_overlap = ov;
+          best_u = u;
+          best_batch = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_batch >= 0 && best_overlap > 0) {
+      batches[static_cast<size_t>(best_batch)].push_back(best_u);
+      batch_of[best_u] = best_batch;
+    } else {
+      // No positive overlap anywhere: open a new final batch.
+      batches.push_back({best_u});
+      batch_of[best_u] = static_cast<int>(batches.size()) - 1;
+    }
+    red[best_u] = true;
+  }
+  for (auto& b : batches) std::sort(b.begin(), b.end());
+  return batches;
+}
+
+namespace {
+
+// Builds batches front to back: the next batch is any non-empty subset of
+// the currently ready (all predecessors already placed) vertices. Every
+// multiway topological sort decomposes this way, so the enumeration is
+// complete; distinct choices give distinct sorts, so it is duplicate-free.
+Status EnumerateRec(const sgf::DependencyGraph& graph,
+                    std::vector<bool>* placed, size_t remaining,
+                    Batches* prefix, size_t limit, std::vector<Batches>* out) {
+  if (remaining == 0) {
+    if (out->size() >= limit) {
+      return Status::OutOfRange("too many multiway topological sorts");
+    }
+    out->push_back(*prefix);
+    return Status::Ok();
+  }
+  std::vector<size_t> ready;
+  for (size_t v = 0; v < graph.size(); ++v) {
+    if ((*placed)[v]) continue;
+    bool ok = true;
+    for (size_t p : graph.Predecessors(v)) {
+      if (!(*placed)[p]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ready.push_back(v);
+  }
+  if (ready.empty()) return Status::Internal("cycle during enumeration");
+  if (ready.size() > 20) {
+    return Status::OutOfRange("ready set too large to enumerate");
+  }
+  const uint32_t subsets = 1u << ready.size();
+  for (uint32_t mask = 1; mask < subsets; ++mask) {
+    std::vector<size_t> batch;
+    for (size_t k = 0; k < ready.size(); ++k) {
+      if (mask & (1u << k)) {
+        batch.push_back(ready[k]);
+        (*placed)[ready[k]] = true;
+      }
+    }
+    prefix->push_back(batch);
+    GUMBO_RETURN_IF_ERROR(EnumerateRec(graph, placed,
+                                       remaining - batch.size(), prefix,
+                                       limit, out));
+    prefix->pop_back();
+    for (size_t v : batch) (*placed)[v] = false;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<Batches>> EnumerateMultiwayTopoSorts(
+    const sgf::DependencyGraph& graph, size_t limit) {
+  if (!graph.IsAcyclic()) {
+    return Status::InvalidArgument("dependency graph has a cycle");
+  }
+  std::vector<Batches> out;
+  std::vector<bool> placed(graph.size(), false);
+  Batches prefix;
+  GUMBO_RETURN_IF_ERROR(
+      EnumerateRec(graph, &placed, graph.size(), &prefix, limit, &out));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gumbo::plan

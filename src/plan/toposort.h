@@ -1,0 +1,46 @@
+// Multiway topological sorts of an SGF query's dependency graph
+// (paper §4.6).
+//
+// A multiway topological sort (F1, ..., Fk) partitions the BSGF subqueries
+// into ordered batches such that every dependency crosses from an earlier
+// batch to a later one. SGF-Opt — finding the sort minimizing
+// sum_i cost(GOPT(F_i)) (Equation 10) — is NP-complete (Theorem 2).
+//
+//  * GreedySgfSort — the paper's Greedy-SGF: a blue/red sweep that places
+//    each ready vertex into the existing batch with which it has maximal
+//    non-zero relation overlap, appending a fresh batch otherwise;
+//  * EnumerateMultiwayTopoSorts — exhaustive enumeration (small queries,
+//    validation, and the OPT-SGF strategy).
+#ifndef GUMBO_PLAN_TOPOSORT_H_
+#define GUMBO_PLAN_TOPOSORT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::plan {
+
+/// Ordered batches of subquery indices.
+using Batches = std::vector<std::vector<size_t>>;
+
+/// Number of distinct relation names mentioned (as guard or conditional
+/// input) by both `query_index` and some member of `batch` (paper §4.6).
+/// Output names are not counted.
+size_t Overlap(const sgf::SgfQuery& query, size_t query_index,
+               const std::vector<size_t>& batch);
+
+/// Whether `batches` is a valid multiway topological sort of the graph.
+bool IsValidMultiwaySort(const sgf::DependencyGraph& graph,
+                         const Batches& batches);
+
+/// The paper's Greedy-SGF heuristic (O(n^3)).
+Result<Batches> GreedySgfSort(const sgf::SgfQuery& query);
+
+/// All multiway topological sorts, up to `limit` (fails beyond it).
+Result<std::vector<Batches>> EnumerateMultiwayTopoSorts(
+    const sgf::DependencyGraph& graph, size_t limit = 200000);
+
+}  // namespace gumbo::plan
+
+#endif  // GUMBO_PLAN_TOPOSORT_H_

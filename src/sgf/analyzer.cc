@@ -1,0 +1,132 @@
+#include "sgf/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace gumbo::sgf {
+
+namespace {
+
+Status CheckArityConsistency(const BsgfQuery& q,
+                             std::map<std::string, uint32_t>* arities) {
+  auto check = [&](const Atom& a) -> Status {
+    auto [it, inserted] = arities->emplace(a.relation(), a.arity());
+    if (!inserted && it->second != a.arity()) {
+      return Status::InvalidArgument(
+          "relation " + a.relation() + " used with arities " +
+          std::to_string(it->second) + " and " + std::to_string(a.arity()));
+    }
+    return Status::Ok();
+  };
+  GUMBO_RETURN_IF_ERROR(check(q.guard()));
+  for (const Atom& a : q.conditional_atoms()) {
+    GUMBO_RETURN_IF_ERROR(check(a));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateBsgf(const BsgfQuery& query) {
+  if (query.output().empty()) {
+    return Status::InvalidArgument("query has no output name");
+  }
+  if (query.select_vars().empty()) {
+    return Status::InvalidArgument(query.output() +
+                                   ": empty SELECT variable list");
+  }
+  // Select variables must occur in the guard.
+  for (const std::string& v : query.select_vars()) {
+    if (!query.guard().UsesVariable(v)) {
+      return Status::InvalidArgument(query.output() + ": select variable " +
+                                     v + " does not occur in the guard " +
+                                     query.guard().ToString());
+    }
+  }
+  // Condition atom indices must be in range, and every listed atom should
+  // be referenced by the condition.
+  if (query.has_condition()) {
+    std::vector<size_t> used;
+    query.condition()->CollectAtomIndices(&used);
+    for (size_t i : used) {
+      if (i >= query.num_conditional_atoms()) {
+        return Status::Internal(query.output() +
+                                ": condition references atom index " +
+                                std::to_string(i) + " out of range");
+      }
+    }
+    for (size_t i = 0; i < query.num_conditional_atoms(); ++i) {
+      if (std::find(used.begin(), used.end(), i) == used.end()) {
+        return Status::InvalidArgument(
+            query.output() + ": conditional atom " +
+            query.conditional_atoms()[i].ToString() +
+            " is not referenced by the condition");
+      }
+    }
+  } else if (query.num_conditional_atoms() > 0) {
+    return Status::Internal(query.output() +
+                            ": conditional atoms without a condition");
+  }
+  // Guardedness: two distinct conditional atoms may only share variables
+  // that occur in the guard.
+  const auto& atoms = query.conditional_atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms[i] == atoms[j]) continue;  // identical atoms are one atom
+      for (const std::string& v : atoms[i].Variables()) {
+        if (atoms[j].UsesVariable(v) && !query.guard().UsesVariable(v)) {
+          return Status::InvalidArgument(
+              query.output() + ": variable " + v + " shared by " +
+              atoms[i].ToString() + " and " + atoms[j].ToString() +
+              " does not occur in the guard (violates guardedness)");
+        }
+      }
+    }
+  }
+  // Arity consistency within the query.
+  std::map<std::string, uint32_t> arities;
+  return CheckArityConsistency(query, &arities);
+}
+
+Status ValidateSgf(const SgfQuery& query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("SGF query has no subqueries");
+  }
+  std::set<std::string> defined;
+  std::map<std::string, uint32_t> arities;
+  for (size_t i = 0; i < query.size(); ++i) {
+    const BsgfQuery& q = query.subqueries()[i];
+    GUMBO_RETURN_IF_ERROR(ValidateBsgf(q));
+    if (defined.count(q.output()) > 0) {
+      return Status::InvalidArgument("output " + q.output() +
+                                     " defined more than once");
+    }
+    // Forward references: any input produced by a *later* subquery.
+    for (const std::string& rel : q.InputRelations()) {
+      int producer = query.ProducerOf(rel);
+      if (producer >= 0 && static_cast<size_t>(producer) >= i) {
+        return Status::InvalidArgument(
+            q.output() + " references " + rel +
+            ", which is not defined by an earlier subquery");
+      }
+    }
+    // Output arity consistency with later uses.
+    auto [it, inserted] = arities.emplace(q.output(), q.OutputArity());
+    if (!inserted && it->second != q.OutputArity()) {
+      return Status::InvalidArgument(
+          "output " + q.output() + " arity " +
+          std::to_string(q.OutputArity()) + " conflicts with use of arity " +
+          std::to_string(it->second));
+    }
+    GUMBO_RETURN_IF_ERROR(CheckArityConsistency(q, &arities));
+    defined.insert(q.output());
+  }
+  if (!query.BuildDependencyGraph().IsAcyclic()) {
+    return Status::InvalidArgument("dependency graph has a cycle");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gumbo::sgf

@@ -1,0 +1,27 @@
+// Semantic validation of (B)SGF queries.
+//
+// Enforces the paper's well-formedness rules (§3.1):
+//  * select variables occur in the guard atom;
+//  * every pair of distinct conditional atoms shares only variables that
+//    occur in the guard (the guardedness restriction);
+//  * in an SGF query, each output name is defined once, subqueries only
+//    reference earlier outputs, and the dependency graph is acyclic;
+//  * arities are used consistently across all mentions of a relation.
+#ifndef GUMBO_SGF_ANALYZER_H_
+#define GUMBO_SGF_ANALYZER_H_
+
+#include "common/status.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::sgf {
+
+/// Validates a single basic query.
+Status ValidateBsgf(const BsgfQuery& query);
+
+/// Validates a full SGF query (validates each subquery, then the
+/// cross-subquery rules).
+Status ValidateSgf(const SgfQuery& query);
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_ANALYZER_H_

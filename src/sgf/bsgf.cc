@@ -1,0 +1,42 @@
+#include "sgf/bsgf.h"
+
+#include <algorithm>
+
+namespace gumbo::sgf {
+
+std::vector<std::string> BsgfQuery::InputRelations() const {
+  std::vector<std::string> out;
+  out.push_back(guard_.relation());
+  for (const Atom& a : conditional_atoms_) {
+    if (std::find(out.begin(), out.end(), a.relation()) == out.end()) {
+      out.push_back(a.relation());
+    }
+  }
+  return out;
+}
+
+bool BsgfQuery::AllAtomsShareJoinKey() const {
+  if (conditional_atoms_.size() <= 1) return true;
+  std::vector<std::string> key = JoinKeyOf(0);
+  for (size_t i = 1; i < conditional_atoms_.size(); ++i) {
+    if (JoinKeyOf(i) != key) return false;
+  }
+  return true;
+}
+
+std::string BsgfQuery::ToString(const Dictionary* dict) const {
+  std::string out = output_ + " := SELECT (";
+  for (size_t i = 0; i < select_vars_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_vars_[i];
+  }
+  out += ") FROM " + guard_.ToString(dict);
+  if (condition_ != nullptr) {
+    out += " WHERE " + condition_->ToString([&](size_t i) {
+      return conditional_atoms_[i].ToString(dict);
+    });
+  }
+  return out;
+}
+
+}  // namespace gumbo::sgf

@@ -1,0 +1,91 @@
+// BsgfQuery: a basic strictly-guarded-fragment query (paper §3.1, Eq. 1):
+//
+//   Z := SELECT x_bar FROM R(t_bar) [WHERE C];
+//
+// The guard is an atom; C is a Boolean combination of conditional atoms
+// subject to the guardedness restriction (variables shared between two
+// distinct conditional atoms must occur in the guard).
+#ifndef GUMBO_SGF_BSGF_H_
+#define GUMBO_SGF_BSGF_H_
+
+#include <string>
+#include <vector>
+
+#include "sgf/atom.h"
+#include "sgf/condition.h"
+
+namespace gumbo::sgf {
+
+class BsgfQuery {
+ public:
+  BsgfQuery() = default;
+
+  /// Builds a query. `condition` may be null (no WHERE clause); when
+  /// non-null its atom indices refer to `conditional_atoms`.
+  BsgfQuery(std::string output, std::vector<std::string> select_vars,
+            Atom guard, std::vector<Atom> conditional_atoms,
+            ConditionPtr condition)
+      : output_(std::move(output)),
+        select_vars_(std::move(select_vars)),
+        guard_(std::move(guard)),
+        conditional_atoms_(std::move(conditional_atoms)),
+        condition_(std::move(condition)) {}
+
+  BsgfQuery(const BsgfQuery& o) { *this = o; }
+  BsgfQuery& operator=(const BsgfQuery& o) {
+    if (this == &o) return *this;
+    output_ = o.output_;
+    select_vars_ = o.select_vars_;
+    guard_ = o.guard_;
+    conditional_atoms_ = o.conditional_atoms_;
+    condition_ = o.condition_ ? o.condition_->Clone() : nullptr;
+    return *this;
+  }
+  BsgfQuery(BsgfQuery&&) = default;
+  BsgfQuery& operator=(BsgfQuery&&) = default;
+
+  const std::string& output() const { return output_; }
+  const std::vector<std::string>& select_vars() const { return select_vars_; }
+  const Atom& guard() const { return guard_; }
+  const std::vector<Atom>& conditional_atoms() const {
+    return conditional_atoms_;
+  }
+  /// Null when there is no WHERE clause.
+  const Condition* condition() const { return condition_.get(); }
+
+  bool has_condition() const { return condition_ != nullptr; }
+  size_t num_conditional_atoms() const { return conditional_atoms_.size(); }
+
+  /// Output arity (|select_vars|).
+  uint32_t OutputArity() const {
+    return static_cast<uint32_t>(select_vars_.size());
+  }
+
+  /// All relation names this query reads: the guard plus all conditional
+  /// atoms' relations, deduplicated, in first-mention order.
+  std::vector<std::string> InputRelations() const;
+
+  /// The join key of conditional atom `i` with the guard: shared variables
+  /// in first-occurrence-in-kappa order (see Atom::SharedVariables).
+  std::vector<std::string> JoinKeyOf(size_t i) const {
+    return conditional_atoms_[i].SharedVariables(guard_);
+  }
+
+  /// True if every conditional atom has the same join key *variables* (in
+  /// the same canonical order) — one of the two situations in which the
+  /// fused 1-ROUND evaluation applies (paper §5.1, optimization (4)).
+  bool AllAtomsShareJoinKey() const;
+
+  std::string ToString(const Dictionary* dict = nullptr) const;
+
+ private:
+  std::string output_;
+  std::vector<std::string> select_vars_;
+  Atom guard_;
+  std::vector<Atom> conditional_atoms_;
+  ConditionPtr condition_;
+};
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_BSGF_H_

@@ -1,0 +1,31 @@
+// Naive single-machine reference evaluator for (B)SGF queries.
+//
+// Implements the paper's semantics (§3.1) directly: for every guard fact
+// conforming to the guard atom, evaluate the Boolean condition, where a
+// conditional atom kappa is true iff some kappa-conforming fact agrees with
+// the guard fact on the shared variables. Serves as ground truth for every
+// MapReduce strategy in the test suite.
+//
+// Complexity: O(|guard| * |condition|) after building one hash index per
+// conditional atom over its key projection.
+#ifndef GUMBO_SGF_NAIVE_EVAL_H_
+#define GUMBO_SGF_NAIVE_EVAL_H_
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::sgf {
+
+/// Evaluates one basic query against `db`, returning the output relation
+/// (deduplicated, sorted). Does not modify `db`.
+Result<Relation> NaiveEvalBsgf(const BsgfQuery& query, const Database& db);
+
+/// Evaluates a full SGF query: subqueries in order, each output added to a
+/// copy of the database so later subqueries can reference it. Returns a
+/// database holding *all* produced relations Z1..Zn.
+Result<Database> NaiveEvalSgf(const SgfQuery& query, const Database& db);
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_NAIVE_EVAL_H_

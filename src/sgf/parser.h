@@ -1,0 +1,41 @@
+// Parser for the paper's SQL-like SGF syntax.
+//
+// Grammar (paper §3.1, Example 1/2):
+//
+//   sgf        := statement+
+//   statement  := IDENT ":=" "SELECT" select_list "FROM" atom
+//                 [ "WHERE" condition ] ";"
+//   select_list:= var | "(" var ("," var)* ")"
+//   condition  := or_expr
+//   or_expr    := and_expr ( "OR" and_expr )*
+//   and_expr   := unary ( "AND" unary )*
+//   unary      := "NOT" unary | "(" condition ")" | atom
+//   atom       := IDENT "(" term ("," term)* ")"
+//   term       := var | INT | STRING
+//
+// Variables are identifiers starting with a lowercase letter; relation and
+// output names start with an uppercase letter. Keywords are
+// case-insensitive. String constants are double-quoted and interned into
+// the supplied Dictionary.
+#ifndef GUMBO_SGF_PARSER_H_
+#define GUMBO_SGF_PARSER_H_
+
+#include <string_view>
+
+#include "common/dictionary.h"
+#include "common/result.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::sgf {
+
+/// Parses a full SGF query (one or more ';'-terminated statements) and
+/// validates it with ValidateSgf. Error messages carry line/column info.
+Result<SgfQuery> ParseSgf(std::string_view text, Dictionary* dict);
+
+/// Parses exactly one statement into a BsgfQuery (trailing ';' optional)
+/// and validates it with ValidateBsgf.
+Result<BsgfQuery> ParseBsgf(std::string_view text, Dictionary* dict);
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_PARSER_H_

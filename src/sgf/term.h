@@ -1,0 +1,63 @@
+// Term: a variable or a data-value constant appearing in an atom.
+#ifndef GUMBO_SGF_TERM_H_
+#define GUMBO_SGF_TERM_H_
+
+#include <string>
+#include <utility>
+
+#include "common/dictionary.h"
+#include "common/value.h"
+
+namespace gumbo::sgf {
+
+/// A term is either a variable (named) or a constant (a Value from the
+/// domain D). See paper §3.1.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = v;
+    return t;
+  }
+  static Term ConstInt(int64_t v) { return Const(Value::Int(v)); }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// Variable name; valid only for variables.
+  const std::string& var() const { return var_; }
+  /// Constant value; valid only for constants.
+  Value value() const { return value_; }
+
+  bool operator==(const Term& o) const {
+    if (kind_ != o.kind_) return false;
+    return is_variable() ? var_ == o.var_ : value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  std::string ToString(const Dictionary* dict = nullptr) const {
+    if (is_variable()) return var_;
+    if (dict != nullptr) return dict->ToString(value_);
+    if (value_.is_int()) return std::to_string(value_.AsInt());
+    return "str#" + std::to_string(value_.string_id());
+  }
+
+ private:
+  Kind kind_ = Kind::kVariable;
+  std::string var_;
+  Value value_ = Value::Int(0);
+};
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_TERM_H_

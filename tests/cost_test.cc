@@ -1,0 +1,209 @@
+// Tests for the MapReduce cost model (§3.3) and the sampling estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/constants.h"
+#include "cost/estimator.h"
+#include "cost/model.h"
+#include "data/generator.h"
+#include "ops/msj.h"
+#include "test_util.h"
+
+namespace gumbo::cost {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+
+TEST(CostModelTest, LogDCeil) {
+  EXPECT_DOUBLE_EQ(LogDCeil(0.5, 10.0), 0.0);   // fits in buffer
+  EXPECT_DOUBLE_EQ(LogDCeil(1.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(LogDCeil(10.0, 10.0), 1.0);  // one merge pass
+  EXPECT_DOUBLE_EQ(LogDCeil(100.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(LogDCeil(99.2, 10.0), 2.0);  // ceil then log
+}
+
+TEST(CostModelTest, MapCostHandComputed) {
+  CostConstants c;  // paper Table 5 values
+  // Small output: no merge passes.
+  MapPartition p;
+  p.input_mb = 100.0;
+  p.output_mb = 100.0;
+  p.metadata_mb = 1.0;
+  p.num_mappers = 1;
+  // (101/409) < 1 -> merge 0; cost = 0.15*100 + 0 + 0.085*100 = 23.5.
+  EXPECT_NEAR(MapCost(c, p), 23.5, 1e-9);
+
+  // Large output: ceil(5000/409)=13 -> log10(13) passes.
+  p.output_mb = 5000.0;
+  p.metadata_mb = 0.0;
+  double merge = (0.03 + 0.085) * 5000.0 * std::log(13.0) / std::log(10.0);
+  EXPECT_NEAR(MapCost(c, p), 0.15 * 100.0 + merge + 0.085 * 5000.0, 1e-9);
+}
+
+TEST(CostModelTest, ReduceCostHandComputed) {
+  CostConstants c;
+  // M=1000 over 4 reducers: 250/512 < 1 -> no merge passes.
+  EXPECT_NEAR(ReduceCost(c, 1000.0, 300.0, 4),
+              0.017 * 1000.0 + 0.25 * 300.0, 1e-9);
+  // One reducer: ceil(1000/512)=2 -> log10(2).
+  double merge = (0.03 + 0.085) * 1000.0 * std::log(2.0) / std::log(10.0);
+  EXPECT_NEAR(ReduceCost(c, 1000.0, 300.0, 1),
+              0.017 * 1000.0 + merge + 0.25 * 300.0, 1e-9);
+}
+
+TEST(CostModelTest, GumboSeparatesPartitionsWangAggregates) {
+  CostConstants c;
+  // Two inputs with wildly different expansion: one emits 4000 MB from
+  // 100 MB, the other emits nothing. Per-partition accounting sees merge
+  // passes only on the hot input at its own task count; the aggregate
+  // model smears the data across all mappers, changing the merge term
+  // (this is the §3.3 / §5.2 discrepancy).
+  MapPartition hot;
+  hot.input_mb = 100.0;
+  hot.output_mb = 8000.0;
+  hot.metadata_mb = 400.0;
+  hot.num_mappers = 1;
+  MapPartition cold;
+  cold.input_mb = 400.0;
+  cold.output_mb = 0.0;
+  cold.metadata_mb = 0.0;
+  cold.num_mappers = 4;
+
+  double gumbo = JobCost(c, CostModelVariant::kGumbo, {hot, cold}, 10.0, 4);
+  double wang = JobCost(c, CostModelVariant::kWang, {hot, cold}, 10.0, 4);
+  EXPECT_GT(gumbo, wang);  // wang underestimates the hot input's merges
+}
+
+TEST(CostModelTest, VariantsAgreeOnUniformInputs) {
+  CostConstants c;
+  MapPartition a;
+  a.input_mb = 100.0;
+  a.output_mb = 100.0;
+  a.metadata_mb = 5.0;
+  a.num_mappers = 2;
+  MapPartition b = a;
+  double gumbo = JobCost(c, CostModelVariant::kGumbo, {a, b}, 10.0, 2);
+  double wang = JobCost(c, CostModelVariant::kWang, {a, b}, 10.0, 2);
+  EXPECT_NEAR(gumbo, wang, 1e-9);
+}
+
+TEST(CostModelTest, JobOverheadIncluded) {
+  CostConstants c;
+  c.job_overhead = 42.0;
+  EXPECT_NEAR(JobCost(c, CostModelVariant::kGumbo, {}, 0.0, 1), 42.0, 1e-9);
+}
+
+TEST(ClusterConfigTest, ScaledBytesPreservesRatios) {
+  ClusterConfig c;
+  ClusterConfig s = c.ScaledBytes(0.01);
+  EXPECT_NEAR(s.split_mb / s.mb_per_reducer, c.split_mb / c.mb_per_reducer,
+              1e-12);
+  EXPECT_NEAR(s.costs.buf_map_mb, c.costs.buf_map_mb * 0.01, 1e-12);
+  EXPECT_EQ(s.TotalMapSlots(), c.TotalMapSlots());
+}
+
+// ---- Estimator ---------------------------------------------------------------
+
+TEST(EstimatorTest, SamplingMatchesEngineShapeOnMsj) {
+  // Estimate an MSJ job by sampling and compare the input/intermediate
+  // profile against structural expectations.
+  data::GeneratorConfig g;
+  g.tuples = 2000;
+  g.representation_scale = 1.0;
+  Database db;
+  data::Generator gen(g);
+  db.Put(gen.Guard("R", 4));
+  db.Put(gen.Conditional("S", 1));
+
+  ops::SemiJoinEquation eq;
+  eq.output = "X";
+  eq.guard = sgf::Atom::Vars("R", {"x", "y", "z", "w"});
+  eq.guard_dataset = "R";
+  eq.conditional = sgf::Atom::Vars("S", {"x"});
+  eq.conditional_dataset = "S";
+  ops::OpOptions opt;
+  opt.pack_messages = false;  // exact per-message byte math below
+  auto job = ops::BuildMsjJob({eq}, opt, "j");
+  ASSERT_OK(job);
+
+  ClusterConfig config;
+  config.split_mb = 0.01;
+  StatsCatalog catalog;
+  CostEstimator est(config, CostModelVariant::kGumbo, &db, &catalog, 256);
+  auto e = est.EstimateJob(*job);
+  ASSERT_OK(e);
+  ASSERT_EQ(e->partitions.size(), 2u);
+  // Guard input: 2000 * 40 B.
+  EXPECT_NEAR(e->partitions[0].input_mb, 2000.0 * 40 / (1024.0 * 1024.0),
+              1e-9);
+  // Every guard tuple emits one request (key 10 B + msg 3 + 8 id).
+  EXPECT_NEAR(e->partitions[0].output_mb, 2000.0 * 21 / (1024.0 * 1024.0),
+              1e-6);
+  EXPECT_GT(e->cost, 0.0);
+}
+
+TEST(EstimatorTest, CatalogFallbackForUnmaterializedInputs) {
+  Database db;  // empty: forces the catalog path
+  StatsCatalog catalog;
+  RelationStats rs;
+  rs.tuples = 1000.0;
+  rs.bytes_per_tuple = 40.0;
+  catalog.Put("R", rs);
+  rs.bytes_per_tuple = 10.0;
+  catalog.Put("S", rs);
+
+  ops::SemiJoinEquation eq;
+  eq.output = "X";
+  eq.guard = sgf::Atom::Vars("R", {"x", "y", "z", "w"});
+  eq.guard_dataset = "R";
+  eq.conditional = sgf::Atom::Vars("S", {"x"});
+  eq.conditional_dataset = "S";
+  auto job = ops::BuildMsjJob({eq}, ops::OpOptions{}, "j");
+  ASSERT_OK(job);
+
+  ClusterConfig config;
+  CostEstimator est(config, CostModelVariant::kGumbo, &db, &catalog, 256);
+  auto e = est.EstimateJob(*job);
+  ASSERT_OK(e);
+  EXPECT_NEAR(e->partitions[0].input_mb, 1000.0 * 40 / (1024.0 * 1024.0),
+              1e-9);
+  EXPECT_GT(e->partitions[0].output_mb, 0.0);
+
+  // Missing from both db and catalog -> NotFound.
+  StatsCatalog empty;
+  CostEstimator bad(config, CostModelVariant::kGumbo, &db, &empty, 256);
+  EXPECT_FALSE(bad.EstimateJob(*job).ok());
+}
+
+TEST(EstimatorTest, ConstantFilterDetectedBySampling) {
+  // The §5.2 scenario: a conditional atom whose constant matches no tuple
+  // contributes zero intermediate data — visible to sampling, invisible
+  // to a naive size-proportional guess.
+  Database db;
+  db.Put(MakeRelation("R", 1, {{1}, {2}, {3}, {4}}));
+  Relation s("S", 2);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(s.Add(Tuple::Ints({i, i})));
+  }
+  db.Put(std::move(s));
+
+  ops::SemiJoinEquation eq;
+  eq.output = "X";
+  eq.guard = sgf::Atom::Vars("R", {"x"});
+  eq.guard_dataset = "R";
+  eq.conditional =
+      sgf::Atom("S", {sgf::Term::Var("x"), sgf::Term::ConstInt(424242)});
+  eq.conditional_dataset = "S";
+  auto job = ops::BuildMsjJob({eq}, ops::OpOptions{}, "j");
+  ASSERT_OK(job);
+  ClusterConfig config;
+  StatsCatalog catalog;
+  CostEstimator est(config, CostModelVariant::kGumbo, &db, &catalog, 64);
+  auto e = est.EstimateJob(*job);
+  ASSERT_OK(e);
+  EXPECT_DOUBLE_EQ(e->partitions[1].output_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace gumbo::cost

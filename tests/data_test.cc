@@ -1,0 +1,156 @@
+// Tests for the data generators and the paper's workload catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "sgf/analyzer.h"
+#include "sgf/naive_eval.h"
+#include "test_util.h"
+
+namespace gumbo::data {
+namespace {
+
+GeneratorConfig TestConfig(double selectivity = 0.5) {
+  GeneratorConfig g;
+  g.tuples = 5000;
+  g.representation_scale = 1.0;
+  g.selectivity = selectivity;
+  g.seed = 123;
+  return g;
+}
+
+TEST(GeneratorTest, GuardShape) {
+  Generator gen(TestConfig());
+  Relation r = gen.Guard("R", 4);
+  EXPECT_EQ(r.size(), 5000u);
+  EXPECT_EQ(r.arity(), 4u);
+  EXPECT_DOUBLE_EQ(r.bytes_per_tuple(), 40.0);
+  for (const Tuple& t : r.tuples()) {
+    for (const Value& v : t) {
+      EXPECT_GE(v.AsInt(), 0);
+      EXPECT_LT(v.AsInt(), 5000);
+    }
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  Generator a(TestConfig()), b(TestConfig());
+  EXPECT_EQ(a.Guard("R").tuples(), b.Guard("R").tuples());
+  EXPECT_EQ(a.Conditional("S").tuples(), b.Conditional("S").tuples());
+  // Different names give different data.
+  EXPECT_NE(a.Guard("R").tuples(), a.Guard("G").tuples());
+}
+
+TEST(GeneratorTest, SelectivityControlsMatchFraction) {
+  for (double sel : {0.1, 0.5, 0.9}) {
+    GeneratorConfig cfg = TestConfig(sel);
+    Generator gen(cfg);
+    Relation guard = gen.Guard("R", 1);
+    Relation cond = gen.Conditional("S", 1, sel);
+    std::set<Value> values;
+    for (const Tuple& t : cond.tuples()) values.insert(t[0]);
+    size_t matched = 0;
+    for (const Tuple& t : guard.tuples()) {
+      if (values.count(t[0]) > 0) ++matched;
+    }
+    double rate = static_cast<double>(matched) / guard.size();
+    EXPECT_NEAR(rate, sel, 0.05) << "selectivity " << sel;
+  }
+}
+
+TEST(GeneratorTest, ConditionalPadsWithNonMatchingValues) {
+  GeneratorConfig cfg = TestConfig(0.2);
+  Generator gen(cfg);
+  Relation cond = gen.Conditional("S", 1);
+  EXPECT_EQ(cond.size(), cfg.tuples);
+  size_t junk = 0;
+  for (const Tuple& t : cond.tuples()) {
+    if (t[0].AsInt() >= static_cast<int64_t>(cfg.Domain())) ++junk;
+  }
+  EXPECT_GT(junk, 0u);  // padding present at low selectivity
+}
+
+TEST(WorkloadTest, CatalogQueriesValidateAndEvaluate) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.tuples = 300;
+  for (int i = 1; i <= 5; ++i) {
+    auto w = MakeA(i, cfg);
+    ASSERT_OK(w);
+    ASSERT_OK(sgf::ValidateSgf(w->query));
+    ASSERT_OK(sgf::NaiveEvalSgf(w->query, w->db).status()) << w->name;
+  }
+  for (int i = 1; i <= 2; ++i) {
+    auto w = MakeB(i, cfg);
+    ASSERT_OK(w);
+    ASSERT_OK(sgf::NaiveEvalSgf(w->query, w->db).status()) << w->name;
+  }
+  for (int i = 1; i <= 4; ++i) {
+    auto w = MakeC(i, cfg);
+    ASSERT_OK(w);
+    ASSERT_OK(sgf::NaiveEvalSgf(w->query, w->db).status()) << w->name;
+  }
+  EXPECT_FALSE(MakeA(9, cfg).ok());
+  EXPECT_FALSE(MakeB(3, cfg).ok());
+  EXPECT_FALSE(MakeC(0, cfg).ok());
+}
+
+TEST(WorkloadTest, QueryShapes) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.tuples = 100;
+  auto b1 = MakeB(1, cfg);
+  ASSERT_OK(b1);
+  EXPECT_EQ(b1->query.subqueries()[0].num_conditional_atoms(), 16u);
+  auto b2 = MakeB(2, cfg);
+  ASSERT_OK(b2);
+  EXPECT_TRUE(b2->query.subqueries()[0].AllAtomsShareJoinKey());
+  auto a3 = MakeA(3, cfg);
+  ASSERT_OK(a3);
+  EXPECT_TRUE(a3->query.subqueries()[0].AllAtomsShareJoinKey());
+  auto a1 = MakeA(1, cfg);
+  ASSERT_OK(a1);
+  EXPECT_FALSE(a1->query.subqueries()[0].AllAtomsShareJoinKey());
+}
+
+TEST(WorkloadTest, CostModelQueryFiltersEverything) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.tuples = 100;
+  auto w = MakeCostModelQuery(cfg);
+  ASSERT_OK(w);
+  EXPECT_EQ(w->query.subqueries()[0].num_conditional_atoms(), 48u);
+  // The constant matches no tuple: the conjunctive condition fails
+  // everywhere, so the result is empty.
+  auto out = sgf::NaiveEvalSgf(w->query, w->db);
+  ASSERT_OK(out);
+  EXPECT_EQ(out->Get("Z").value()->size(), 0u);
+}
+
+TEST(WorkloadTest, A3FamilySizes) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.tuples = 100;
+  for (int k : {2, 5, 16}) {
+    auto w = MakeA3Family(k, cfg);
+    ASSERT_OK(w);
+    EXPECT_EQ(w->query.subqueries()[0].num_conditional_atoms(),
+              static_cast<size_t>(k));
+    EXPECT_TRUE(w->query.subqueries()[0].AllAtomsShareJoinKey());
+  }
+  EXPECT_FALSE(MakeA3Family(0, cfg).ok());
+}
+
+TEST(WorkloadTest, DependencyShapes) {
+  GeneratorConfig cfg = TestConfig();
+  cfg.tuples = 100;
+  auto c1 = MakeC(1, cfg);
+  ASSERT_OK(c1);
+  auto g = c1->query.BuildDependencyGraph();
+  // C1: Z1 -> Z3 -> Z5 (chained), Z2 and Z4 independent.
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 4));
+  EXPECT_TRUE(g.Predecessors(1).empty());
+  EXPECT_TRUE(g.Predecessors(3).empty());
+}
+
+}  // namespace
+}  // namespace gumbo::data

@@ -1,0 +1,239 @@
+// Tests for the simulated MapReduce engine and the program scheduler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mr/engine.h"
+#include "mr/program.h"
+#include "test_util.h"
+
+namespace gumbo::mr {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+using ::gumbo::testing::RowsOf;
+
+// A toy job: groups input tuples by first attribute and counts them.
+class CountMapper : public Mapper {
+ public:
+  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
+    Message m;
+    m.tag = 1;
+    m.wire_bytes = 4.0;
+    emitter->Emit(Tuple{fact[0]}, std::move(m));
+  }
+};
+
+class CountReducer : public Reducer {
+ public:
+  void Reduce(const Tuple& key, const std::vector<Message>& values,
+              ReduceEmitter* emitter) override {
+    Tuple out;
+    out.PushBack(key[0]);
+    out.PushBack(Value::Int(static_cast<int64_t>(values.size())));
+    emitter->Emit(0, std::move(out));
+  }
+};
+
+JobSpec CountJob(const std::string& in, const std::string& out) {
+  JobSpec spec;
+  spec.name = "count";
+  spec.inputs.push_back({in});
+  JobOutput o;
+  o.dataset = out;
+  o.arity = 2;
+  spec.outputs.push_back(o);
+  spec.mapper_factory = [] { return std::make_unique<CountMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<CountReducer>(); };
+  return spec;
+}
+
+cost::ClusterConfig SmallCluster() {
+  cost::ClusterConfig c;
+  c.nodes = 2;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.split_mb = 0.001;  // force several map tasks on tiny data
+  c.mb_per_reducer = 0.001;
+  return c;
+}
+
+TEST(EngineTest, GroupCountCorrectAcrossTasksAndReducers) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(r.Add(Tuple::Ints({i % 10, i})));
+  }
+  db.Put(std::move(r));
+
+  Engine engine(SmallCluster());
+  auto stats = engine.Run(CountJob("In", "Out"), &db);
+  ASSERT_OK(stats);
+  EXPECT_GT(stats->map_task_costs.size(), 1u);  // multiple map tasks
+  EXPECT_GT(stats->num_reducers, 1);            // multiple reducers
+
+  const Relation* out = db.Get("Out").value();
+  ASSERT_EQ(out->size(), 10u);
+  for (const Tuple& t : out->tuples()) {
+    EXPECT_EQ(t[1], Value::Int(100));  // each group has 100 members
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_OK(r.Add(Tuple::Ints({i % 7, i})));
+  }
+  db.Put(std::move(r));
+  Engine engine(SmallCluster());
+  ASSERT_OK(engine.Run(CountJob("In", "Out1"), &db).status());
+  ASSERT_OK(engine.Run(CountJob("In", "Out2"), &db).status());
+  const Relation* a = db.Get("Out1").value();
+  const Relation* b = db.Get("Out2").value();
+  EXPECT_EQ(a->tuples(), b->tuples());  // identical order, not just set
+}
+
+TEST(EngineTest, CountsBytesAndScale) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 100; ++i) ASSERT_OK(r.Add(Tuple::Ints({i, i})));
+  r.set_representation_scale(1000.0);  // 100 tuples stand for 100k
+  db.Put(std::move(r));
+
+  cost::ClusterConfig c;
+  Engine engine(c);
+  auto stats = engine.Run(CountJob("In", "Out"), &db);
+  ASSERT_OK(stats);
+  // Input: 100k represented tuples * 20 B = 2,000,000 B.
+  EXPECT_NEAR(stats->hdfs_read_mb, 2e6 / (1024.0 * 1024.0), 1e-9);
+  // Shuffle: packed by key; all keys distinct => 100k records * (10 key +
+  // 4 payload) B.
+  EXPECT_NEAR(stats->shuffle_mb, 100000.0 * 14.0 / (1024.0 * 1024.0), 1e-9);
+  // Output inherits the scale.
+  EXPECT_DOUBLE_EQ(db.Get("Out").value()->representation_scale(), 1000.0);
+}
+
+TEST(EngineTest, PackingReducesShuffleBytes) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_OK(r.Add(Tuple::Ints({i % 5, i})));  // 5 hot keys
+  }
+  db.Put(std::move(r));
+  Engine engine(cost::ClusterConfig{});
+
+  JobSpec packed = CountJob("In", "OutP");
+  packed.pack_messages = true;
+  JobSpec unpacked = CountJob("In", "OutU");
+  unpacked.pack_messages = false;
+
+  auto sp = engine.Run(packed, &db);
+  auto su = engine.Run(unpacked, &db);
+  ASSERT_OK(sp);
+  ASSERT_OK(su);
+  EXPECT_LT(sp->shuffle_mb, su->shuffle_mb);
+  // Same results either way.
+  EXPECT_TRUE(db.Get("OutP").value()->SetEquals(*db.Get("OutU").value()));
+}
+
+TEST(EngineTest, MissingInputFails) {
+  Database db;
+  Engine engine(cost::ClusterConfig{});
+  EXPECT_FALSE(engine.Run(CountJob("Nope", "Out"), &db).ok());
+}
+
+TEST(EngineTest, MismatchedScalesFail) {
+  Database db;
+  Relation a = MakeRelation("A", 1, {{1}});
+  Relation b = MakeRelation("B", 1, {{1}});
+  b.set_representation_scale(10.0);
+  db.Put(a);
+  db.Put(b);
+  JobSpec spec = CountJob("A", "Out");
+  spec.inputs.push_back({"B"});
+  Engine engine(cost::ClusterConfig{});
+  auto r = engine.Run(spec, &db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- Scheduler -------------------------------------------------------------
+
+JobStats FakeJob(const std::string& name, std::vector<double> maps,
+                 std::vector<double> reds, double overhead = 0.0) {
+  JobStats js;
+  js.job_name = name;
+  js.map_task_costs = std::move(maps);
+  js.reduce_task_costs = std::move(reds);
+  js.job_overhead = overhead;
+  return js;
+}
+
+TEST(SchedulerTest, SingleJobIsMapPlusReduce) {
+  cost::ClusterConfig c;
+  c.nodes = 1;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.costs.job_overhead = 1.0;
+  // 4 map tasks of 10 on 2 slots -> 2 waves = 20; then 1 reduce of 5.
+  std::vector<JobStats> jobs = {FakeJob("j", {10, 10, 10, 10}, {5})};
+  double net = SimulateNetTime(jobs, {{}}, c);
+  EXPECT_DOUBLE_EQ(net, 1.0 + 20.0 + 5.0);
+}
+
+TEST(SchedulerTest, IndependentJobsShareSlots) {
+  cost::ClusterConfig c;
+  c.nodes = 1;
+  c.map_slots_per_node = 2;
+  c.reduce_slots_per_node = 2;
+  c.costs.job_overhead = 0.0;
+  // Two independent jobs, each 2 maps of 10: with 2 slots total the maps
+  // serialize across jobs -> makespan 20 + reduce 5.
+  std::vector<JobStats> jobs = {FakeJob("a", {10, 10}, {5}),
+                                FakeJob("b", {10, 10}, {5})};
+  double net = SimulateNetTime(jobs, {{}, {}}, c);
+  EXPECT_DOUBLE_EQ(net, 25.0);
+  // With 4 slots they overlap fully.
+  c.map_slots_per_node = 4;
+  EXPECT_DOUBLE_EQ(SimulateNetTime(jobs, {{}, {}}, c), 15.0);
+}
+
+TEST(SchedulerTest, DependencyChainsSerialize) {
+  cost::ClusterConfig c;
+  c.nodes = 10;
+  c.map_slots_per_node = 10;
+  c.costs.job_overhead = 2.0;
+  std::vector<JobStats> jobs = {FakeJob("a", {10}, {5}),
+                                FakeJob("b", {10}, {5})};
+  // b depends on a: net = (2+10+5) + (2+10+5).
+  double net = SimulateNetTime(jobs, {{}, {0}}, c);
+  EXPECT_DOUBLE_EQ(net, 34.0);
+}
+
+TEST(SchedulerTest, ReduceWaitsForAllMaps) {
+  cost::ClusterConfig c;
+  c.nodes = 1;
+  c.map_slots_per_node = 4;
+  c.reduce_slots_per_node = 4;
+  c.costs.job_overhead = 0.0;
+  // Straggler map of 100 gates the reduce phase (slowstart = 1).
+  std::vector<JobStats> jobs = {FakeJob("j", {1, 1, 1, 100}, {1})};
+  EXPECT_DOUBLE_EQ(SimulateNetTime(jobs, {{}}, c), 101.0);
+}
+
+TEST(ProgramTest, RoundsIsLongestChain) {
+  Program p;
+  JobSpec s;
+  s.name = "x";
+  s.mapper_factory = [] { return nullptr; };
+  s.reducer_factory = [] { return nullptr; };
+  size_t a = p.AddJob(s);
+  size_t b = p.AddJob(s);
+  size_t cjob = p.AddJob(s, {a, b});
+  p.AddJob(s, {cjob});
+  EXPECT_EQ(p.Rounds(), 3);
+}
+
+}  // namespace
+}  // namespace gumbo::mr

@@ -1,0 +1,336 @@
+// Tests for the MapReduce operators (MSJ, EVAL, 1-ROUND, chain steps):
+// every operator is validated against the naive reference evaluator.
+#include <gtest/gtest.h>
+
+#include "mr/engine.h"
+#include "mr/program.h"
+#include "ops/chain.h"
+#include "ops/eval.h"
+#include "ops/msj.h"
+#include "ops/one_round.h"
+#include "sgf/naive_eval.h"
+#include "test_util.h"
+
+namespace gumbo::ops {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+using ::gumbo::testing::ParseBsgfOrDie;
+using ::gumbo::testing::RowsOf;
+
+cost::ClusterConfig TestCluster() {
+  cost::ClusterConfig c;
+  c.split_mb = 0.0005;  // several map tasks even on tiny relations
+  c.mb_per_reducer = 0.0005;
+  return c;
+}
+
+Database IntroDb() {
+  Database db;
+  db.Put(MakeRelation("R", 2, {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}}));
+  db.Put(MakeRelation("S", 2, {{1, 2}, {3, 2}, {4, 5}}));
+  db.Put(MakeRelation("T", 2, {{1, 9}, {3, 7}, {5, 5}}));
+  return db;
+}
+
+// Runs MSJ for all equations of `query` (in one job), then EVAL; returns
+// the output relation.
+Result<Relation> RunTwoRound(const sgf::BsgfQuery& query, Database db,
+                             const OpOptions& options) {
+  std::vector<SemiJoinEquation> eqs;
+  EvalTask eval_task;
+  eval_task.query = query;
+  eval_task.guard_dataset = query.guard().relation();
+  eval_task.output_dataset = query.output();
+  for (size_t i = 0; i < query.num_conditional_atoms(); ++i) {
+    SemiJoinEquation eq;
+    eq.output = "__x" + std::to_string(i);
+    eq.guard = query.guard();
+    eq.guard_dataset = query.guard().relation();
+    eq.conditional = query.conditional_atoms()[i];
+    eq.conditional_dataset = query.conditional_atoms()[i].relation();
+    eval_task.x_datasets.push_back(eq.output);
+    eqs.push_back(std::move(eq));
+  }
+  mr::Program program;
+  GUMBO_ASSIGN_OR_RETURN(mr::JobSpec msj, BuildMsjJob(eqs, options, "msj"));
+  size_t j = program.AddJob(std::move(msj));
+  GUMBO_ASSIGN_OR_RETURN(mr::JobSpec eval,
+                         BuildEvalJob({eval_task}, options, "eval"));
+  program.AddJob(std::move(eval), {j});
+  mr::Engine engine(TestCluster());
+  GUMBO_RETURN_IF_ERROR(mr::RunProgram(program, &engine, &db).status());
+  GUMBO_ASSIGN_OR_RETURN(const Relation* out, db.Get(query.output()));
+  return *out;
+}
+
+void ExpectMatchesNaive(const std::string& text, const Database& db,
+                        const OpOptions& options) {
+  sgf::BsgfQuery q = ParseBsgfOrDie(text);
+  auto expected = sgf::NaiveEvalBsgf(q, db);
+  ASSERT_OK(expected);
+  auto got = RunTwoRound(q, db, options);
+  ASSERT_OK(got);
+  EXPECT_TRUE(got->SetEquals(*expected))
+      << "query: " << text << "\n got " << got->size() << " tuples, want "
+      << expected->size();
+}
+
+TEST(MsjEvalTest, IntroQueryBothPayloadModes) {
+  const char* q =
+      "Z := SELECT (x, y) FROM R(x, y) "
+      "WHERE (S(x, y) OR S(y, x)) AND T(x, z);";
+  for (bool ids : {true, false}) {
+    OpOptions opt;
+    opt.tuple_id_refs = ids;
+    ExpectMatchesNaive(q, IntroDb(), opt);
+  }
+}
+
+TEST(MsjEvalTest, NegationRequiresGuardPresence) {
+  // Tuples matching NO atom must still be evaluated (NOT S).
+  ExpectMatchesNaive("Z := SELECT (x, y) FROM R(x, y) WHERE NOT S(x, y);",
+                     IntroDb(), OpOptions{});
+}
+
+TEST(MsjEvalTest, EarlyProjectionWouldBeWrong) {
+  // Two guard tuples agree on x but satisfy different atoms; projecting
+  // before EVAL would wrongly emit x=1. Guards against the §4.2 pitfall
+  // discussed in DESIGN.md.
+  Database db;
+  db.Put(MakeRelation("R", 2, {{1, 10}, {1, 20}}));
+  db.Put(MakeRelation("S", 1, {{10}}));
+  db.Put(MakeRelation("T", 1, {{20}}));
+  ExpectMatchesNaive("Z := SELECT x FROM R(x, y) WHERE S(y) AND T(y);", db,
+                     OpOptions{});
+  // And verify the expected answer is indeed empty.
+  auto q = ParseBsgfOrDie("Z := SELECT x FROM R(x, y) WHERE S(y) AND T(y);");
+  auto expected = sgf::NaiveEvalBsgf(q, db);
+  ASSERT_OK(expected);
+  EXPECT_EQ(expected->size(), 0u);
+}
+
+TEST(MsjEvalTest, SharedConditionSignatures) {
+  // A2-style: same relation tested on four different guard columns.
+  Database db;
+  db.Put(MakeRelation("G", 4, {{1, 2, 3, 4}, {5, 5, 5, 5}, {9, 9, 9, 9}}));
+  db.Put(MakeRelation("S", 1, {{1}, {2}, {3}, {4}, {5}}));
+  ExpectMatchesNaive(
+      "Z := SELECT (x, y, z, w) FROM G(x, y, z, w) "
+      "WHERE S(x) AND S(y) AND S(z) AND S(w);",
+      db, OpOptions{});
+}
+
+TEST(MsjEvalTest, SharedKeysAcrossConditions) {
+  // A3-style: different relations, same key.
+  Database db;
+  db.Put(MakeRelation("G", 4, {{1, 2, 3, 4}, {2, 1, 1, 1}, {7, 0, 0, 0}}));
+  db.Put(MakeRelation("S", 1, {{1}, {7}}));
+  db.Put(MakeRelation("T", 1, {{1}, {2}}));
+  db.Put(MakeRelation("U", 1, {{2}, {7}}));
+  ExpectMatchesNaive(
+      "Z := SELECT (x, y, z, w) FROM G(x, y, z, w) "
+      "WHERE S(x) AND (T(x) OR NOT U(x));",
+      db, OpOptions{});
+}
+
+TEST(MsjEvalTest, GuardAlsoConditional) {
+  // The same relation appears as guard and conditional.
+  Database db;
+  db.Put(MakeRelation("R", 2, {{1, 2}, {2, 1}, {3, 4}}));
+  ExpectMatchesNaive("Z := SELECT (x, y) FROM R(x, y) WHERE R(y, x);", db,
+                     OpOptions{});
+}
+
+TEST(MsjEvalTest, EmptyConditionalRelation) {
+  Database db = IntroDb();
+  db.Put(Relation("E", 1));
+  ExpectMatchesNaive("Z := SELECT x FROM R(x, y) WHERE NOT E(x);", db,
+                     OpOptions{});
+  ExpectMatchesNaive("Z := SELECT x FROM R(x, y) WHERE E(x);", db,
+                     OpOptions{});
+}
+
+TEST(MsjEvalTest, CrossConditionNoSharedVars) {
+  // Conditional atom sharing no variable with the guard: existential
+  // "relation is non-empty" semantics; exercises the empty join key.
+  Database db;
+  db.Put(MakeRelation("R", 1, {{1}, {2}}));
+  db.Put(MakeRelation("S", 1, {{9}}));
+  db.Put(Relation("E", 1));
+  ExpectMatchesNaive("Z := SELECT x FROM R(x) WHERE S(q);", db, OpOptions{});
+  ExpectMatchesNaive("Z := SELECT x FROM R(x) WHERE E(q);", db, OpOptions{});
+  ExpectMatchesNaive("Z := SELECT x FROM R(x) WHERE NOT E(q);", db,
+                     OpOptions{});
+}
+
+TEST(MsjTest, RejectsDuplicateOutputs) {
+  SemiJoinEquation eq;
+  eq.output = "X";
+  eq.guard = sgf::Atom::Vars("R", {"x"});
+  eq.guard_dataset = "R";
+  eq.conditional = sgf::Atom::Vars("S", {"x"});
+  eq.conditional_dataset = "S";
+  auto r = BuildMsjJob({eq, eq}, OpOptions{}, "bad");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MsjTest, RejectsOutputShadowingInput) {
+  SemiJoinEquation eq;
+  eq.output = "S";  // collides with the conditional input
+  eq.guard = sgf::Atom::Vars("R", {"x"});
+  eq.guard_dataset = "R";
+  eq.conditional = sgf::Atom::Vars("S", {"x"});
+  eq.conditional_dataset = "S";
+  EXPECT_FALSE(BuildMsjJob({eq}, OpOptions{}, "bad").ok());
+}
+
+// ---- 1-ROUND ---------------------------------------------------------------
+
+TEST(OneRoundTest, QualificationRules) {
+  EXPECT_TRUE(CanOneRound(ParseBsgfOrDie(
+      "Z := SELECT x FROM R(x, y) WHERE S(x) AND T(x) AND NOT U(x);")));
+  EXPECT_TRUE(CanOneRound(ParseBsgfOrDie(
+      "Z := SELECT x FROM R(x, y) WHERE S(x) OR NOT T(y);")));
+  EXPECT_FALSE(CanOneRound(ParseBsgfOrDie(
+      "Z := SELECT x FROM R(x, y) WHERE S(x) AND T(y);")));
+  EXPECT_TRUE(CanOneRound(ParseBsgfOrDie("Z := SELECT x FROM R(x, y);")));
+}
+
+Result<Relation> RunOneRound(const sgf::BsgfQuery& query, Database db) {
+  OneRoundTask task;
+  task.query = query;
+  task.guard_dataset = query.guard().relation();
+  for (const auto& a : query.conditional_atoms()) {
+    task.conditional_datasets.push_back(a.relation());
+  }
+  task.output_dataset = query.output();
+  GUMBO_ASSIGN_OR_RETURN(mr::JobSpec spec,
+                         BuildOneRoundJob({task}, OpOptions{}, "1round"));
+  mr::Engine engine(TestCluster());
+  GUMBO_RETURN_IF_ERROR(engine.Run(spec, &db).status());
+  GUMBO_ASSIGN_OR_RETURN(const Relation* out, db.Get(query.output()));
+  return *out;
+}
+
+void ExpectOneRoundMatchesNaive(const std::string& text, const Database& db) {
+  sgf::BsgfQuery q = ParseBsgfOrDie(text);
+  auto expected = sgf::NaiveEvalBsgf(q, db);
+  ASSERT_OK(expected);
+  auto got = RunOneRound(q, db);
+  ASSERT_OK(got);
+  EXPECT_TRUE(got->SetEquals(*expected))
+      << "query: " << text << "\n got " << got->size() << ", want "
+      << expected->size();
+}
+
+TEST(OneRoundTest, SharedKeyFullCondition) {
+  Database db;
+  db.Put(MakeRelation("G", 4, {{1, 2, 3, 4}, {2, 1, 1, 1}, {7, 0, 0, 0}}));
+  db.Put(MakeRelation("S", 1, {{1}, {7}}));
+  db.Put(MakeRelation("T", 1, {{1}, {2}}));
+  db.Put(MakeRelation("U", 1, {{2}, {7}}));
+  ExpectOneRoundMatchesNaive(
+      "Z := SELECT (x, y, z, w) FROM G(x, y, z, w) "
+      "WHERE (S(x) AND NOT T(x)) OR U(x);",
+      db);
+}
+
+TEST(OneRoundTest, DisjunctionOfLiteralsAcrossKeys) {
+  Database db = IntroDb();
+  ExpectOneRoundMatchesNaive(
+      "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, q) OR NOT T(y, p);", db);
+}
+
+TEST(OneRoundTest, ProjectionOnly) {
+  Database db;
+  db.Put(MakeRelation("R", 3, {{1, 2, 4}, {3, 4, 4}, {5, 6, 7}, {8, 9, 4}}));
+  ExpectOneRoundMatchesNaive("Z := SELECT y FROM R(x, y, 4);", db);
+}
+
+TEST(OneRoundTest, RefusesNonQualifyingQuery) {
+  sgf::BsgfQuery q = ParseBsgfOrDie(
+      "Z := SELECT x FROM R(x, y) WHERE S(x) AND T(y);");
+  OneRoundTask task;
+  task.query = q;
+  task.guard_dataset = "R";
+  task.conditional_datasets = {"S", "T"};
+  task.output_dataset = "Z";
+  EXPECT_FALSE(BuildOneRoundJob({task}, OpOptions{}, "bad").ok());
+}
+
+// ---- Chain steps (SEQ) -----------------------------------------------------
+
+TEST(ChainTest, SemijoinThenAntijoin) {
+  Database db = IntroDb();
+  // Z := R |x S(x,q) then anti-join T(x,p): matches naive for
+  // "S(x,q) AND NOT T(x,p)".
+  sgf::BsgfQuery q = ParseBsgfOrDie(
+      "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, q) AND NOT T(x, p);");
+  auto expected = sgf::NaiveEvalBsgf(q, db);
+  ASSERT_OK(expected);
+
+  ChainStepSpec s1;
+  s1.guard = q.guard();
+  s1.input_dataset = "R";
+  s1.conditional = q.conditional_atoms()[0];
+  s1.conditional_dataset = "S";
+  s1.positive = true;
+  s1.filter_guard_pattern = true;
+  s1.output_dataset = "__c1";
+
+  ChainStepSpec s2;
+  s2.guard = q.guard();
+  s2.input_dataset = "__c1";
+  s2.conditional = q.conditional_atoms()[1];
+  s2.conditional_dataset = "T";
+  s2.positive = false;
+  s2.emit_projection = true;
+  s2.select_vars = q.select_vars();
+  s2.output_dataset = "Z";
+
+  mr::Program program;
+  auto j1 = BuildChainStepJob(s1, "step1");
+  ASSERT_OK(j1);
+  size_t id1 = program.AddJob(std::move(*j1));
+  auto j2 = BuildChainStepJob(s2, "step2");
+  ASSERT_OK(j2);
+  program.AddJob(std::move(*j2), {id1});
+
+  mr::Engine engine(TestCluster());
+  ASSERT_OK(mr::RunProgram(program, &engine, &db).status());
+  EXPECT_TRUE(db.Get("Z").value()->SetEquals(*expected));
+}
+
+TEST(ChainTest, IntermediateShrinks) {
+  Database db = IntroDb();
+  ChainStepSpec s1;
+  s1.guard = sgf::Atom::Vars("R", {"x", "y"});
+  s1.input_dataset = "R";
+  s1.conditional = sgf::Atom::Vars("S", {"x", "q"});
+  s1.conditional_dataset = "S";
+  s1.positive = true;
+  s1.filter_guard_pattern = true;
+  s1.output_dataset = "__c";
+  auto job = BuildChainStepJob(s1, "s");
+  ASSERT_OK(job);
+  mr::Engine engine(TestCluster());
+  ASSERT_OK(engine.Run(*job, &db).status());
+  EXPECT_LT(db.Get("__c").value()->size(), db.Get("R").value()->size());
+}
+
+TEST(ChainTest, UnionProjectDedupes) {
+  Database db;
+  db.Put(MakeRelation("C1", 2, {{1, 2}, {3, 4}}));
+  db.Put(MakeRelation("C2", 2, {{3, 4}, {5, 6}}));
+  auto job = BuildUnionProjectJob({"C1", "C2"}, sgf::Atom::Vars("R", {"x", "y"}),
+                                  {"x"}, "Z", "union");
+  ASSERT_OK(job);
+  mr::Engine engine(TestCluster());
+  ASSERT_OK(engine.Run(*job, &db).status());
+  EXPECT_EQ(RowsOf(*db.Get("Z").value()),
+            (std::vector<std::vector<int64_t>>{{1}, {3}, {5}}));
+}
+
+}  // namespace
+}  // namespace gumbo::ops

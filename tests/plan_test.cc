@@ -1,0 +1,382 @@
+// Tests for the planning layer: grouping (Greedy-BSGF vs optimal),
+// multiway topological sorts (Greedy-SGF vs enumeration; paper Example 5),
+// the strategy planner, and the Pig/Hive baselines — all verified against
+// the naive reference evaluator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/baselines.h"
+#include "data/generator.h"
+#include "data/workloads.h"
+#include "plan/executor.h"
+#include "plan/grouping.h"
+#include "plan/planner.h"
+#include "plan/toposort.h"
+#include "sgf/naive_eval.h"
+#include "test_util.h"
+
+namespace gumbo::plan {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+using ::gumbo::testing::ParseSgfOrDie;
+
+cost::ClusterConfig TestCluster() {
+  cost::ClusterConfig c;
+  c.split_mb = 0.0005;
+  c.mb_per_reducer = 0.0005;
+  return c;
+}
+
+data::GeneratorConfig SmallData() {
+  data::GeneratorConfig g;
+  g.tuples = 400;
+  g.representation_scale = 1.0;
+  g.seed = 7;
+  return g;
+}
+
+// ---- Grouping ---------------------------------------------------------------
+
+// Builds equations from the first subquery of a workload.
+std::vector<ops::SemiJoinEquation> EquationsOf(const data::Workload& w) {
+  std::vector<ops::SemiJoinEquation> eqs;
+  const sgf::BsgfQuery& q = w.query.subqueries()[0];
+  for (size_t i = 0; i < q.num_conditional_atoms(); ++i) {
+    ops::SemiJoinEquation eq;
+    eq.output = "__X" + std::to_string(i);
+    eq.guard = q.guard();
+    eq.guard_dataset = q.guard().relation();
+    eq.conditional = q.conditional_atoms()[i];
+    eq.conditional_dataset = q.conditional_atoms()[i].relation();
+    eqs.push_back(std::move(eq));
+  }
+  return eqs;
+}
+
+bool IsPartition(const Grouping& g, size_t n) {
+  std::set<size_t> seen;
+  for (const auto& grp : g.groups) {
+    for (size_t i : grp) {
+      if (i >= n || !seen.insert(i).second) return false;
+    }
+  }
+  return seen.size() == n;
+}
+
+TEST(GroupingTest, GreedyProducesValidPartitionAndBeatsOrMatchesSingletons) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  auto eqs = EquationsOf(*w);
+  cost::StatsCatalog catalog;
+  cost::ClusterConfig config = TestCluster();
+  cost::CostEstimator est(config, cost::CostModelVariant::kGumbo, &w->db,
+                          &catalog, 128);
+  auto greedy = GreedyBsgfGrouping(eqs, ops::OpOptions{}, est);
+  ASSERT_OK(greedy);
+  EXPECT_TRUE(IsPartition(*greedy, eqs.size())) << greedy->ToString();
+
+  // Singleton cost as reference: greedy must never be worse.
+  double singleton_cost = 0.0;
+  for (size_t i = 0; i < eqs.size(); ++i) {
+    auto c = EstimateGroupCost(eqs, {i}, ops::OpOptions{}, est);
+    ASSERT_OK(c);
+    singleton_cost += *c;
+  }
+  EXPECT_LE(greedy->total_cost, singleton_cost + 1e-9);
+}
+
+TEST(GroupingTest, SharedGuardMakesGroupingProfitable) {
+  // A1: four semi-joins over one guard — grouping shares the 4 GB guard
+  // scan, so greedy should merge everything into one job.
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  auto eqs = EquationsOf(*w);
+  cost::StatsCatalog catalog;
+  cost::ClusterConfig config;  // paper-scale constants
+  cost::CostEstimator est(config, cost::CostModelVariant::kGumbo, &w->db,
+                          &catalog, 128);
+  auto greedy = GreedyBsgfGrouping(eqs, ops::OpOptions{}, est);
+  ASSERT_OK(greedy);
+  EXPECT_EQ(greedy->groups.size(), 1u) << greedy->ToString();
+}
+
+TEST(GroupingTest, GreedyNeverBeatsOptimal) {
+  for (int qi : {1, 2, 3}) {
+    auto w = data::MakeA(qi, SmallData());
+    ASSERT_OK(w);
+    auto eqs = EquationsOf(*w);
+    cost::StatsCatalog catalog;
+    cost::ClusterConfig config = TestCluster();
+    cost::CostEstimator est(config, cost::CostModelVariant::kGumbo, &w->db,
+                            &catalog, 128);
+    auto greedy = GreedyBsgfGrouping(eqs, ops::OpOptions{}, est);
+    auto opt = OptimalGrouping(eqs, ops::OpOptions{}, est);
+    ASSERT_OK(greedy);
+    ASSERT_OK(opt);
+    EXPECT_TRUE(IsPartition(*opt, eqs.size()));
+    EXPECT_GE(greedy->total_cost, opt->total_cost - 1e-9)
+        << "A" << qi << ": optimal worse than greedy?!";
+  }
+}
+
+TEST(GroupingTest, OptimalRefusesLargeInputs) {
+  auto w = data::MakeB(1, SmallData());  // 16 equations
+  ASSERT_OK(w);
+  auto eqs = EquationsOf(*w);
+  cost::StatsCatalog catalog;
+  cost::ClusterConfig config = TestCluster();
+  cost::CostEstimator est(config, cost::CostModelVariant::kGumbo, &w->db,
+                          &catalog, 128);
+  EXPECT_FALSE(OptimalGrouping(eqs, ops::OpOptions{}, est, 10).ok());
+}
+
+// ---- Multiway topological sorts ---------------------------------------------
+
+sgf::SgfQuery Example5Query() {
+  // Paper Example 5 (guards reshaped to unary chains; structure intact).
+  return ParseSgfOrDie(
+      "Z1 := SELECT x FROM R1(x, y) WHERE S(x);\n"
+      "Z2 := SELECT x FROM Z1(x) WHERE T(x);\n"
+      "Z3 := SELECT x FROM Z2(x) WHERE U(x);\n"
+      "Z4 := SELECT x FROM R2(x, y) WHERE T(x);\n"
+      "Z5 := SELECT x FROM Z3(x) WHERE Z4(x);");
+}
+
+TEST(ToposortTest, Example5HasExactlyFourPartitions) {
+  sgf::SgfQuery q = Example5Query();
+  sgf::DependencyGraph g = q.BuildDependencyGraph();
+  auto sorts = EnumerateMultiwayTopoSorts(g);
+  ASSERT_OK(sorts);
+  for (const Batches& b : *sorts) {
+    EXPECT_TRUE(IsValidMultiwaySort(g, b));
+  }
+  // The paper counts sorts up to batch reordering (evaluation cost is
+  // order-invariant): canonicalize to a multiset of batches.
+  std::set<std::set<std::vector<size_t>>> canonical;
+  for (const Batches& b : *sorts) {
+    std::set<std::vector<size_t>> cb(b.begin(), b.end());
+    canonical.insert(std::move(cb));
+  }
+  EXPECT_EQ(canonical.size(), 4u);
+}
+
+TEST(ToposortTest, GreedySgfPlacesQ4WithQ2) {
+  // overlap(Q4, {Q2}) = 1 (they share T) — the only positive overlap, so
+  // Greedy-SGF should produce ({Q1},{Q2,Q4},{Q3},{Q5}), the paper's
+  // sort #2.
+  auto batches = GreedySgfSort(Example5Query());
+  ASSERT_OK(batches);
+  Batches expected = {{0}, {1, 3}, {2}, {4}};
+  EXPECT_EQ(*batches, expected);
+}
+
+TEST(ToposortTest, GreedyAlwaysValid) {
+  for (int ci : {1, 2, 3, 4}) {
+    auto w = data::MakeC(ci, SmallData());
+    ASSERT_OK(w);
+    auto batches = GreedySgfSort(w->query);
+    ASSERT_OK(batches);
+    EXPECT_TRUE(
+        IsValidMultiwaySort(w->query.BuildDependencyGraph(), *batches))
+        << "C" << ci;
+  }
+}
+
+TEST(ToposortTest, OverlapCountsDistinctSharedRelations) {
+  sgf::SgfQuery q = Example5Query();
+  // Q2 reads {Z1, T}; Q4 reads {R2, T} -> overlap 1 (T).
+  EXPECT_EQ(Overlap(q, 1, {3}), 1u);
+  // Q1 reads {R1, S}: no overlap with Q4.
+  EXPECT_EQ(Overlap(q, 0, {3}), 0u);
+}
+
+// ---- Planner strategies end-to-end -------------------------------------------
+
+void VerifyStrategies(const data::Workload& w,
+                      std::initializer_list<Strategy> strategies) {
+  for (Strategy s : strategies) {
+    PlannerOptions opts;
+    opts.strategy = s;
+    opts.sample_size = 64;
+    cost::ClusterConfig config = TestCluster();
+    Planner planner(config, opts);
+    mr::Engine engine(config);
+    Database db = w.db;
+    auto result = ExecuteAndVerify(w.query, planner, &engine, &db);
+    ASSERT_OK(result) << w.name << " under " << StrategyName(s);
+    EXPECT_GT(result->metrics.total_time, 0.0);
+    EXPECT_GT(result->metrics.net_time, 0.0);
+    EXPECT_LE(result->metrics.net_time, result->metrics.total_time + 1e-9);
+  }
+}
+
+TEST(PlannerTest, FlatQueriesAllStrategies) {
+  for (int i : {1, 2, 3, 4, 5}) {
+    auto w = data::MakeA(i, SmallData());
+    ASSERT_OK(w);
+    VerifyStrategies(*w, {Strategy::kSeq, Strategy::kPar, Strategy::kGreedy,
+                          Strategy::kOpt});
+  }
+}
+
+TEST(PlannerTest, OneRoundOnQualifyingQueries) {
+  auto a3 = data::MakeA(3, SmallData());
+  ASSERT_OK(a3);
+  VerifyStrategies(*a3, {Strategy::kOneRound});
+  auto b2 = data::MakeB(2, SmallData());
+  ASSERT_OK(b2);
+  VerifyStrategies(*b2, {Strategy::kOneRound});
+}
+
+TEST(PlannerTest, OneRoundRefusesMixedKeys) {
+  auto a1 = data::MakeA(1, SmallData());
+  ASSERT_OK(a1);
+  PlannerOptions opts;
+  opts.strategy = Strategy::kOneRound;
+  cost::ClusterConfig config = TestCluster();
+  Planner planner(config, opts);
+  EXPECT_FALSE(planner.Plan(a1->query, a1->db).ok());
+}
+
+TEST(PlannerTest, LargeQueries) {
+  for (int i : {1, 2}) {
+    auto w = data::MakeB(i, SmallData());
+    ASSERT_OK(w);
+    VerifyStrategies(*w, {Strategy::kSeq, Strategy::kPar, Strategy::kGreedy});
+  }
+}
+
+TEST(PlannerTest, NestedSgfAllStrategies) {
+  for (int i : {1, 2, 3, 4}) {
+    auto w = data::MakeC(i, SmallData());
+    ASSERT_OK(w);
+    VerifyStrategies(*w, {Strategy::kSeqUnit, Strategy::kParUnit,
+                          Strategy::kGreedySgf});
+  }
+}
+
+TEST(PlannerTest, OptSgfOnSmallQuery) {
+  auto w = data::MakeC(1, SmallData());
+  ASSERT_OK(w);
+  VerifyStrategies(*w, {Strategy::kOptSgf});
+}
+
+TEST(PlannerTest, CostModelQueryBothVariants) {
+  data::GeneratorConfig g = SmallData();
+  g.tuples = 200;
+  auto w = data::MakeCostModelQuery(g);
+  ASSERT_OK(w);
+  for (auto variant :
+       {cost::CostModelVariant::kGumbo, cost::CostModelVariant::kWang}) {
+    PlannerOptions opts;
+    opts.strategy = Strategy::kGreedy;
+    opts.cost_variant = variant;
+    opts.sample_size = 64;
+    cost::ClusterConfig config = TestCluster();
+    Planner planner(config, opts);
+    mr::Engine engine(config);
+    Database db = w->db;
+    ASSERT_OK(ExecuteAndVerify(w->query, planner, &engine, &db))
+        << CostModelVariantName(variant);
+  }
+}
+
+TEST(PlannerTest, SeqMatchesRoundCountToChainLength) {
+  // B1 under SEQ: 16 chained steps -> 16 rounds; PAR: 2 rounds.
+  auto w = data::MakeB(1, SmallData());
+  ASSERT_OK(w);
+  cost::ClusterConfig config = TestCluster();
+  mr::Engine engine(config);
+  {
+    PlannerOptions opts;
+    opts.strategy = Strategy::kSeq;
+    Planner planner(config, opts);
+    auto plan = planner.Plan(w->query, w->db);
+    ASSERT_OK(plan);
+    EXPECT_EQ(plan->program.Rounds(), 16);
+  }
+  {
+    PlannerOptions opts;
+    opts.strategy = Strategy::kPar;
+    Planner planner(config, opts);
+    auto plan = planner.Plan(w->query, w->db);
+    ASSERT_OK(plan);
+    EXPECT_EQ(plan->program.Rounds(), 2);
+    EXPECT_EQ(plan->program.size(), 17u);  // 16 MSJ + 1 EVAL
+  }
+}
+
+TEST(PlannerTest, StrategyNamesRoundTrip) {
+  for (Strategy s : {Strategy::kSeq, Strategy::kPar, Strategy::kGreedy,
+                     Strategy::kOpt, Strategy::kOneRound, Strategy::kSeqUnit,
+                     Strategy::kParUnit, Strategy::kGreedySgf,
+                     Strategy::kOptSgf}) {
+    auto parsed = StrategyFromName(StrategyName(s));
+    ASSERT_OK(parsed);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(StrategyFromName("TURBO").ok());
+}
+
+// ---- Baselines ----------------------------------------------------------------
+
+TEST(BaselineTest, AllBaselinesProduceCorrectResults) {
+  for (int i : {1, 2, 3, 5}) {
+    auto w = data::MakeA(i, SmallData());
+    ASSERT_OK(w);
+    auto expected = sgf::NaiveEvalSgf(w->query, w->db);
+    ASSERT_OK(expected);
+    for (auto kind :
+         {baselines::BaselineKind::kHivePar,
+          baselines::BaselineKind::kHiveParSemiJoin,
+          baselines::BaselineKind::kPigPar}) {
+      auto plan = baselines::PlanBaseline(kind, w->query, w->db);
+      ASSERT_OK(plan) << baselines::BaselineName(kind);
+      cost::ClusterConfig config = TestCluster();
+      mr::Engine engine(config);
+      Database db = w->db;
+      auto result = ExecutePlan(*plan, &engine, &db);
+      ASSERT_OK(result) << baselines::BaselineName(kind);
+      for (const auto& q : w->query.subqueries()) {
+        EXPECT_TRUE(db.Get(q.output()).value()->SetEquals(
+            *expected->Get(q.output()).value()))
+            << "A" << i << " " << baselines::BaselineName(kind) << " "
+            << q.output();
+      }
+    }
+  }
+}
+
+TEST(BaselineTest, HparSerializesJoins) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  auto plan = baselines::PlanBaseline(baselines::BaselineKind::kHivePar,
+                                      w->query, w->db);
+  ASSERT_OK(plan);
+  // 4 chained LOJ jobs + filter = 5 rounds.
+  EXPECT_EQ(plan->program.Rounds(), 5);
+}
+
+TEST(BaselineTest, HparGroupsSameKeyJoins) {
+  auto w = data::MakeA(3, SmallData());
+  ASSERT_OK(w);
+  auto plan = baselines::PlanBaseline(baselines::BaselineKind::kHivePar,
+                                      w->query, w->db);
+  ASSERT_OK(plan);
+  // The paper's A3 observation: one multi-way join + filter = 2 rounds.
+  EXPECT_EQ(plan->program.Rounds(), 2);
+}
+
+TEST(BaselineTest, RejectsNestedQueries) {
+  auto w = data::MakeC(1, SmallData());
+  ASSERT_OK(w);
+  EXPECT_FALSE(baselines::PlanBaseline(baselines::BaselineKind::kPigPar,
+                                       w->query, w->db)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace gumbo::plan

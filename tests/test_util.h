@@ -1,0 +1,70 @@
+// Shared helpers for the gumbo test suites.
+#ifndef GUMBO_TESTS_TEST_UTIL_H_
+#define GUMBO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/result.h"
+#include "sgf/parser.h"
+
+namespace gumbo::testing {
+
+/// Builds a relation of integer tuples.
+inline Relation MakeRelation(const std::string& name, uint32_t arity,
+                             std::initializer_list<std::vector<int64_t>> rows) {
+  Relation rel(name, arity);
+  for (const auto& row : rows) {
+    Tuple t;
+    for (int64_t v : row) t.PushBack(Value::Int(v));
+    EXPECT_TRUE(rel.Add(std::move(t)).ok());
+  }
+  return rel;
+}
+
+/// Parses a BSGF query or aborts the test.
+inline sgf::BsgfQuery ParseBsgfOrDie(const std::string& text) {
+  Result<sgf::BsgfQuery> r = sgf::ParseBsgf(text, &Dictionary::Global());
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return std::move(r).value();
+}
+
+/// Parses an SGF query or aborts the test.
+inline sgf::SgfQuery ParseSgfOrDie(const std::string& text) {
+  Result<sgf::SgfQuery> r = sgf::ParseSgf(text, &Dictionary::Global());
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return std::move(r).value();
+}
+
+/// Sorted-tuple view of a relation, for readable assertions.
+inline std::vector<std::vector<int64_t>> RowsOf(const Relation& rel) {
+  Relation copy = rel;
+  copy.SortAndDedupe();
+  std::vector<std::vector<int64_t>> out;
+  for (const Tuple& t : copy.tuples()) {
+    std::vector<int64_t> row;
+    for (const Value& v : t) row.push_back(v.AsInt());
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+inline ::testing::AssertionResult IsOk(const Status& s) {
+  if (s.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << s.ToString();
+}
+template <typename T>
+::testing::AssertionResult IsOk(const Result<T>& r) {
+  return IsOk(r.status());
+}
+
+#define ASSERT_OK(expr) ASSERT_TRUE(::gumbo::testing::IsOk(expr))
+#define EXPECT_OK(expr) EXPECT_TRUE(::gumbo::testing::IsOk(expr))
+
+}  // namespace gumbo::testing
+
+#endif  // GUMBO_TESTS_TEST_UTIL_H_
