@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/str_util.h"
 #include "mr/engine.h"
@@ -17,6 +18,12 @@ BenchOptions BenchOptions::FromEnv() {
   if (const char* s = std::getenv("GUMBO_BENCH_SEED")) {
     o.seed = std::strtoull(s, nullptr, 10);
   }
+  if (const char* q = std::getenv("GUMBO_BENCH_SEQUENTIAL")) {
+    // Any set, non-"0", non-empty value ("1", "true", "yes", ...) means
+    // sequential; a numeric parse would silently read "true" as 0.
+    o.runtime.concurrent_jobs =
+        q[0] == '\0' || std::string_view(q) == "0";
+  }
   return o;
 }
 
@@ -30,13 +37,14 @@ CellResult RunStrategy(const data::Workload& w, plan::Strategy strategy,
   popts.op = op;
   plan::Planner planner(options.cluster, popts);
   mr::Engine engine(options.cluster);
+  mr::Runtime runtime(&engine, options.runtime);
   Database db = w.db;
   auto plan = planner.Plan(w.query, db);
   if (!plan.ok()) {
     cell.error = plan.status().ToString();
     return cell;
   }
-  auto result = plan::ExecutePlan(*plan, &engine, &db);
+  auto result = plan::ExecutePlan(*plan, runtime, &db);
   if (!result.ok()) {
     cell.error = result.status().ToString();
     return cell;
@@ -55,8 +63,9 @@ CellResult RunBaseline(const data::Workload& w, baselines::BaselineKind kind,
     return cell;
   }
   mr::Engine engine(options.cluster);
+  mr::Runtime runtime(&engine, options.runtime);
   Database db = w.db;
-  auto result = plan::ExecutePlan(*plan, &engine, &db);
+  auto result = plan::ExecutePlan(*plan, runtime, &db);
   if (!result.ok()) {
     cell.error = result.status().ToString();
     return cell;
@@ -119,6 +128,36 @@ void PrintMetricBlock(const std::string& title,
     std::printf("-- relative to %s --\n%s\n", col_names[0].c_str(),
                 rel.Render().c_str());
   }
+
+  // Scheduler view: how many rounds / jobs each strategy needs and how
+  // long the round runtime took in real wall-clock.
+  struct SchedDef {
+    const char* name;
+    std::string (*fmt)(const plan::Metrics&);
+  };
+  const SchedDef sched[] = {
+      {"Rounds", [](const plan::Metrics& m) { return std::to_string(m.rounds); }},
+      {"Jobs", [](const plan::Metrics& m) { return std::to_string(m.jobs); }},
+      {"Max jobs/round",
+       [](const plan::Metrics& m) { return std::to_string(m.max_jobs_per_round); }},
+      {"Wall (ms)",
+       [](const plan::Metrics& m) { return StrFormat("%.1f", m.wall_ms); }},
+  };
+  for (const auto& m : sched) {
+    std::vector<std::string> header = {std::string(m.name)};
+    for (const auto& c : col_names) header.push_back(c);
+    TablePrinter table(header);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::vector<std::string> row = {row_names[r]};
+      for (size_t c = 0; c < rows[r].size(); ++c) {
+        row.push_back(rows[r][c].ok ? m.fmt(rows[r][c].metrics)
+                                    : std::string("--"));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.Render().c_str());
+  }
+  std::printf("\n");
 }
 
 }  // namespace gumbo::bench

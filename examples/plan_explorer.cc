@@ -91,6 +91,10 @@ int main(int argc, char** argv) {
         result->metrics.rounds, result->metrics.jobs,
         result->metrics.net_time, result->metrics.total_time,
         result->metrics.input_mb, result->metrics.communication_mb);
+    std::printf(
+        "scheduler: max %d jobs/round | peak %d concurrent | wall %.1f ms\n",
+        result->metrics.max_jobs_per_round,
+        result->metrics.peak_concurrent_jobs, result->metrics.wall_ms);
     for (const auto& q : query->subqueries()) {
       std::printf("  %s: %zu tuples\n", q.output().c_str(),
                   work.Get(q.output()).value()->size());

@@ -28,14 +28,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push(std::move(task));
-    ++inflight_;
   }
   cv_task_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return inflight_ == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -44,19 +38,39 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     fn(0);
     return;
   }
-  // Work-stealing via a shared atomic counter; each pool task drains
-  // indices until exhausted. Bounded number of pool tasks.
-  auto counter = std::make_shared<std::atomic<size_t>>(0);
-  size_t tasks = std::min(n, workers_.size());
-  for (size_t t = 0; t < tasks; ++t) {
-    Submit([counter, n, &fn] {
-      for (size_t i = counter->fetch_add(1); i < n;
-           i = counter->fetch_add(1)) {
-        fn(i);
+  // Work-stealing via a shared atomic counter; workers and the calling
+  // thread drain indices until exhausted. Completion is tracked per call
+  // (not via the pool-wide inflight count), so concurrent and nested
+  // ParallelFor calls neither deadlock nor wait on each other: the caller
+  // can always finish the loop single-handedly if every worker is busy.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n;
+    const std::function<void(size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void Drain() {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        (*fn)(i);
+        if (done.fetch_add(1) + 1 == n) {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.notify_all();
+        }
       }
-    });
+    }
+  };
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t t = 0; t < helpers; ++t) {
+    Submit([state] { state->Drain(); });
   }
-  Wait();
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -73,11 +87,6 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --inflight_;
-      if (inflight_ == 0) cv_done_.notify_all();
-    }
   }
 }
 

@@ -1,8 +1,10 @@
-// A fixed-size thread pool with a ParallelFor helper.
+// A fixed-size thread pool with a re-entrant ParallelFor helper.
 //
 // The MapReduce engine uses this to execute map/reduce tasks with real
-// parallelism. Determinism of results is guaranteed by the engine (outputs
-// are collected per task index), not by scheduling order.
+// parallelism, and the round runtime (mr/runtime.h) nests job-level
+// ParallelFor calls around the engine's task-level ones. Determinism of
+// results is guaranteed by the engine (outputs are collected per task
+// index), not by scheduling order.
 #ifndef GUMBO_COMMON_THREAD_POOL_H_
 #define GUMBO_COMMON_THREAD_POOL_H_
 
@@ -28,15 +30,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. Completion is the
+  /// submitter's concern (ParallelFor tracks it per call).
   void Submit(std::function<void()> task);
-
-  /// Blocks until every submitted task has completed.
-  void Wait();
 
   /// Runs fn(i) for i in [0, n), distributing across the pool, and blocks
   /// until all iterations finish. fn must be safe to call concurrently for
   /// distinct i.
+  ///
+  /// Re-entrant: the calling thread participates in the iteration drain, so
+  /// nested ParallelFor calls (and calls from pool workers themselves) make
+  /// progress even when every worker is busy, and concurrent ParallelFor
+  /// calls complete independently of each other's pending work.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Process-wide pool for engine execution.
@@ -49,8 +54,6 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t inflight_ = 0;
   bool shutdown_ = false;
 };
 

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "cost/model.h"
+#include "mr/shuffle.h"
 
 namespace gumbo::mr {
 
@@ -20,21 +19,6 @@ struct MapTaskSpec {
   size_t begin = 0;
   size_t end = 0;
   double input_mb = 0.0;
-};
-
-// A packed shuffle record: one key plus all messages a map task emitted
-// for it (a singleton list per message when packing is disabled).
-struct PackedRecord {
-  Tuple key;
-  std::vector<Message> values;
-  double wire_bytes = 0.0;  // key bytes + value bytes (per materialized rec)
-};
-
-// Map task result: records pre-partitioned by reducer.
-struct MapTaskResult {
-  std::vector<std::vector<PackedRecord>> buckets;  // [reducer] -> records
-  double output_mb = 0.0;    // represented MB of intermediate data
-  double metadata_mb = 0.0;  // represented MB of per-record metadata
 };
 
 class VectorMapEmitter : public MapEmitter {
@@ -63,7 +47,8 @@ class VectorReduceEmitter : public ReduceEmitter {
 
 }  // namespace
 
-Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
+Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
+                                              const Database& db) const {
   if (!job.mapper_factory || !job.reducer_factory) {
     return Status::InvalidArgument("job " + job.name +
                                    ": missing mapper or reducer factory");
@@ -77,7 +62,7 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   inputs.reserve(job.inputs.size());
   double scale = -1.0;
   for (const JobInput& in : job.inputs) {
-    GUMBO_ASSIGN_OR_RETURN(const Relation* rel, db->Get(in.dataset));
+    GUMBO_ASSIGN_OR_RETURN(const Relation* rel, db.Get(in.dataset));
     if (scale < 0.0) {
       scale = rel->representation_scale();
     } else if (std::abs(scale - rel->representation_scale()) >
@@ -93,7 +78,8 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
 
   // ---- Plan map tasks -----------------------------------------------------
   std::vector<MapTaskSpec> tasks;
-  JobStats stats;
+  JobResult result;
+  JobStats& stats = result.stats;
   stats.job_name = job.name;
   stats.job_overhead = config_.costs.job_overhead;
   stats.inputs.resize(job.inputs.size());
@@ -118,19 +104,19 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   }
 
   // ---- Map phase (two passes when reducer count depends on intermediate
-  // size: we must know the total before partitioning; instead we buffer
-  // unpartitioned results, then bucket them once `r` is known) -------------
+  // size: we must know the total before partitioning; the shuffle buffers
+  // per-task records and buckets them once `r` is known) -------------------
   const double meta_bytes = config_.costs.metadata_bytes_per_record;
   const double overhead = job.intermediate_overhead_factor;
 
-  struct RawTaskOut {
-    std::vector<PackedRecord> records;
-    double output_mb = 0.0;
-    double metadata_mb = 0.0;
+  Shuffle shuffle(tasks.size(), job.pack_messages);
+  struct TaskAccounting {
+    double output_mb = 0.0;    // represented MB of intermediate data
+    double metadata_mb = 0.0;  // represented MB of per-record metadata
   };
-  std::vector<RawTaskOut> raw(tasks.size());
+  std::vector<TaskAccounting> task_io(tasks.size());
 
-  ThreadPool::Global().ParallelFor(tasks.size(), [&](size_t ti) {
+  pool().ParallelFor(tasks.size(), [&](size_t ti) {
     const MapTaskSpec& t = tasks[ti];
     const Relation* rel = inputs[t.input_index];
     auto mapper = job.mapper_factory();
@@ -139,40 +125,10 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
       mapper->Map(t.input_index, rel->tuples()[j], static_cast<uint64_t>(j),
                   &emitter);
     }
-    RawTaskOut& out = raw[ti];
-    double wire_bytes = 0.0;
-    size_t record_count = 0;
-    if (job.pack_messages) {
-      // Group by key, preserving first-seen key order for determinism.
-      std::unordered_map<Tuple, size_t> index;
-      for (KeyValue& kv : emitter.buffer()) {
-        auto [it, inserted] = index.emplace(kv.key, out.records.size());
-        if (inserted) {
-          PackedRecord rec;
-          rec.key = kv.key;
-          rec.wire_bytes = TupleWireBytes(kv.key);
-          out.records.push_back(std::move(rec));
-        }
-        PackedRecord& rec = out.records[it->second];
-        rec.wire_bytes += kv.value.wire_bytes;
-        rec.values.push_back(std::move(kv.value));
-      }
-      record_count = out.records.size();
-    } else {
-      out.records.reserve(emitter.buffer().size());
-      for (KeyValue& kv : emitter.buffer()) {
-        PackedRecord rec;
-        rec.wire_bytes = TupleWireBytes(kv.key) + kv.value.wire_bytes;
-        rec.key = std::move(kv.key);
-        rec.values.push_back(std::move(kv.value));
-        out.records.push_back(std::move(rec));
-      }
-      record_count = out.records.size();
-    }
-    for (const PackedRecord& rec : out.records) wire_bytes += rec.wire_bytes;
-    out.output_mb = wire_bytes * overhead * scale * kMbPerByte;
-    out.metadata_mb = static_cast<double>(record_count) * meta_bytes * scale *
-                      kMbPerByte;
+    ShuffleTaskIo io = shuffle.AddTaskOutput(ti, std::move(emitter.buffer()));
+    task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
+    task_io[ti].metadata_mb =
+        static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
   });
 
   // Per-input aggregates and per-task map costs.
@@ -182,14 +138,14 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     const MapTaskSpec& t = tasks[ti];
     InputStats& is = stats.inputs[t.input_index];
-    is.output_mb += raw[ti].output_mb;
-    is.metadata_mb += raw[ti].metadata_mb;
-    total_intermediate_mb += raw[ti].output_mb;
+    is.output_mb += task_io[ti].output_mb;
+    is.metadata_mb += task_io[ti].metadata_mb;
+    total_intermediate_mb += task_io[ti].output_mb;
     total_input_mb += t.input_mb;
     cost::MapPartition p;
     p.input_mb = t.input_mb;
-    p.output_mb = raw[ti].output_mb;
-    p.metadata_mb = raw[ti].metadata_mb;
+    p.output_mb = task_io[ti].output_mb;
+    p.metadata_mb = task_io[ti].metadata_mb;
     p.num_mappers = 1;
     stats.map_task_costs[ti] = cost::MapCost(config_.costs, p);
   }
@@ -215,18 +171,9 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   }
   stats.num_reducers = r;
 
-  // ---- Partition ----------------------------------------------------------
-  std::vector<std::vector<std::vector<const PackedRecord*>>> partitioned(
-      tasks.size());
-  ThreadPool::Global().ParallelFor(tasks.size(), [&](size_t ti) {
-    auto& buckets = partitioned[ti];
-    buckets.resize(static_cast<size_t>(r));
-    for (const PackedRecord& rec : raw[ti].records) {
-      buckets[rec.key.Hash() % static_cast<uint64_t>(r)].push_back(&rec);
-    }
-  });
+  // ---- Partition + reduce phase -------------------------------------------
+  shuffle.Partition(r, &pool());
 
-  // ---- Reduce phase --------------------------------------------------------
   struct ReduceTaskOut {
     std::vector<std::vector<Tuple>> outputs;  // [output_index] -> tuples
     double shuffle_mb = 0.0;
@@ -234,31 +181,16 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   };
   std::vector<ReduceTaskOut> red(static_cast<size_t>(r));
 
-  ThreadPool::Global().ParallelFor(static_cast<size_t>(r), [&](size_t rj) {
-    // Gather this partition's records from every map task, in task order.
-    std::unordered_map<Tuple, std::vector<Message>> groups;
-    double wire_bytes = 0.0;
-    for (size_t ti = 0; ti < tasks.size(); ++ti) {
-      for (const PackedRecord* rec : partitioned[ti][rj]) {
-        wire_bytes += rec->wire_bytes;
-        auto& vec = groups[rec->key];
-        vec.insert(vec.end(), rec->values.begin(), rec->values.end());
-      }
-    }
-    // Sorted key order for determinism.
-    std::vector<const Tuple*> keys;
-    keys.reserve(groups.size());
-    for (const auto& [k, v] : groups) keys.push_back(&k);
-    std::sort(keys.begin(), keys.end(),
-              [](const Tuple* a, const Tuple* b) { return *a < *b; });
-
+  pool().ParallelFor(static_cast<size_t>(r), [&](size_t rj) {
     auto reducer = job.reducer_factory();
     VectorReduceEmitter emitter(job.outputs.size());
-    for (const Tuple* k : keys) {
-      reducer->Reduce(*k, groups[*k], &emitter);
-    }
+    shuffle.ForEachGroup(
+        rj, [&](const Tuple& key, const std::vector<Message>& values) {
+          reducer->Reduce(key, values, &emitter);
+        });
     ReduceTaskOut& out = red[rj];
-    out.shuffle_mb = wire_bytes * overhead * scale * kMbPerByte;
+    out.shuffle_mb =
+        shuffle.PartitionWireBytes(rj) * overhead * scale * kMbPerByte;
     out.outputs = std::move(emitter.outputs());
     for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
       const JobOutput& spec = job.outputs[oi];
@@ -279,7 +211,8 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
   }
   stats.hdfs_write_mb = total_output_mb;
 
-  // ---- Write outputs -------------------------------------------------------
+  // ---- Collect outputs -----------------------------------------------------
+  result.outputs.reserve(job.outputs.size());
   for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
     const JobOutput& spec = job.outputs[oi];
     Relation out(spec.dataset, spec.arity);
@@ -292,10 +225,18 @@ Result<JobStats> Engine::Run(const JobSpec& job, Database* db) {
       for (Tuple& t : rt.outputs[oi]) out.AddUnchecked(std::move(t));
     }
     if (spec.dedupe) out.SortAndDedupe();
-    db->Put(std::move(out));
+    result.outputs.push_back(std::move(out));
   }
 
-  return stats;
+  return result;
+}
+
+Result<JobStats> Engine::Run(const JobSpec& job, Database* db) const {
+  GUMBO_ASSIGN_OR_RETURN(JobResult result, RunDetached(job, *db));
+  for (Relation& out : result.outputs) {
+    db->Put(std::move(out));
+  }
+  return std::move(result.stats);
 }
 
 }  // namespace gumbo::mr

@@ -5,20 +5,29 @@
 // Execution pipeline per job:
 //   1. each input relation is split into map tasks of split_mb represented
 //      megabytes (splits never span relations, matching HDFS);
-//   2. map tasks run on a thread pool; emitted key/values are grouped by
-//      key within the task when packing is enabled;
+//   2. map tasks run on a thread pool; emitted key/values are handed to
+//      the shuffle subsystem (mr/shuffle.h), which packs them per task;
 //   3. the reducer count is chosen per the job's allocation policy;
-//      key/values are hash-partitioned;
+//      the shuffle hash-partitions the records;
 //   4. reduce tasks run on the thread pool, keys in sorted order, and
-//      write output relations back to the database.
+//      produce the output relations.
+//
+// RunDetached executes a job against a read-only database view and returns
+// the outputs without committing them; the round runtime (mr/runtime.h)
+// uses it to run independent jobs concurrently and commit their outputs in
+// deterministic job order. Run is the single-job convenience wrapper that
+// commits immediately.
 //
 // Results are deterministic: outputs are collected per task index and
-// concatenated in task order.
+// concatenated in task order, independent of pool size and scheduling.
 #ifndef GUMBO_MR_ENGINE_H_
 #define GUMBO_MR_ENGINE_H_
 
+#include <vector>
+
 #include "common/relation.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "cost/constants.h"
 #include "mr/job.h"
 #include "mr/stats.h"
@@ -27,16 +36,35 @@ namespace gumbo::mr {
 
 class Engine {
  public:
-  explicit Engine(cost::ClusterConfig config) : config_(std::move(config)) {}
+  /// `pool`: worker pool for map/reduce tasks and concurrent jobs
+  /// (nullptr = the process-wide ThreadPool::Global()).
+  explicit Engine(cost::ClusterConfig config, ThreadPool* pool = nullptr)
+      : config_(std::move(config)), pool_(pool) {}
 
   const cost::ClusterConfig& config() const { return config_; }
+  ThreadPool& pool() const {
+    return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  }
+
+  /// A detached job execution: statistics plus the produced output
+  /// relations, in JobSpec::outputs order, not yet visible in any database.
+  struct JobResult {
+    JobStats stats;
+    std::vector<Relation> outputs;
+  };
+
+  /// Executes `job` against `db` without modifying it; the caller decides
+  /// when (and where) to commit the outputs. Safe to call concurrently
+  /// from multiple threads as long as nothing mutates `db` meanwhile.
+  Result<JobResult> RunDetached(const JobSpec& job, const Database& db) const;
 
   /// Runs `job` against `db`: reads the input relations, writes (replaces)
   /// the output relations, and returns the job's statistics.
-  Result<JobStats> Run(const JobSpec& job, Database* db);
+  Result<JobStats> Run(const JobSpec& job, Database* db) const;
 
  private:
   cost::ClusterConfig config_;
+  ThreadPool* pool_;
 };
 
 }  // namespace gumbo::mr

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "mr/runtime.h"
+
 namespace gumbo::mr {
 
 size_t Program::AddJob(JobSpec spec, std::vector<size_t> deps) {
@@ -216,21 +218,7 @@ double SimulateNetTime(const std::vector<JobStats>& jobs,
 
 Result<ProgramStats> RunProgram(const Program& program, Engine* engine,
                                 Database* db) {
-  ProgramStats stats;
-  GUMBO_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                         program.TopologicalOrder());
-  stats.jobs.reserve(program.size());
-  std::vector<std::vector<size_t>> deps;
-  deps.reserve(program.size());
-  for (size_t i : order) {
-    GUMBO_ASSIGN_OR_RETURN(JobStats js, engine->Run(program.job(i), db));
-    stats.jobs.push_back(std::move(js));
-    deps.push_back(program.deps(i));
-  }
-  stats.rounds = program.Rounds();
-  for (const JobStats& js : stats.jobs) stats.total_time += js.TotalCost();
-  stats.net_time = SimulateNetTime(stats.jobs, deps, engine->config());
-  return stats;
+  return Runtime(engine).Execute(program, db);
 }
 
 }  // namespace gumbo::mr

@@ -1,9 +1,10 @@
 // Program: a DAG of MapReduce jobs, plus the slot-constrained scheduler
 // that yields the paper's two time metrics.
 //
-// Jobs are executed (for real) in dependency order; afterwards, the
-// scheduler replays all task costs through an event-driven simulation of
-// the cluster (nodes x slots), yielding:
+// Jobs are executed (for real) round by round — independent jobs of the
+// same dependency depth run concurrently on the engine's thread pool (see
+// mr/runtime.h); afterwards, the scheduler replays all task costs through
+// an event-driven simulation of the cluster (nodes x slots), yielding:
 //   * net time   — the makespan from query submission to the last job's
 //     completion, with map/reduce tasks of concurrently-running jobs
 //     competing for the same slot pools;
@@ -51,8 +52,10 @@ class Program {
   std::vector<std::vector<size_t>> deps_;
 };
 
-/// Executes every job of `program` against `db` in dependency order using
-/// `engine`, then simulates cluster scheduling to produce net/total time.
+/// Executes every job of `program` against `db` using `engine`, then
+/// simulates cluster scheduling to produce net/total time. Convenience
+/// wrapper over mr::Runtime with default options: jobs of the same
+/// dependency round run concurrently on the engine's thread pool.
 Result<ProgramStats> RunProgram(const Program& program, Engine* engine,
                                 Database* db);
 

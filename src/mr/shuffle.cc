@@ -1,0 +1,120 @@
+#include "mr/shuffle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gumbo::mr {
+
+Shuffle::Shuffle(size_t num_map_tasks, bool pack_messages)
+    : pack_messages_(pack_messages), task_records_(num_map_tasks) {}
+
+ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, std::vector<KeyValue> kvs) {
+  assert(task < task_records_.size());
+  std::vector<ShuffleRecord>& records = task_records_[task];
+  assert(records.empty() && "task output ingested twice");
+  if (pack_messages_) {
+    // Group by key, preserving first-seen key order for determinism.
+    std::unordered_map<Tuple, size_t> index;
+    index.reserve(kvs.size());
+    for (KeyValue& kv : kvs) {
+      auto [it, inserted] = index.emplace(kv.key, records.size());
+      if (inserted) {
+        ShuffleRecord rec;
+        rec.key = kv.key;
+        rec.wire_bytes = TupleWireBytes(kv.key);
+        records.push_back(std::move(rec));
+      }
+      ShuffleRecord& rec = records[it->second];
+      rec.wire_bytes += kv.value.wire_bytes;
+      rec.values.push_back(std::move(kv.value));
+    }
+  } else {
+    records.reserve(kvs.size());
+    for (KeyValue& kv : kvs) {
+      ShuffleRecord rec;
+      rec.wire_bytes = TupleWireBytes(kv.key) + kv.value.wire_bytes;
+      rec.key = std::move(kv.key);
+      rec.values.push_back(std::move(kv.value));
+      records.push_back(std::move(rec));
+    }
+  }
+  ShuffleTaskIo io;
+  io.records = records.size();
+  for (const ShuffleRecord& rec : records) io.wire_bytes += rec.wire_bytes;
+  return io;
+}
+
+void Shuffle::Partition(int num_partitions, ThreadPool* pool) {
+  assert(num_partitions > 0);
+  assert(partitions_.empty() && "Partition called twice");
+  num_partitions_ = num_partitions;
+  const size_t r = static_cast<size_t>(num_partitions);
+  const size_t tasks = task_records_.size();
+
+  // Bucket each task's records, then concatenate buckets in task order so
+  // every partition sees its records in (task, emission) order.
+  std::vector<std::vector<std::vector<const ShuffleRecord*>>> buckets(tasks);
+  auto bucket_task = [&](size_t ti) {
+    buckets[ti].resize(r);
+    for (const ShuffleRecord& rec : task_records_[ti]) {
+      buckets[ti][rec.key.Hash() % static_cast<uint64_t>(r)].push_back(&rec);
+    }
+  };
+  auto gather_partition = [&](size_t p) {
+    size_t total = 0;
+    for (size_t ti = 0; ti < tasks; ++ti) total += buckets[ti][p].size();
+    partitions_[p].reserve(total);
+    for (size_t ti = 0; ti < tasks; ++ti) {
+      partitions_[p].insert(partitions_[p].end(), buckets[ti][p].begin(),
+                            buckets[ti][p].end());
+    }
+  };
+  partitions_.resize(r);
+  if (pool != nullptr) {
+    pool->ParallelFor(tasks, bucket_task);
+    pool->ParallelFor(r, gather_partition);
+  } else {
+    for (size_t ti = 0; ti < tasks; ++ti) bucket_task(ti);
+    for (size_t p = 0; p < r; ++p) gather_partition(p);
+  }
+}
+
+double Shuffle::PartitionWireBytes(size_t p) const {
+  assert(p < partitions_.size());
+  double bytes = 0.0;
+  for (const ShuffleRecord* rec : partitions_[p]) bytes += rec->wire_bytes;
+  return bytes;
+}
+
+void Shuffle::ForEachGroup(
+    size_t p, const std::function<void(const Tuple&,
+                                       const std::vector<Message>&)>& fn)
+    const {
+  assert(p < partitions_.size());
+  // One flat index per partition; the stable sort keeps (task, emission)
+  // order within equal keys, so merged value lists match a sequential run.
+  std::vector<const ShuffleRecord*> sorted = partitions_[p];
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ShuffleRecord* a, const ShuffleRecord* b) {
+                     return a->key < b->key;
+                   });
+  std::vector<Message> merged;  // reused across key groups
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j]->key == sorted[i]->key) ++j;
+    if (j == i + 1) {
+      fn(sorted[i]->key, sorted[i]->values);
+    } else {
+      merged.clear();
+      for (size_t k = i; k < j; ++k) {
+        merged.insert(merged.end(), sorted[k]->values.begin(),
+                      sorted[k]->values.end());
+      }
+      fn(sorted[i]->key, merged);
+    }
+    i = j;
+  }
+}
+
+}  // namespace gumbo::mr

@@ -1,0 +1,89 @@
+// Shuffle: the mapper→reducer data movement of the simulated MapReduce
+// engine (DESIGN.md §3), extracted from the engine so the map, partition,
+// and reduce phases share one flat-buffer representation.
+//
+// Pipeline:
+//   1. AddTaskOutput ingests one map task's raw emissions, grouping values
+//      by key in first-seen order when packing is enabled (Gumbo §5.1
+//      optimization (1): one key header per packed list on the wire);
+//   2. Partition hash-buckets every record by key into reduce partitions,
+//      keeping records of each partition in (map task, emission) order;
+//   3. ForEachGroup walks one partition's distinct keys in sorted order.
+//
+// The reduce side performs a single stable sort over one flat record
+// vector per partition instead of building a per-key hash map, so the hot
+// path allocates O(partitions) scratch buffers rather than O(keys).
+//
+// Determinism: record order within a partition is the (task index,
+// emission index) order, the stable sort preserves it within equal keys,
+// and distinct keys come out in sorted order — all independent of thread
+// count and scheduling.
+#ifndef GUMBO_MR_SHUFFLE_H_
+#define GUMBO_MR_SHUFFLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/tuple.h"
+#include "mr/message.h"
+
+namespace gumbo::mr {
+
+/// One shuffle record: a key plus all messages one map task emitted for it
+/// (a singleton list per message when packing is disabled).
+struct ShuffleRecord {
+  Tuple key;
+  std::vector<Message> values;
+  double wire_bytes = 0.0;  ///< key bytes + value bytes of this record
+};
+
+/// Wire-level accounting of one map task's shuffle output.
+struct ShuffleTaskIo {
+  double wire_bytes = 0.0;  ///< total key + value bytes the task emits
+  size_t records = 0;       ///< materialized records (after packing)
+};
+
+class Shuffle {
+ public:
+  /// `pack_messages`: group values by key within each map task.
+  Shuffle(size_t num_map_tasks, bool pack_messages);
+
+  size_t num_map_tasks() const { return task_records_.size(); }
+
+  /// Ingests one map task's emitted key/values. Safe to call concurrently
+  /// for distinct `task` indices.
+  ShuffleTaskIo AddTaskOutput(size_t task, std::vector<KeyValue> kvs);
+
+  /// Hash-partitions every ingested record into `num_partitions` reduce
+  /// partitions. Must be called once, after all AddTaskOutput calls.
+  /// `pool` parallelizes the bucketing (nullptr = sequential).
+  void Partition(int num_partitions, ThreadPool* pool = nullptr);
+
+  int num_partitions() const { return num_partitions_; }
+
+  /// Total key + value wire bytes received by partition `p`.
+  double PartitionWireBytes(size_t p) const;
+
+  /// Invokes `fn(key, values)` once per distinct key of partition `p`,
+  /// keys in sorted order, values concatenated in (map task, emission)
+  /// order. Safe to call concurrently for distinct `p` after Partition.
+  void ForEachGroup(
+      size_t p,
+      const std::function<void(const Tuple&, const std::vector<Message>&)>&
+          fn) const;
+
+ private:
+  bool pack_messages_;
+  /// [task] -> records the task produced, in emission / first-seen order.
+  std::vector<std::vector<ShuffleRecord>> task_records_;
+  int num_partitions_ = 0;
+  /// [partition] -> records, in (task, emission) order. Pointees live in
+  /// task_records_.
+  std::vector<std::vector<const ShuffleRecord*>> partitions_;
+};
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_SHUFFLE_H_

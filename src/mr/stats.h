@@ -38,11 +38,42 @@ struct JobStats {
   }
 };
 
+/// Per-round accounting of the round runtime (mr/runtime.h). A round is
+/// one dependency-depth level of the program's job DAG; all jobs of a
+/// round are independent and execute concurrently.
+struct RoundStats {
+  int round = 0;              ///< 1-based round number
+  std::vector<size_t> jobs;   ///< program job indices executed this round
+  double max_job_cost = 0.0;  ///< modeled: slowest job (overhead + tasks)
+  double sum_job_cost = 0.0;  ///< modeled: aggregate cost of the round
+  int max_concurrent = 0;     ///< observed peak of jobs in flight at once
+  double wall_ms = 0.0;       ///< real wall-clock of the round
+};
+
 struct ProgramStats {
   std::vector<JobStats> jobs;
+  std::vector<RoundStats> round_stats;  ///< filled by the round runtime
   double total_time = 0.0;  ///< aggregate task time across all jobs
   double net_time = 0.0;    ///< simulated makespan (slot-constrained)
+  double wall_ms = 0.0;     ///< real wall-clock of the whole program
   int rounds = 0;           ///< longest dependency chain of jobs
+
+  /// Modeled net time under an idealized unconstrained cluster: rounds run
+  /// back to back, jobs within a round fully overlap (max-per-round). An
+  /// upper-level sanity bound on the slot-constrained net_time.
+  double RoundNetTime() const {
+    double v = 0.0;
+    for (const auto& r : round_stats) v += r.max_job_cost;
+    return v;
+  }
+  /// Largest observed number of concurrently-executing jobs in any round.
+  int MaxConcurrentJobs() const {
+    int v = 0;
+    for (const auto& r : round_stats) {
+      if (r.max_concurrent > v) v = r.max_concurrent;
+    }
+    return v;
+  }
 
   double HdfsReadMb() const {
     double v = 0.0;

@@ -1,14 +1,15 @@
 #include "plan/executor.h"
 
+#include <algorithm>
+
 #include "sgf/naive_eval.h"
 
 namespace gumbo::plan {
 
-Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
-                                    Database* db) {
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
+                                    const mr::Runtime& runtime, Database* db) {
   ExecutionResult result;
-  GUMBO_ASSIGN_OR_RETURN(result.stats,
-                         mr::RunProgram(plan.program, engine, db));
+  GUMBO_ASSIGN_OR_RETURN(result.stats, runtime.Execute(plan.program, db));
   for (const std::string& name : plan.intermediates) {
     db->Erase(name);
   }
@@ -18,20 +19,32 @@ Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
   m.input_mb = result.stats.HdfsReadMb();
   m.communication_mb = result.stats.ShuffleMb();
   m.output_mb = result.stats.HdfsWriteMb();
+  m.wall_ms = result.stats.wall_ms;
   m.jobs = static_cast<int>(result.stats.jobs.size());
   m.rounds = result.stats.rounds;
+  for (const mr::RoundStats& r : result.stats.round_stats) {
+    m.max_jobs_per_round =
+        std::max(m.max_jobs_per_round, static_cast<int>(r.jobs.size()));
+  }
+  m.peak_concurrent_jobs = result.stats.MaxConcurrentJobs();
   return result;
+}
+
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
+                                    Database* db) {
+  return ExecutePlan(plan, mr::Runtime(engine), db);
 }
 
 Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
                                          const Planner& planner,
-                                         mr::Engine* engine, Database* db) {
+                                         const mr::Runtime& runtime,
+                                         Database* db) {
   // Reference run first, on the pristine database.
   GUMBO_ASSIGN_OR_RETURN(Database expected, sgf::NaiveEvalSgf(query, *db));
 
   GUMBO_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query, *db));
   GUMBO_ASSIGN_OR_RETURN(ExecutionResult result,
-                         ExecutePlan(plan, engine, db));
+                         ExecutePlan(plan, runtime, db));
 
   for (const auto& q : query.subqueries()) {
     GUMBO_ASSIGN_OR_RETURN(const Relation* got, db->Get(q.output()));
@@ -45,6 +58,12 @@ Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
     }
   }
   return result;
+}
+
+Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
+                                         const Planner& planner,
+                                         mr::Engine* engine, Database* db) {
+  return ExecuteAndVerify(query, planner, mr::Runtime(engine), db);
 }
 
 }  // namespace gumbo::plan

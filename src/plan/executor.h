@@ -1,12 +1,13 @@
-// Plan execution: runs a QueryPlan's MR program, collects the paper's
-// metrics, cleans up intermediates, and (optionally) verifies results
-// against the naive reference evaluator.
+// Plan execution: runs a QueryPlan's MR program on the round runtime,
+// collects the paper's metrics, cleans up intermediates, and (optionally)
+// verifies results against the naive reference evaluator.
 #ifndef GUMBO_PLAN_EXECUTOR_H_
 #define GUMBO_PLAN_EXECUTOR_H_
 
 #include "common/relation.h"
 #include "common/result.h"
 #include "mr/program.h"
+#include "mr/runtime.h"
 #include "plan/planner.h"
 #include "sgf/sgf.h"
 
@@ -19,8 +20,13 @@ struct Metrics {
   double input_mb = 0.0;        ///< bytes read from HDFS over the plan
   double communication_mb = 0.0;///< bytes shuffled mapper -> reducer
   double output_mb = 0.0;
+  double wall_ms = 0.0;         ///< real wall-clock of the execution
   int jobs = 0;
   int rounds = 0;
+  /// Largest number of jobs sharing one round (plan structure).
+  int max_jobs_per_round = 0;
+  /// Observed peak of concurrently-executing jobs (runtime behavior).
+  int peak_concurrent_jobs = 0;
 };
 
 struct ExecutionResult {
@@ -28,15 +34,26 @@ struct ExecutionResult {
   mr::ProgramStats stats;
 };
 
-/// Executes `plan` against `db` (which must hold the base relations).
-/// On success the produced output relations are left in `db` and all
-/// intermediate datasets are dropped.
+/// Executes `plan` against `db` (which must hold the base relations) on
+/// `runtime`. On success the produced output relations are left in `db`
+/// and all intermediate datasets are dropped.
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
+                                    const mr::Runtime& runtime, Database* db);
+
+/// Convenience overload: wraps `engine` in a default Runtime (jobs of the
+/// same round run concurrently on the engine's pool).
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
                                     Database* db);
 
 /// Plans + executes + verifies in one call: evaluates `query` under
-/// `planner`'s strategy and checks every produced relation against
-/// sgf::NaiveEvalSgf. Returns FailedPrecondition on any mismatch.
+/// `planner`'s strategy on `runtime` and checks every produced relation
+/// against sgf::NaiveEvalSgf. Returns FailedPrecondition on any mismatch.
+Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
+                                         const Planner& planner,
+                                         const mr::Runtime& runtime,
+                                         Database* db);
+
+/// Convenience overload wrapping `engine` in a default Runtime.
 Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
                                          const Planner& planner,
                                          mr::Engine* engine, Database* db);

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "mr/runtime.h"
 #include "ops/chain.h"
 #include "ops/eval.h"
 #include "ops/one_round.h"
@@ -512,6 +513,18 @@ Result<QueryPlan> Planner::Plan(const sgf::SgfQuery& query,
     GUMBO_RETURN_IF_ERROR(
         PlanBatch(batch_strategy, batches[b], barrier, &ctx, &batch_jobs));
     barrier = batch_jobs;
+  }
+
+  // Summarize the runtime's round structure: jobs listed on one line run
+  // concurrently under the round scheduler (mr/runtime.h).
+  const std::vector<std::vector<size_t>> rounds =
+      mr::Runtime::JobRounds(ctx.plan.program);
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    std::string line = "-- round " + std::to_string(r + 1) + " (" +
+                       std::to_string(rounds[r].size()) + " job" +
+                       (rounds[r].size() == 1 ? "" : "s") + "):";
+    for (size_t j : rounds[r]) line += " [" + std::to_string(j) + "]";
+    ctx.Describe(line);
   }
   return std::move(ctx.plan);
 }

@@ -263,5 +263,36 @@ TEST(ThreadPoolTest, HandlesZeroAndOne) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The round runtime nests job-level ParallelFor around task-level ones
+  // on the same pool; every level must drain even when all workers are
+  // busy. A 1-thread pool is the worst case: the caller has to finish
+  // each loop single-handedly.
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> hits{0};
+    pool.ParallelFor(4, [&](size_t) {
+      pool.ParallelFor(4, [&](size_t) {
+        pool.ParallelFor(4, [&](size_t) { hits++; });
+      });
+    });
+    EXPECT_EQ(hits.load(), 64) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsCompleteIndependently) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(100, [&](size_t) { total++; });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
 }  // namespace
 }  // namespace gumbo

@@ -1,0 +1,277 @@
+// Tests for the round runtime: round structure, concurrent execution of
+// independent jobs, and determinism across thread-pool sizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "data/workloads.h"
+#include "mr/runtime.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "sgf/naive_eval.h"
+#include "test_util.h"
+
+namespace gumbo::mr {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+
+cost::ClusterConfig TestCluster() {
+  cost::ClusterConfig c;
+  c.split_mb = 0.0005;
+  c.mb_per_reducer = 0.0005;
+  return c;
+}
+
+data::GeneratorConfig SmallData() {
+  data::GeneratorConfig g;
+  g.tuples = 400;
+  g.representation_scale = 1.0;
+  g.seed = 7;
+  return g;
+}
+
+// ---- Round structure --------------------------------------------------------
+
+JobSpec NamedJob(const std::string& name) {
+  JobSpec s;
+  s.name = name;
+  s.mapper_factory = [] { return nullptr; };
+  s.reducer_factory = [] { return nullptr; };
+  return s;
+}
+
+TEST(RuntimeTest, JobRoundsGroupByDependencyDepth) {
+  // Diamond: a; b,c depend on a; d depends on b and c; e independent.
+  Program p;
+  size_t a = p.AddJob(NamedJob("a"));
+  size_t b = p.AddJob(NamedJob("b"), {a});
+  size_t c = p.AddJob(NamedJob("c"), {a});
+  size_t d = p.AddJob(NamedJob("d"), {b, c});
+  size_t e = p.AddJob(NamedJob("e"));
+  std::vector<std::vector<size_t>> rounds = Runtime::JobRounds(p);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[0], (std::vector<size_t>{a, e}));
+  EXPECT_EQ(rounds[1], (std::vector<size_t>{b, c}));
+  EXPECT_EQ(rounds[2], (std::vector<size_t>{d}));
+}
+
+TEST(RuntimeTest, JobRoundsOfEmptyProgram) {
+  Program p;
+  EXPECT_TRUE(Runtime::JobRounds(p).empty());
+}
+
+// ---- Concurrent execution --------------------------------------------------
+
+// A mapper that, on its first fact, announces itself and then waits until
+// `expected` map tasks across the program are running. If the runtime
+// executed round jobs sequentially this would stall until the fallback
+// deadline, and the concurrency assertion below would fail instead of
+// hanging the suite.
+class GateMapper : public Mapper {
+ public:
+  GateMapper(std::atomic<int>* started, int expected)
+      : started_(started), expected_(expected) {}
+  void Map(size_t, const Tuple& fact, uint64_t,
+           MapEmitter* emitter) override {
+    if (!announced_) {
+      announced_ = true;
+      started_->fetch_add(1);
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (started_->load() < expected_ &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+    Message m;
+    m.wire_bytes = 4.0;
+    emitter->Emit(Tuple{fact[0]}, std::move(m));
+  }
+
+ private:
+  std::atomic<int>* started_;
+  int expected_;
+  bool announced_ = false;
+};
+
+class PassKeyReducer : public Reducer {
+ public:
+  void Reduce(const Tuple& key, const std::vector<Message>&,
+              ReduceEmitter* emitter) override {
+    emitter->Emit(0, Tuple{key[0]});
+  }
+};
+
+JobSpec GateJob(const std::string& in, const std::string& out,
+                std::atomic<int>* started, int expected) {
+  JobSpec spec;
+  spec.name = "gate-" + out;
+  spec.inputs.push_back({in});
+  JobOutput o;
+  o.dataset = out;
+  o.arity = 1;
+  spec.outputs.push_back(o);
+  spec.mapper_factory = [started, expected] {
+    return std::make_unique<GateMapper>(started, expected);
+  };
+  spec.reducer_factory = [] { return std::make_unique<PassKeyReducer>(); };
+  return spec;
+}
+
+TEST(RuntimeTest, IndependentJobsOfARoundRunConcurrently) {
+  Database db;
+  db.Put(MakeRelation("In", 1, {{1}, {2}, {3}}));
+  // Two independent jobs whose mappers block until both are running: only
+  // a concurrent runtime lets both gates open promptly.
+  std::atomic<int> started{0};
+  Program program;
+  program.AddJob(GateJob("In", "OutA", &started, 2));
+  program.AddJob(GateJob("In", "OutB", &started, 2));
+
+  ThreadPool pool(4);
+  Engine engine(cost::ClusterConfig{}, &pool);
+  Runtime runtime(&engine);
+  auto stats = runtime.Execute(program, &db);
+  ASSERT_OK(stats);
+
+  ASSERT_EQ(stats->round_stats.size(), 1u);
+  EXPECT_EQ(stats->round_stats[0].jobs.size(), 2u);
+  EXPECT_EQ(stats->round_stats[0].max_concurrent, 2);
+  EXPECT_EQ(stats->MaxConcurrentJobs(), 2);
+  EXPECT_EQ(db.Get("OutA").value()->size(), 3u);
+  EXPECT_EQ(db.Get("OutB").value()->size(), 3u);
+}
+
+TEST(RuntimeTest, SequentialOptionStillCorrect) {
+  Database db;
+  db.Put(MakeRelation("In", 1, {{1}, {2}, {3}}));
+  std::atomic<int> started{0};
+  Program program;
+  // expected=1: the gate opens immediately; jobs run one-by-one.
+  program.AddJob(GateJob("In", "OutA", &started, 1));
+  program.AddJob(GateJob("In", "OutB", &started, 1));
+
+  ThreadPool pool(4);
+  Engine engine(cost::ClusterConfig{}, &pool);
+  RuntimeOptions options;
+  options.concurrent_jobs = false;
+  Runtime runtime(&engine, options);
+  auto stats = runtime.Execute(program, &db);
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->round_stats[0].max_concurrent, 1);
+  EXPECT_EQ(db.Get("OutA").value()->size(), 3u);
+  EXPECT_EQ(db.Get("OutB").value()->size(), 3u);
+}
+
+TEST(RuntimeTest, FailingJobSurfacesItsStatus) {
+  Database db;
+  db.Put(MakeRelation("In", 1, {{1}}));
+  Program program;
+  std::atomic<int> started{0};
+  program.AddJob(GateJob("In", "OutA", &started, 1));
+  program.AddJob(GateJob("Missing", "OutB", &started, 1));  // bad input
+  Engine engine(cost::ClusterConfig{});
+  auto stats = Runtime(&engine).Execute(program, &db);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+  // The failing round committed nothing.
+  EXPECT_FALSE(db.Contains("OutA"));
+}
+
+// ---- PAR plans under the round scheduler ------------------------------------
+
+TEST(RuntimeTest, ParPlanHasMultiJobFirstRound) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  plan::PlannerOptions opts;
+  opts.strategy = plan::Strategy::kPar;
+  cost::ClusterConfig config = TestCluster();
+  plan::Planner planner(config, opts);
+  Engine engine(config);
+  Database db = w->db;
+  auto result = plan::ExecuteAndVerify(w->query, planner, &engine, &db);
+  ASSERT_OK(result);
+  // A1 under PAR: 4 independent MSJ jobs in round 1, one EVAL in round 2.
+  EXPECT_EQ(result->metrics.rounds, 2);
+  EXPECT_EQ(result->metrics.max_jobs_per_round, 4);
+  ASSERT_EQ(result->stats.round_stats.size(), 2u);
+  EXPECT_EQ(result->stats.round_stats[0].jobs.size(), 4u);
+  EXPECT_EQ(result->stats.round_stats[1].jobs.size(), 1u);
+  EXPECT_GT(result->stats.RoundNetTime(), 0.0);
+  EXPECT_GT(result->metrics.wall_ms, 0.0);
+}
+
+// ---- Determinism across pool sizes ------------------------------------------
+
+// Executes workload `w` under `strategy` with a dedicated pool of
+// `threads` workers; returns the output relations and metrics.
+struct RunOutput {
+  std::vector<std::vector<Tuple>> outputs;  // per subquery, tuple order
+  plan::Metrics metrics;
+};
+
+RunOutput RunWithThreads(const data::Workload& w, plan::Strategy strategy,
+                         size_t threads, bool concurrent_jobs = true) {
+  plan::PlannerOptions opts;
+  opts.strategy = strategy;
+  opts.sample_size = 64;
+  cost::ClusterConfig config = TestCluster();
+  plan::Planner planner(config, opts);
+  ThreadPool pool(threads);
+  Engine engine(config, &pool);
+  RuntimeOptions roptions;
+  roptions.concurrent_jobs = concurrent_jobs;
+  Runtime runtime(&engine, roptions);
+  Database db = w.db;
+  auto plan = planner.Plan(w.query, db);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  auto result = plan::ExecutePlan(*plan, runtime, &db);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunOutput out;
+  out.metrics = result->metrics;
+  for (const auto& q : w.query.subqueries()) {
+    out.outputs.push_back(db.Get(q.output()).value()->tuples());
+  }
+  return out;
+}
+
+TEST(RuntimeTest, ByteIdenticalAcrossPoolSizes) {
+  for (plan::Strategy strategy :
+       {plan::Strategy::kPar, plan::Strategy::kGreedy}) {
+    auto w = data::MakeA(1, SmallData());
+    ASSERT_OK(w);
+    RunOutput one = RunWithThreads(*w, strategy, 1);
+    RunOutput two = RunWithThreads(*w, strategy, 2);
+    RunOutput eight = RunWithThreads(*w, strategy, 8);
+    // Byte-identical outputs: same tuples in the same order, not just the
+    // same set.
+    EXPECT_EQ(one.outputs, two.outputs);
+    EXPECT_EQ(one.outputs, eight.outputs);
+    // Identical modeled metrics, bit for bit.
+    EXPECT_EQ(one.metrics.communication_mb, two.metrics.communication_mb);
+    EXPECT_EQ(one.metrics.communication_mb, eight.metrics.communication_mb);
+    EXPECT_EQ(one.metrics.net_time, eight.metrics.net_time);
+    EXPECT_EQ(one.metrics.total_time, eight.metrics.total_time);
+    EXPECT_EQ(one.metrics.input_mb, eight.metrics.input_mb);
+  }
+}
+
+TEST(RuntimeTest, ConcurrentMatchesSequentialRuntime) {
+  auto w = data::MakeC(1, SmallData());  // nested query: several rounds
+  ASSERT_OK(w);
+  RunOutput concurrent = RunWithThreads(*w, plan::Strategy::kGreedySgf, 8,
+                                        /*concurrent_jobs=*/true);
+  RunOutput sequential = RunWithThreads(*w, plan::Strategy::kGreedySgf, 8,
+                                        /*concurrent_jobs=*/false);
+  EXPECT_EQ(concurrent.outputs, sequential.outputs);
+  EXPECT_EQ(concurrent.metrics.communication_mb,
+            sequential.metrics.communication_mb);
+  EXPECT_EQ(concurrent.metrics.net_time, sequential.metrics.net_time);
+}
+
+}  // namespace
+}  // namespace gumbo::mr
