@@ -413,6 +413,10 @@ Status PlanHparsQuery(const sgf::BsgfQuery& q, plan::QueryPlan* plan,
   ops::OpOptions opt;
   opt.tuple_id_refs = false;
   opt.pack_messages = false;
+  // The baselines model systems without gumbo's shuffle-volume
+  // optimizations (DESIGN.md §5).
+  opt.combiners = false;
+  opt.bloom_filters = false;
   ops::EvalTask eval_task;
   eval_task.query = q;
   eval_task.guard_dataset = q.guard().relation();

@@ -51,6 +51,15 @@ double ReduceCost(const CostConstants& c, double shuffle_mb, double output_mb,
          c.hdfs_write * output_mb;
 }
 
+double FilterBuildCost(const CostConstants& c, double scan_mb) {
+  return c.local_read * scan_mb;
+}
+
+double FilterBroadcastCost(const CostConstants& c, double filter_mb,
+                           int copies) {
+  return c.transfer * filter_mb * static_cast<double>(std::max(copies, 1));
+}
+
 double JobCost(const CostConstants& c, CostModelVariant variant,
                const std::vector<MapPartition>& partitions, double output_mb,
                int num_reducers) {

@@ -57,6 +57,19 @@ double JobCost(const CostConstants& c, CostModelVariant variant,
 /// Helper: ceil-log base D, clamped at zero; log_D ceil(x).
 double LogDCeil(double x, double d);
 
+/// Bloom-filter accounting (DESIGN.md §5.3). Building scans `scan_mb` of
+/// conditional input once at local-read cost: l_r * scan_mb. Charged once
+/// per job (JobStats::filter_build_cost).
+double FilterBuildCost(const CostConstants& c, double scan_mb);
+
+/// Broadcast of `filter_mb` of filter bits to `copies` receivers (one per
+/// cluster node, Hadoop distributed-cache style) at network transfer
+/// cost: t * filter_mb * copies. The engine spreads this over the map
+/// tasks, so the broadcast enters both total time and the net-time
+/// simulation (DESIGN.md §5.3).
+double FilterBroadcastCost(const CostConstants& c, double filter_mb,
+                           int copies);
+
 }  // namespace gumbo::cost
 
 #endif  // GUMBO_COST_MODEL_H_

@@ -1,0 +1,40 @@
+#include "mr/combiner.h"
+
+namespace gumbo::mr {
+
+namespace {
+
+inline uint64_t MessageHash(const Message& m) {
+  uint64_t z = (static_cast<uint64_t>(m.tag) << 32) ^ m.aux;
+  z ^= m.payload.Hash() + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void DedupCombiner::Combine(const Tuple& key, std::vector<Message>* values) {
+  (void)key;
+  if (values->size() < 2) return;
+  seen_.clear();
+  std::vector<Message> kept;
+  kept.reserve(values->size());
+  for (Message& m : *values) {
+    const uint64_t h = MessageHash(m);
+    std::vector<uint32_t>& bucket = seen_[h];
+    bool duplicate = false;
+    for (uint32_t idx : bucket) {
+      const Message& k = kept[idx];
+      if (k.tag == m.tag && k.aux == m.aux && k.payload == m.payload) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(static_cast<uint32_t>(kept.size()));
+    kept.push_back(std::move(m));
+  }
+  *values = std::move(kept);
+}
+
+}  // namespace gumbo::mr

@@ -1,0 +1,43 @@
+// The set-semantics dedup combiner (DESIGN.md §5.1).
+//
+// All of gumbo's operators are set-algebraic: a reducer either tests
+// message *existence* (Assert / X-membership / union markers) or forwards
+// payloads into an output that is deduplicated downstream. Shipping the
+// same (tag, aux, payload) twice for one key therefore never changes a
+// query result — so the one universally legal combiner is "keep the first
+// occurrence of every distinct message per key". docs/operators.md walks
+// through the legality argument operator by operator; the property tests
+// (tests/property_test.cc) pin byte-identical results with the combiner
+// on vs. off over random queries.
+//
+// Dedup never crosses reduce keys (the shuffle invokes Combine once per
+// key group of one map task) and never drops the last copy of a message.
+#ifndef GUMBO_MR_COMBINER_H_
+#define GUMBO_MR_COMBINER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mr/job.h"
+
+namespace gumbo::mr {
+
+/// Removes duplicate messages — equal (tag, aux, payload) — from one map
+/// task's value list for a key, keeping first occurrences in order
+/// (DESIGN.md §5.1; legality per operator in docs/operators.md). Wire
+/// size is not part of the identity: operators assign it as a pure
+/// function of the other three fields.
+class DedupCombiner : public Combiner {
+ public:
+  void Combine(const Tuple& key, std::vector<Message>* values) override;
+
+ private:
+  /// Scratch reused across key groups: message hash -> indices of kept
+  /// messages with that hash (collisions resolved by full comparison).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen_;
+};
+
+}  // namespace gumbo::mr
+
+#endif  // GUMBO_MR_COMBINER_H_

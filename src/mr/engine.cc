@@ -103,6 +103,23 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     stats.inputs[i].num_map_tasks = ntasks;
   }
 
+  // ---- Bloom filters (DESIGN.md §5.2): built once per job from the
+  // resolved inputs, before any map task runs; every mapper gets the set.
+  std::shared_ptr<const FilterSet> filters;
+  if (job.filter_builder) {
+    GUMBO_ASSIGN_OR_RETURN(FilterSet fs, job.filter_builder(inputs));
+    if (!fs.empty()) {
+      stats.filter_mb = fs.SizeBytes() * scale * kMbPerByte;
+      stats.filter_build_cost =
+          cost::FilterBuildCost(config_.costs, fs.scan_mb());
+      // Distributed-cache style: one filter copy shipped per node, not
+      // per task (DESIGN.md §5.3).
+      stats.filter_broadcast_mb =
+          stats.filter_mb * static_cast<double>(config_.nodes);
+      filters = std::make_shared<const FilterSet>(std::move(fs));
+    }
+  }
+
   // ---- Map phase (two passes when reducer count depends on intermediate
   // size: we must know the total before partitioning; the shuffle buffers
   // per-task records and buckets them once `r` is known) -------------------
@@ -113,6 +130,8 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   struct TaskAccounting {
     double output_mb = 0.0;    // represented MB of intermediate data
     double metadata_mb = 0.0;  // represented MB of per-record metadata
+    ShuffleTaskIo io;          // raw record/message counts
+    uint64_t filtered = 0;     // emissions suppressed by Bloom filters
   };
   std::vector<TaskAccounting> task_io(tasks.size());
 
@@ -120,21 +139,35 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     const MapTaskSpec& t = tasks[ti];
     const Relation* rel = inputs[t.input_index];
     auto mapper = job.mapper_factory();
+    if (filters != nullptr) mapper->AttachFilters(filters.get());
+    auto combiner =
+        job.combiner_factory ? job.combiner_factory() : nullptr;
     VectorMapEmitter emitter;
     for (size_t j = t.begin; j < t.end; ++j) {
       mapper->Map(t.input_index, rel->tuples()[j], static_cast<uint64_t>(j),
                   &emitter);
     }
-    ShuffleTaskIo io = shuffle.AddTaskOutput(ti, std::move(emitter.buffer()));
+    ShuffleTaskIo io = shuffle.AddTaskOutput(ti, std::move(emitter.buffer()),
+                                             combiner.get());
     task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
     task_io[ti].metadata_mb =
         static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
+    task_io[ti].io = io;
+    task_io[ti].filtered = mapper->SuppressedEmissions();
   });
 
   // Per-input aggregates and per-task map costs.
   double total_intermediate_mb = 0.0;
   double total_input_mb = 0.0;
   stats.map_task_costs.resize(tasks.size());
+  // The filter broadcast cost is spread evenly over the map tasks so it
+  // enters the net-time simulation (DESIGN.md §5.3).
+  const double broadcast_cost =
+      filters != nullptr && !tasks.empty()
+          ? cost::FilterBroadcastCost(config_.costs, stats.filter_mb,
+                                      config_.nodes) /
+                static_cast<double>(tasks.size())
+          : 0.0;
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     const MapTaskSpec& t = tasks[ti];
     InputStats& is = stats.inputs[t.input_index];
@@ -147,7 +180,13 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     p.output_mb = task_io[ti].output_mb;
     p.metadata_mb = task_io[ti].metadata_mb;
     p.num_mappers = 1;
-    stats.map_task_costs[ti] = cost::MapCost(config_.costs, p);
+    stats.map_task_costs[ti] = cost::MapCost(config_.costs, p) + broadcast_cost;
+    stats.shuffle_records += task_io[ti].io.records;
+    stats.shuffle_messages += task_io[ti].io.messages;
+    stats.combined_messages += task_io[ti].io.combined_messages;
+    stats.combined_mb +=
+        task_io[ti].io.combined_bytes * overhead * scale * kMbPerByte;
+    stats.filtered_messages += task_io[ti].filtered;
   }
   stats.hdfs_read_mb = total_input_mb;
   stats.shuffle_mb = total_intermediate_mb;
@@ -203,12 +242,23 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
 
   stats.reduce_task_costs.resize(static_cast<size_t>(r));
   double total_output_mb = 0.0;
+  double received_mb = 0.0;
   for (int rj = 0; rj < r; ++rj) {
     stats.reduce_task_costs[static_cast<size_t>(rj)] = cost::ReduceCost(
         config_.costs, red[static_cast<size_t>(rj)].shuffle_mb,
         red[static_cast<size_t>(rj)].output_mb, /*num_reducers=*/1);
     total_output_mb += red[static_cast<size_t>(rj)].output_mb;
+    received_mb += red[static_cast<size_t>(rj)].shuffle_mb;
   }
+  // Reconciliation: the reduce-side partition totals only feed per-task
+  // cost attribution; the bytes metric itself is the map-side
+  // stats.shuffle_mb (the single source of truth, see mr/stats.h). The
+  // two views must agree — every shuffled byte lands in exactly one
+  // partition.
+  assert(std::abs(received_mb - stats.shuffle_mb) <=
+             1e-6 * std::max(1.0, stats.shuffle_mb) &&
+         "map-side and reduce-side shuffle accounting diverged");
+  (void)received_mb;
   stats.hdfs_write_mb = total_output_mb;
 
   // ---- Collect outputs -----------------------------------------------------

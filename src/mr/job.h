@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/relation.h"
+#include "common/result.h"
 #include "common/tuple.h"
+#include "mr/filter.h"
 #include "mr/message.h"
 
 namespace gumbo::mr {
@@ -37,6 +40,17 @@ class Mapper {
   /// relation (stable across runs; used by the tuple-id optimization).
   virtual void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
                    MapEmitter* emitter) = 0;
+
+  /// Hands the mapper the job's Bloom filters (DESIGN.md §5.2) before any
+  /// Map call; only invoked when JobSpec::filter_builder produced a
+  /// non-empty FilterSet. `filters` outlives the mapper. Mappers that
+  /// don't pre-filter ignore it.
+  virtual void AttachFilters(const FilterSet* filters) { (void)filters; }
+
+  /// Number of emissions this mapper suppressed because a Bloom filter
+  /// proved the key cannot match (DESIGN.md §5.2); the engine aggregates
+  /// it into JobStats::filtered_messages after the task finishes.
+  virtual uint64_t SuppressedEmissions() const { return 0; }
 };
 
 /// User reduce function. One instance per reduce task.
@@ -46,6 +60,22 @@ class Reducer {
   /// Called once per key group, keys in sorted order within the task.
   virtual void Reduce(const Tuple& key, const std::vector<Message>& values,
                       ReduceEmitter* emitter) = 0;
+};
+
+/// Map-side combiner (DESIGN.md §5.1): reduces one map task's value list
+/// for a single key before it is shuffled. A combiner must never merge
+/// across reduce keys and must preserve the reducer's view up to set
+/// semantics — the only combiner gumbo's operators use is the
+/// set-semantics dedup of mr/combiner.h, which docs/operators.md proves
+/// legal per operator. One instance is created per map task, so Combine
+/// may keep scratch state without synchronization.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  /// Shrinks `values` (all of one map task's messages for `key`) in
+  /// place. Must keep at least one message per surviving equivalence
+  /// class and must not reorder the survivors.
+  virtual void Combine(const Tuple& key, std::vector<Message>* values) = 0;
 };
 
 /// How the engine picks the number of reduce tasks.
@@ -88,6 +118,16 @@ struct JobSpec {
   /// reducer per reduce task.
   std::function<std::unique_ptr<Mapper>()> mapper_factory;
   std::function<std::unique_ptr<Reducer>()> reducer_factory;
+  /// Optional map-side combiner (DESIGN.md §5.1): one instance per map
+  /// task, applied by the shuffle to every key group the task emits.
+  /// Combined-away messages are accounted in JobStats::combined_messages.
+  std::function<std::unique_ptr<Combiner>()> combiner_factory;
+  /// Optional Bloom-filter construction (DESIGN.md §5.2): called once per
+  /// job with the resolved input relations (JobSpec::inputs order) before
+  /// the map phase; the resulting FilterSet is attached to every mapper.
+  /// Build/broadcast costs are charged per DESIGN.md §5.3.
+  std::function<Result<FilterSet>(const std::vector<const Relation*>&)>
+      filter_builder;
   /// Message packing (Gumbo §5.1 optimization (1)): all values emitted by
   /// one map task for the same key share a single key header on the wire.
   bool pack_messages = true;

@@ -9,25 +9,66 @@ namespace gumbo::mr {
 Shuffle::Shuffle(size_t num_map_tasks, bool pack_messages)
     : pack_messages_(pack_messages), task_records_(num_map_tasks) {}
 
-ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, std::vector<KeyValue> kvs) {
+ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, std::vector<KeyValue> kvs,
+                                     Combiner* combiner) {
   assert(task < task_records_.size());
   std::vector<ShuffleRecord>& records = task_records_[task];
   assert(records.empty() && "task output ingested twice");
-  if (pack_messages_) {
+  ShuffleTaskIo io;
+  // The combiner contract needs per-key value lists, so combining always
+  // goes through the grouped form even when packing is off (survivors are
+  // then re-materialized as singleton records below).
+  if (pack_messages_ || combiner != nullptr) {
     // Group by key, preserving first-seen key order for determinism.
     std::unordered_map<Tuple, size_t> index;
     index.reserve(kvs.size());
+    std::vector<ShuffleRecord> grouped;
     for (KeyValue& kv : kvs) {
-      auto [it, inserted] = index.emplace(kv.key, records.size());
+      auto [it, inserted] = index.emplace(kv.key, grouped.size());
       if (inserted) {
         ShuffleRecord rec;
-        rec.key = kv.key;
-        rec.wire_bytes = TupleWireBytes(kv.key);
-        records.push_back(std::move(rec));
+        rec.key = std::move(kv.key);
+        grouped.push_back(std::move(rec));
       }
-      ShuffleRecord& rec = records[it->second];
-      rec.wire_bytes += kv.value.wire_bytes;
-      rec.values.push_back(std::move(kv.value));
+      grouped[it->second].values.push_back(std::move(kv.value));
+    }
+    if (combiner != nullptr) {
+      for (ShuffleRecord& rec : grouped) {
+        if (rec.values.size() < 2) continue;
+        const size_t before = rec.values.size();
+        double before_bytes = 0.0;
+        for (const Message& m : rec.values) before_bytes += m.wire_bytes;
+        combiner->Combine(rec.key, &rec.values);
+        assert(!rec.values.empty() && "combiner dropped a whole key group");
+        const size_t removed = before - rec.values.size();
+        io.combined_messages += removed;
+        for (const Message& m : rec.values) before_bytes -= m.wire_bytes;
+        io.combined_bytes += before_bytes;
+        if (!pack_messages_) {
+          // Without packing each removed message would have paid its own
+          // key header as a singleton record.
+          io.combined_bytes +=
+              static_cast<double>(removed) * TupleWireBytes(rec.key);
+        }
+      }
+    }
+    if (pack_messages_) {
+      for (ShuffleRecord& rec : grouped) {
+        rec.wire_bytes = TupleWireBytes(rec.key);
+        for (const Message& m : rec.values) rec.wire_bytes += m.wire_bytes;
+      }
+      records = std::move(grouped);
+    } else {
+      // No packing: every surviving message pays its own key header.
+      for (ShuffleRecord& rec : grouped) {
+        for (Message& m : rec.values) {
+          ShuffleRecord r;
+          r.key = rec.key;
+          r.wire_bytes = TupleWireBytes(r.key) + m.wire_bytes;
+          r.values.push_back(std::move(m));
+          records.push_back(std::move(r));
+        }
+      }
     }
   } else {
     records.reserve(kvs.size());
@@ -39,9 +80,11 @@ ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, std::vector<KeyValue> kvs) {
       records.push_back(std::move(rec));
     }
   }
-  ShuffleTaskIo io;
   io.records = records.size();
-  for (const ShuffleRecord& rec : records) io.wire_bytes += rec.wire_bytes;
+  for (const ShuffleRecord& rec : records) {
+    io.wire_bytes += rec.wire_bytes;
+    io.messages += rec.values.size();
+  }
   return io;
 }
 

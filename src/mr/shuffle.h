@@ -5,7 +5,10 @@
 // Pipeline:
 //   1. AddTaskOutput ingests one map task's raw emissions, grouping values
 //      by key in first-seen order when packing is enabled (Gumbo §5.1
-//      optimization (1): one key header per packed list on the wire);
+//      optimization (1): one key header per packed list on the wire) and
+//      applying the job's optional map-side combiner per key group
+//      (DESIGN.md §5.1) — combined-away messages are reported back so the
+//      engine can account them;
 //   2. Partition hash-buckets every record by key into reduce partitions,
 //      keeping records of each partition in (map task, emission) order;
 //   3. ForEachGroup walks one partition's distinct keys in sorted order.
@@ -27,6 +30,7 @@
 
 #include "common/thread_pool.h"
 #include "common/tuple.h"
+#include "mr/job.h"
 #include "mr/message.h"
 
 namespace gumbo::mr {
@@ -39,10 +43,16 @@ struct ShuffleRecord {
   double wire_bytes = 0.0;  ///< key bytes + value bytes of this record
 };
 
-/// Wire-level accounting of one map task's shuffle output.
+/// Wire-level accounting of one map task's shuffle output. All figures
+/// are post-combine: the combiner (DESIGN.md §5.1) runs before anything
+/// is counted, so JobStats::shuffle_mb is the single source of truth for
+/// what actually crosses the wire.
 struct ShuffleTaskIo {
   double wire_bytes = 0.0;  ///< total key + value bytes the task emits
   size_t records = 0;       ///< materialized records (after packing)
+  size_t messages = 0;      ///< shuffled values (after combining)
+  size_t combined_messages = 0;  ///< values removed by the combiner
+  double combined_bytes = 0.0;   ///< wire bytes the combiner removed
 };
 
 class Shuffle {
@@ -52,9 +62,13 @@ class Shuffle {
 
   size_t num_map_tasks() const { return task_records_.size(); }
 
-  /// Ingests one map task's emitted key/values. Safe to call concurrently
+  /// Ingests one map task's emitted key/values. `combiner` (may be null)
+  /// is applied to every key group before accounting (DESIGN.md §5.1);
+  /// without packing, surviving values are re-materialized as singleton
+  /// records, each paying its own key header. Safe to call concurrently
   /// for distinct `task` indices.
-  ShuffleTaskIo AddTaskOutput(size_t task, std::vector<KeyValue> kvs);
+  ShuffleTaskIo AddTaskOutput(size_t task, std::vector<KeyValue> kvs,
+                              Combiner* combiner = nullptr);
 
   /// Hash-partitions every ingested record into `num_partitions` reduce
   /// partitions. Must be called once, after all AddTaskOutput calls.

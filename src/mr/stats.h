@@ -4,6 +4,7 @@
 #ifndef GUMBO_MR_STATS_H_
 #define GUMBO_MR_STATS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,13 +26,29 @@ struct JobStats {
   std::vector<double> reduce_task_costs;  ///< cost-seconds per reduce task
   int num_reducers = 0;
   double hdfs_read_mb = 0.0;
-  double shuffle_mb = 0.0;  ///< communication: mapper -> reducer bytes
+  /// Communication: mapper -> reducer bytes, measured once on the map
+  /// side of the shuffle, after combining (DESIGN.md §5.1). This is the
+  /// single source of truth for shuffle volume: the reduce-side partition
+  /// totals and RoundStats::shuffle_mb are derived from it, never
+  /// re-measured (reconciled in tests/runtime_test.cc).
+  double shuffle_mb = 0.0;
   double hdfs_write_mb = 0.0;
   double job_overhead = 0.0;  ///< cost_h
 
-  /// Aggregate cost of the job = cost_h + sum of all task costs.
+  // ---- Shuffle-volume optimization counters (DESIGN.md §5) ----
+  uint64_t shuffle_records = 0;   ///< materialized records (post-packing)
+  uint64_t shuffle_messages = 0;  ///< shuffled values (post-combine)
+  uint64_t combined_messages = 0; ///< values removed by the combiner
+  double combined_mb = 0.0;       ///< intermediate MB the combiner removed
+  uint64_t filtered_messages = 0; ///< emissions suppressed by Bloom filters
+  double filter_mb = 0.0;           ///< Bloom filter bitset MB (represented)
+  double filter_broadcast_mb = 0.0; ///< filter_mb shipped to every map task
+  double filter_build_cost = 0.0;   ///< cost-seconds to build the filters
+
+  /// Aggregate cost of the job = cost_h + filter build + all task costs
+  /// (filter broadcast is inside the map task costs, DESIGN.md §5.3).
   double TotalCost() const {
-    double c = job_overhead;
+    double c = job_overhead + filter_build_cost;
     for (double t : map_task_costs) c += t;
     for (double t : reduce_task_costs) c += t;
     return c;
@@ -48,6 +65,11 @@ struct RoundStats {
   double sum_job_cost = 0.0;  ///< modeled: aggregate cost of the round
   int max_concurrent = 0;     ///< observed peak of jobs in flight at once
   double wall_ms = 0.0;       ///< real wall-clock of the round
+  /// Shuffle MB of the round's jobs, copied from JobStats::shuffle_mb at
+  /// the commit barrier — derived, never re-measured, so program totals
+  /// and round totals cannot drift apart (tests/runtime_test.cc asserts
+  /// the reconciliation).
+  double shuffle_mb = 0.0;
 };
 
 struct ProgramStats {
@@ -88,6 +110,33 @@ struct ProgramStats {
   double HdfsWriteMb() const {
     double v = 0.0;
     for (const auto& j : jobs) v += j.hdfs_write_mb;
+    return v;
+  }
+
+  // ---- Shuffle-volume optimization aggregates (DESIGN.md §5) ----
+  uint64_t ShuffleRecords() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.shuffle_records;
+    return v;
+  }
+  uint64_t ShuffleMessages() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.shuffle_messages;
+    return v;
+  }
+  uint64_t CombinedMessages() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.combined_messages;
+    return v;
+  }
+  uint64_t FilteredMessages() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.filtered_messages;
+    return v;
+  }
+  double FilterBroadcastMb() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.filter_broadcast_mb;
     return v;
   }
 };

@@ -1,7 +1,9 @@
 #include "ops/chain.h"
 
+#include <algorithm>
 #include <memory>
 
+#include "mr/combiner.h"
 #include "ops/messages.h"
 
 namespace gumbo::ops {
@@ -11,6 +13,14 @@ namespace {
 struct CompiledStep {
   ChainStepSpec spec;
   std::vector<std::string> key_vars;
+  // Bloom pre-filtering (DESIGN.md §5.2). Requests may be dropped on
+  // *positive* steps only — an anti-join emits guards *without* matches,
+  // so its requests must flow. Asserts at keys no input tuple projects to
+  // are dead weight for both polarities (the reducer only emits
+  // requests), so assert-side filtering is always on.
+  bool bloom_filters = false;
+  bool request_filter = false;
+  double filter_fpp = mr::BloomFilter::kDefaultFpp;
 };
 
 class ChainMapper : public mr::Mapper {
@@ -18,29 +28,47 @@ class ChainMapper : public mr::Mapper {
   explicit ChainMapper(std::shared_ptr<const CompiledStep> c)
       : c_(std::move(c)) {}
 
+  void AttachFilters(const mr::FilterSet* filters) override {
+    filters_ = filters;
+  }
+  uint64_t SuppressedEmissions() const override { return suppressed_; }
+
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
            mr::MapEmitter* emitter) override {
     (void)tuple_id;
     const ChainStepSpec& s = c_->spec;
     if (input_index == 0) {
       if (s.filter_guard_pattern && !s.guard.Conforms(fact)) return;
+      Tuple key = s.guard.Project(fact, c_->key_vars);
+      if (filters_ != nullptr && c_->request_filter &&
+          !filters_->filter(0).MightContain(key.Hash())) {
+        ++suppressed_;  // key provably unmatched: the semi-join drops it
+        return;
+      }
       mr::Message msg;
       msg.tag = kTagRequest;
       msg.payload = fact;
       msg.wire_bytes = RequestWireBytes(mr::TupleWireBytes(fact));
-      emitter->Emit(s.guard.Project(fact, c_->key_vars), std::move(msg));
+      emitter->Emit(std::move(key), std::move(msg));
     } else {
       if (!s.conditional.Conforms(fact)) return;
+      Tuple key = s.conditional.Project(fact, c_->key_vars);
+      if (filters_ != nullptr &&
+          !filters_->filter(1).MightContain(key.Hash())) {
+        ++suppressed_;  // no input tuple can request this key
+        return;
+      }
       mr::Message msg;
       msg.tag = kTagAssert;
       msg.wire_bytes = AssertWireBytes();
-      emitter->Emit(s.conditional.Project(fact, c_->key_vars),
-                    std::move(msg));
+      emitter->Emit(std::move(key), std::move(msg));
     }
   }
 
  private:
   std::shared_ptr<const CompiledStep> c_;
+  const mr::FilterSet* filters_ = nullptr;
+  uint64_t suppressed_ = 0;
 };
 
 class ChainReducer : public mr::Reducer {
@@ -111,6 +139,7 @@ class UnionReducer : public mr::Reducer {
 }  // namespace
 
 Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
+                                      const OpOptions& options,
                                       const std::string& job_name) {
   if (step.emit_projection && step.select_vars.empty()) {
     return Status::InvalidArgument("chain step " + job_name +
@@ -119,6 +148,9 @@ Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
   auto compiled = std::make_shared<CompiledStep>();
   compiled->spec = step;
   compiled->key_vars = step.conditional.SharedVariables(step.guard);
+  compiled->bloom_filters = options.bloom_filters;
+  compiled->request_filter = options.bloom_filters && step.positive;
+  compiled->filter_fpp = options.filter_fpp;
 
   mr::JobSpec spec;
   spec.name = job_name;
@@ -147,13 +179,49 @@ Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
   spec.reducer_factory = [compiled] {
     return std::make_unique<ChainReducer>(compiled);
   };
+  if (options.combiners) {
+    spec.combiner_factory = [] { return std::make_unique<mr::DedupCombiner>(); };
+  }
+  if (compiled->bloom_filters) {
+    // Filter 0: the conditional's projected join keys (input 1), used to
+    // suppress requests on positive steps; filter 1: the input guard
+    // set's projected keys (input 0), used to suppress dead asserts.
+    spec.filter_builder = [compiled](const std::vector<const Relation*>& rels)
+        -> Result<mr::FilterSet> {
+      const Relation* input = rels[0];
+      const Relation* cond = rels[1];
+      const ChainStepSpec& s = compiled->spec;
+      mr::FilterSet fs;
+      // Slot 0 stays empty (zero bytes) on anti-join steps.
+      fs.Add(compiled->request_filter
+                 ? mr::BloomFilter(cond->size(), compiled->filter_fpp)
+                 : mr::BloomFilter());
+      fs.Add(mr::BloomFilter(input->size(), compiled->filter_fpp));
+      if (compiled->request_filter) {
+        for (const Tuple& fact : cond->tuples()) {
+          if (!s.conditional.Conforms(fact)) continue;
+          fs.mutable_filter(0)->Insert(
+              s.conditional.Project(fact, compiled->key_vars).Hash());
+        }
+      }
+      for (const Tuple& fact : input->tuples()) {
+        if (s.filter_guard_pattern && !s.guard.Conforms(fact)) continue;
+        fs.mutable_filter(1)->Insert(
+            s.guard.Project(fact, compiled->key_vars).Hash());
+      }
+      fs.set_scan_mb((compiled->request_filter ? cond->SizeMb() : 0.0) +
+                     input->SizeMb());
+      return fs;
+    };
+  }
   return spec;
 }
 
 Result<mr::JobSpec> BuildUnionProjectJob(
     const std::vector<std::string>& chain_outputs, const sgf::Atom& guard,
     const std::vector<std::string>& select_vars,
-    const std::string& output_dataset, const std::string& job_name) {
+    const std::string& output_dataset, const OpOptions& options,
+    const std::string& job_name) {
   if (chain_outputs.empty()) {
     return Status::InvalidArgument("union: no inputs");
   }
@@ -174,6 +242,11 @@ Result<mr::JobSpec> BuildUnionProjectJob(
     return std::make_unique<UnionMapper>(compiled);
   };
   spec.reducer_factory = [] { return std::make_unique<UnionReducer>(); };
+  // The union reducer only tests key existence, so per-task duplicate
+  // markers combine away entirely (DESIGN.md §5.1).
+  if (options.combiners) {
+    spec.combiner_factory = [] { return std::make_unique<mr::DedupCombiner>(); };
+  }
   return spec;
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "mr/combiner.h"
 #include "ops/messages.h"
 
 namespace gumbo::ops {
@@ -29,18 +30,36 @@ struct CompiledMsj {
   std::vector<std::vector<size_t>> cond_eqs_of_input;
   size_t num_conditions = 0;
   bool tuple_id_refs = true;
+  // Bloom pre-filtering (DESIGN.md §5.2): one filter per condition id
+  // (conditions sharing a signature share a filter, like Asserts).
+  bool bloom_filters = false;
+  double filter_fpp = mr::BloomFilter::kDefaultFpp;
 };
 
 class MsjMapper : public mr::Mapper {
  public:
   explicit MsjMapper(std::shared_ptr<const CompiledMsj> c) : c_(std::move(c)) {}
 
+  void AttachFilters(const mr::FilterSet* filters) override {
+    filters_ = filters;
+  }
+  uint64_t SuppressedEmissions() const override { return suppressed_; }
+
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
            mr::MapEmitter* emitter) override {
-    // Guard role: one request per equation this fact guards.
+    // Guard role: one request per equation this fact guards — unless the
+    // condition's Bloom filter proves the key has no match (a semi-join
+    // request with no Assert is dropped at the reducer anyway, so
+    // skipping it here cannot change the result; DESIGN.md §5.2).
     for (size_t ei : c_->guard_eqs_of_input[input_index]) {
       const auto& eq = c_->equations[ei];
       if (!eq.guard.Conforms(fact)) continue;
+      Tuple key = eq.guard.Project(fact, eq.key_vars);
+      if (filters_ != nullptr &&
+          !filters_->filter(eq.cond_id).MightContain(key.Hash())) {
+        ++suppressed_;
+        continue;
+      }
       mr::Message msg;
       msg.tag = kTagRequest;
       msg.aux = static_cast<uint32_t>(ei);
@@ -50,14 +69,23 @@ class MsjMapper : public mr::Mapper {
         msg.payload = fact;
       }
       msg.wire_bytes = RequestWireBytes(eq.payload_bytes);
-      emitter->Emit(eq.guard.Project(fact, eq.key_vars), std::move(msg));
+      emitter->Emit(std::move(key), std::move(msg));
     }
-    // Conditional role: one assert per *distinct* (condition id, key).
+    // Conditional role: one assert per *distinct* (condition id, key) —
+    // unless the guard-side filter proves no guard fact projects to this
+    // key, in which case the assert can reach no request and is dead
+    // weight (DESIGN.md §5.2, assert-side filtering).
     seen_.clear();
     for (size_t ei : c_->cond_eqs_of_input[input_index]) {
       const auto& eq = c_->equations[ei];
       if (!eq.conditional.Conforms(fact)) continue;
       Tuple key = eq.conditional.Project(fact, eq.key_vars);
+      if (filters_ != nullptr &&
+          !filters_->filter(c_->num_conditions + eq.cond_id)
+               .MightContain(key.Hash())) {
+        ++suppressed_;
+        continue;
+      }
       bool duplicate = false;
       for (const auto& [cid, k] : seen_) {
         if (cid == eq.cond_id && k == key) {
@@ -77,6 +105,8 @@ class MsjMapper : public mr::Mapper {
 
  private:
   std::shared_ptr<const CompiledMsj> c_;
+  const mr::FilterSet* filters_ = nullptr;
+  uint64_t suppressed_ = 0;
   // Scratch: (cond_id, key) pairs asserted for the current fact.
   std::vector<std::pair<uint32_t, Tuple>> seen_;
 };
@@ -222,6 +252,79 @@ Result<mr::JobSpec> BuildMsjJob(const std::vector<SemiJoinEquation>& equations,
   spec.reducer_factory = [compiled] {
     return std::make_unique<MsjReducer>(compiled);
   };
+  // Map-side dedup combiner (DESIGN.md §5.1): collapses identical Asserts
+  // emitted for one key by different facts of the same map task.
+  if (options.combiners) {
+    spec.combiner_factory = [] { return std::make_unique<mr::DedupCombiner>(); };
+  }
+  // Two-sided Bloom filters per condition id (DESIGN.md §5.2), built by
+  // the engine from the resolved inputs: filters [0, C) hold conditional
+  // join keys (suppress Requests whose key cannot be asserted), filters
+  // [C, 2C) hold guard join keys (suppress Asserts whose key no Request
+  // can carry — the reducer only ever emits Requests, so such Asserts are
+  // dead weight).
+  if (options.bloom_filters) {
+    compiled->bloom_filters = true;
+    compiled->filter_fpp = options.filter_fpp;
+    spec.filter_builder = [compiled](const std::vector<const Relation*>& rels)
+        -> Result<mr::FilterSet> {
+      const size_t nc = compiled->num_conditions;
+      // Size each filter for the largest input feeding it.
+      std::vector<size_t> expected(2 * nc, 0);
+      for (size_t i = 0; i < rels.size(); ++i) {
+        for (size_t ei : compiled->cond_eqs_of_input[i]) {
+          const auto& eq = compiled->equations[ei];
+          expected[eq.cond_id] =
+              std::max(expected[eq.cond_id], rels[i]->size());
+        }
+        // Guard-side filters take one insert pass per (input, equation)
+        // and equations sharing a condition can read different guards,
+        // so size for the *sum* of contributing passes (a max would
+        // undersize the filter and inflate its false-positive rate).
+        for (size_t ei : compiled->guard_eqs_of_input[i]) {
+          const auto& eq = compiled->equations[ei];
+          expected[nc + eq.cond_id] += rels[i]->size();
+        }
+      }
+      mr::FilterSet fs;
+      for (size_t f = 0; f < 2 * nc; ++f) {
+        fs.Add(mr::BloomFilter(expected[f], compiled->filter_fpp));
+      }
+      double scan_mb = 0.0;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        // Distinct condition ids per role: equations sharing a signature
+        // would insert the same conditional keys twice; guard keys go
+        // into the union filter of their equation's condition.
+        std::vector<size_t> cond_eqs;
+        std::set<uint32_t> cond_seen;
+        for (size_t ei : compiled->cond_eqs_of_input[i]) {
+          if (cond_seen.insert(compiled->equations[ei].cond_id).second) {
+            cond_eqs.push_back(ei);
+          }
+        }
+        const std::vector<size_t>& guard_eqs =
+            compiled->guard_eqs_of_input[i];
+        if (cond_eqs.empty() && guard_eqs.empty()) continue;
+        scan_mb += rels[i]->SizeMb();
+        for (const Tuple& fact : rels[i]->tuples()) {
+          for (size_t ei : cond_eqs) {
+            const auto& eq = compiled->equations[ei];
+            if (!eq.conditional.Conforms(fact)) continue;
+            fs.mutable_filter(eq.cond_id)
+                ->Insert(eq.conditional.Project(fact, eq.key_vars).Hash());
+          }
+          for (size_t ei : guard_eqs) {
+            const auto& eq = compiled->equations[ei];
+            if (!eq.guard.Conforms(fact)) continue;
+            fs.mutable_filter(nc + eq.cond_id)
+                ->Insert(eq.guard.Project(fact, eq.key_vars).Hash());
+          }
+        }
+      }
+      fs.set_scan_mb(scan_mb);
+      return fs;
+    };
+  }
   return spec;
 }
 

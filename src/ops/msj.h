@@ -30,6 +30,7 @@
 
 #include "common/result.h"
 #include "mr/job.h"
+#include "ops/options.h"
 #include "sgf/atom.h"
 
 namespace gumbo::ops {
@@ -41,14 +42,6 @@ struct SemiJoinEquation {
   std::string guard_dataset;  ///< relation instance alpha reads
   sgf::Atom conditional;  ///< kappa
   std::string conditional_dataset;  ///< relation instance kappa reads
-};
-
-/// Operator-level options shared by MSJ / EVAL / 1-ROUND builders.
-struct OpOptions {
-  /// Gumbo §5.1 optimization (2): ship guard tuple ids instead of tuples.
-  bool tuple_id_refs = true;
-  /// Gumbo §5.1 optimization (1): message packing.
-  bool pack_messages = true;
 };
 
 /// Builds the single MR job computing every equation in `equations`.

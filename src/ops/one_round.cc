@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "mr/combiner.h"
 #include "ops/messages.h"
 
 namespace gumbo::ops {
@@ -35,6 +36,21 @@ struct KeyGroup {
   };
   std::vector<Literal> literals;
   size_t num_cond_ids = 0;
+  /// Bloom pre-filtering (DESIGN.md §5.2): a group's request may be
+  /// dropped only when "zero Asserts at this key" already means "do not
+  /// emit" — i.e. the condition with every atom false evaluates false
+  /// (kFullCondition) or the disjunction has no negated literal
+  /// (kLocalDisjunction). Never for kUnconditional groups.
+  bool can_filter = false;
+  /// First of this group's `num_cond_ids` request filters in the job
+  /// FilterSet; SIZE_MAX when the group is not request-filterable.
+  size_t filter_base = SIZE_MAX;
+  /// Guard-key filter of this group for assert-side suppression: an
+  /// Assert at a key no guard fact projects to can reach no Request, and
+  /// the reducer only ever emits Requests — dead weight for every mode
+  /// (DESIGN.md §5.2). SIZE_MAX when filters are off or the group has no
+  /// conditional atoms.
+  size_t assert_filter = SIZE_MAX;
 };
 
 struct CompiledOneRound {
@@ -45,6 +61,8 @@ struct CompiledOneRound {
     double payload_bytes = 0.0;  // SELECT projection wire size
   };
   std::vector<Task> tasks;
+  size_t num_filters = 0;
+  double filter_fpp = mr::BloomFilter::kDefaultFpp;
   struct CondRoute {
     size_t task;
     size_t group;
@@ -70,6 +88,11 @@ class OneRoundMapper : public mr::Mapper {
   explicit OneRoundMapper(std::shared_ptr<const CompiledOneRound> c)
       : c_(std::move(c)) {}
 
+  void AttachFilters(const mr::FilterSet* filters) override {
+    filters_ = filters;
+  }
+  uint64_t SuppressedEmissions() const override { return suppressed_; }
+
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
            mr::MapEmitter* emitter) override {
     (void)tuple_id;
@@ -79,15 +102,31 @@ class OneRoundMapper : public mr::Mapper {
       Tuple projection =
           task.query.guard().Project(fact, task.query.select_vars());
       for (size_t gi = 0; gi < task.groups.size(); ++gi) {
+        const KeyGroup& group = task.groups[gi];
+        Tuple key_proj = task.query.guard().Project(fact, group.key_vars);
+        // Drop the request only when every condition filter of the group
+        // misses: no Assert can reach the reducer for this key, and the
+        // group is marked safe to decide "false" on zero Asserts
+        // (DESIGN.md §5.2).
+        if (filters_ != nullptr && group.can_filter) {
+          const uint64_t h = key_proj.Hash();
+          bool might = false;
+          for (size_t ci = 0; ci < group.num_cond_ids; ++ci) {
+            if (filters_->filter(group.filter_base + ci).MightContain(h)) {
+              might = true;
+              break;
+            }
+          }
+          if (!might) {
+            ++suppressed_;
+            continue;
+          }
+        }
         mr::Message msg;
         msg.tag = kTagRequest;
         msg.payload = projection;
         msg.wire_bytes = RequestWireBytes(task.payload_bytes);
-        emitter->Emit(
-            MakeKey(ti, gi,
-                    task.query.guard().Project(fact,
-                                               task.groups[gi].key_vars)),
-            std::move(msg));
+        emitter->Emit(MakeKey(ti, gi, key_proj), std::move(msg));
       }
     }
     seen_.clear();
@@ -97,9 +136,14 @@ class OneRoundMapper : public mr::Mapper {
           task.query.conditional_atoms()[route.atom_index];
       if (!atom.Conforms(fact)) continue;
       const KeyGroup& group = task.groups[route.group];
-      Tuple key =
-          MakeKey(route.task, route.group,
-                  atom.Project(fact, group.key_vars));
+      Tuple key_proj = atom.Project(fact, group.key_vars);
+      if (filters_ != nullptr && group.assert_filter != SIZE_MAX &&
+          !filters_->filter(group.assert_filter)
+               .MightContain(key_proj.Hash())) {
+        ++suppressed_;  // no guard fact can request this key
+        continue;
+      }
+      Tuple key = MakeKey(route.task, route.group, key_proj);
       // Dedupe identical asserts for this fact (shared signatures).
       bool dup = false;
       for (const auto& [cid, k] : seen_) {
@@ -120,6 +164,8 @@ class OneRoundMapper : public mr::Mapper {
 
  private:
   std::shared_ptr<const CompiledOneRound> c_;
+  const mr::FilterSet* filters_ = nullptr;
+  uint64_t suppressed_ = 0;
   std::vector<std::pair<uint32_t, Tuple>> seen_;
 };
 
@@ -299,6 +345,35 @@ Result<mr::JobSpec> BuildOneRoundJob(const std::vector<OneRoundTask>& tasks,
       }
     }
 
+    // Filter eligibility per group (see KeyGroup::can_filter) and filter
+    // index assignment: one Bloom filter per (group, condition id).
+    if (options.bloom_filters) {
+      for (KeyGroup& g : task.groups) {
+        switch (g.mode) {
+          case KeyGroup::Mode::kUnconditional:
+            g.can_filter = false;
+            break;
+          case KeyGroup::Mode::kFullCondition:
+            // Safe only if zero Asserts already decides "false".
+            g.can_filter = !in.query.condition()->Evaluate(
+                [](size_t) { return false; });
+            break;
+          case KeyGroup::Mode::kLocalDisjunction:
+            g.can_filter = std::none_of(
+                g.literals.begin(), g.literals.end(),
+                [](const KeyGroup::Literal& l) { return l.negated; });
+            break;
+        }
+        if (g.can_filter) {
+          g.filter_base = compiled->num_filters;
+          compiled->num_filters += g.num_cond_ids;
+        }
+        if (!g.literals.empty()) {
+          g.assert_filter = compiled->num_filters++;
+        }
+      }
+    }
+
     // Routing.
     size_t gi = input_index_of(in.guard_dataset);
     grow_routes();
@@ -334,6 +409,81 @@ Result<mr::JobSpec> BuildOneRoundJob(const std::vector<OneRoundTask>& tasks,
   spec.reducer_factory = [compiled] {
     return std::make_unique<OneRoundReducer>(compiled);
   };
+  if (options.combiners) {
+    spec.combiner_factory = [] { return std::make_unique<mr::DedupCombiner>(); };
+  }
+  compiled->filter_fpp = options.filter_fpp;
+  if (options.bloom_filters && compiled->num_filters > 0) {
+    spec.filter_builder = [compiled](const std::vector<const Relation*>& rels)
+        -> Result<mr::FilterSet> {
+      // Size each filter for the largest input routed to it.
+      std::vector<size_t> expected(compiled->num_filters, 0);
+      for (size_t i = 0; i < rels.size(); ++i) {
+        for (const auto& route : compiled->cond_routes_of_input[i]) {
+          const KeyGroup& g =
+              compiled->tasks[route.task].groups[route.group];
+          if (!g.can_filter) continue;
+          const size_t fid = g.filter_base + route.cond_id;
+          expected[fid] = std::max(expected[fid], rels[i]->size());
+        }
+        for (size_t ti : compiled->guard_tasks_of_input[i]) {
+          for (const KeyGroup& g : compiled->tasks[ti].groups) {
+            if (g.assert_filter == SIZE_MAX) continue;
+            expected[g.assert_filter] =
+                std::max(expected[g.assert_filter], rels[i]->size());
+          }
+        }
+      }
+      mr::FilterSet fs;
+      for (size_t f = 0; f < compiled->num_filters; ++f) {
+        fs.Add(mr::BloomFilter(expected[f], compiled->filter_fpp));
+      }
+      double scan_mb = 0.0;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        // One representative route per request filter id: atoms sharing a
+        // condition signature would insert the same keys twice.
+        std::vector<const CompiledOneRound::CondRoute*> distinct;
+        std::set<size_t> fid_seen;
+        for (const auto& route : compiled->cond_routes_of_input[i]) {
+          const KeyGroup& g =
+              compiled->tasks[route.task].groups[route.group];
+          if (!g.can_filter) continue;
+          if (fid_seen.insert(g.filter_base + route.cond_id).second) {
+            distinct.push_back(&route);
+          }
+        }
+        // Guard side: every eligible group of every task guarded by this
+        // input feeds its assert filter.
+        std::vector<std::pair<size_t, const KeyGroup*>> guard_groups;
+        for (size_t ti : compiled->guard_tasks_of_input[i]) {
+          for (const KeyGroup& g : compiled->tasks[ti].groups) {
+            if (g.assert_filter != SIZE_MAX) guard_groups.push_back({ti, &g});
+          }
+        }
+        if (distinct.empty() && guard_groups.empty()) continue;
+        scan_mb += rels[i]->SizeMb();
+        for (const Tuple& fact : rels[i]->tuples()) {
+          for (const auto* route : distinct) {
+            const auto& task = compiled->tasks[route->task];
+            const sgf::Atom& atom =
+                task.query.conditional_atoms()[route->atom_index];
+            if (!atom.Conforms(fact)) continue;
+            const KeyGroup& g = task.groups[route->group];
+            fs.mutable_filter(g.filter_base + route->cond_id)
+                ->Insert(atom.Project(fact, g.key_vars).Hash());
+          }
+          for (const auto& [ti, g] : guard_groups) {
+            const sgf::Atom& guard = compiled->tasks[ti].query.guard();
+            if (!guard.Conforms(fact)) continue;
+            fs.mutable_filter(g->assert_filter)
+                ->Insert(guard.Project(fact, g->key_vars).Hash());
+          }
+        }
+      }
+      fs.set_scan_mb(scan_mb);
+      return fs;
+    };
+  }
   return spec;
 }
 

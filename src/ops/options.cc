@@ -1,0 +1,24 @@
+#include "ops/options.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace gumbo::ops {
+
+namespace {
+
+// Any set, non-"0", non-empty value ("1", "true", ...) means disabled.
+bool EnvDisables(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+}
+
+}  // namespace
+
+OpOptions ApplyEnvOverrides(OpOptions options) {
+  if (EnvDisables("GUMBO_DISABLE_COMBINERS")) options.combiners = false;
+  if (EnvDisables("GUMBO_DISABLE_FILTERS")) options.bloom_filters = false;
+  return options;
+}
+
+}  // namespace gumbo::ops

@@ -17,8 +17,15 @@ Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
   m.net_time = result.stats.net_time;
   m.total_time = result.stats.total_time;
   m.input_mb = result.stats.HdfsReadMb();
-  m.communication_mb = result.stats.ShuffleMb();
+  m.communication_mb =
+      result.stats.ShuffleMb() + result.stats.FilterBroadcastMb();
+  m.shuffle_mb = result.stats.ShuffleMb();
   m.output_mb = result.stats.HdfsWriteMb();
+  m.shuffle_records = result.stats.ShuffleRecords();
+  m.shuffle_messages = result.stats.ShuffleMessages();
+  m.combined_messages = result.stats.CombinedMessages();
+  m.filtered_messages = result.stats.FilteredMessages();
+  m.filter_broadcast_mb = result.stats.FilterBroadcastMb();
   m.wall_ms = result.stats.wall_ms;
   m.jobs = static_cast<int>(result.stats.jobs.size());
   m.rounds = result.stats.rounds;

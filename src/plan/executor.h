@@ -18,11 +18,22 @@ struct Metrics {
   double net_time = 0.0;        ///< query submission -> final result
   double total_time = 0.0;      ///< aggregate task time
   double input_mb = 0.0;        ///< bytes read from HDFS over the plan
-  double communication_mb = 0.0;///< bytes shuffled mapper -> reducer
+  /// Bytes shuffled mapper -> reducer, plus Bloom-filter broadcast bytes
+  /// when filters are in use (DESIGN.md §5.3).
+  double communication_mb = 0.0;
+  /// Pure mapper -> reducer shuffle bytes (no filter broadcast) — the
+  /// figure the §5 shuffle-volume optimizations shrink.
+  double shuffle_mb = 0.0;
   double output_mb = 0.0;
   double wall_ms = 0.0;         ///< real wall-clock of the execution
   int jobs = 0;
   int rounds = 0;
+  // ---- Shuffle-volume optimization counters (DESIGN.md §5) ----
+  uint64_t shuffle_records = 0;   ///< materialized shuffle records
+  uint64_t shuffle_messages = 0;  ///< shuffled values (post-combine)
+  uint64_t combined_messages = 0; ///< values removed by combiners
+  uint64_t filtered_messages = 0; ///< emissions suppressed by Bloom filters
+  double filter_broadcast_mb = 0.0;  ///< filter bits shipped to map tasks
   /// Largest number of jobs sharing one round (plan structure).
   int max_jobs_per_round = 0;
   /// Observed peak of concurrently-executing jobs (runtime behavior).

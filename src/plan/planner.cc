@@ -305,7 +305,8 @@ Status PlanBatchSeq(const std::vector<size_t>& batch,
                             q.output() + "/" + std::to_string(ci) + ":" +
                             step.conditional.ToString() + "]";
         GUMBO_ASSIGN_OR_RETURN(mr::JobSpec spec,
-                               ops::BuildChainStepJob(step, label));
+                               ops::BuildChainStepJob(step, ctx->options->op,
+                                                      label));
         size_t id = ctx->plan.program.AddJob(std::move(spec), deps);
         ctx->Describe(ctx->plan.program.job(id).name);
         deps = {id};
@@ -322,7 +323,8 @@ Status PlanBatchSeq(const std::vector<size_t>& batch,
       GUMBO_ASSIGN_OR_RETURN(
           mr::JobSpec spec,
           ops::BuildUnionProjectJob(chain_outputs, q.guard(), q.select_vars(),
-                               q.output(), JobLabel("UNION", {q.output()})));
+                               q.output(), ctx->options->op,
+                               JobLabel("UNION", {q.output()})));
       size_t id = ctx->plan.program.AddJob(std::move(spec), chain_last_jobs);
       ctx->Describe(ctx->plan.program.job(id).name);
       batch_jobs->push_back(id);
@@ -452,11 +454,16 @@ Result<QueryPlan> Planner::Plan(const sgf::SgfQuery& query,
     }
   }
 
+  // The GUMBO_DISABLE_* environment overrides win over programmatic
+  // settings so CI and benches can force an ablation (DESIGN.md §5.4).
+  PlannerOptions options = options_;
+  options.op = ops::ApplyEnvOverrides(options.op);
+
   PlanContext ctx;
   ctx.query = &query;
   ctx.db = &db;
   ctx.config = &config_;
-  ctx.options = &options_;
+  ctx.options = &options;
   GUMBO_RETURN_IF_ERROR(RegisterProducedStats(query, db, &ctx.catalog));
   for (const auto& q : query.subqueries()) {
     ctx.plan.outputs.push_back(q.output());

@@ -1,9 +1,15 @@
-// Tests for the simulated MapReduce engine and the program scheduler.
+// Tests for the simulated MapReduce engine and the program scheduler,
+// plus the shuffle-volume optimization primitives (DESIGN.md §5): Bloom
+// filters, the dedup combiner, and their engine accounting.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 
+#include "common/rng.h"
+#include "mr/combiner.h"
 #include "mr/engine.h"
+#include "mr/filter.h"
 #include "mr/program.h"
 #include "test_util.h"
 
@@ -220,6 +226,225 @@ TEST(SchedulerTest, ReduceWaitsForAllMaps) {
   // Straggler map of 100 gates the reduce phase (slowstart = 1).
   std::vector<JobStats> jobs = {FakeJob("j", {1, 1, 1, 100}, {1})};
   EXPECT_DOUBLE_EQ(SimulateNetTime(jobs, {{}}, c), 101.0);
+}
+
+// ---- Bloom filters (DESIGN.md §5.2) -----------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  Xoshiro256 rng(7);
+  BloomFilter f(1000, 0.01);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) f.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(f.MightContain(k));
+}
+
+TEST(BloomFilterTest, EmptyAndDefaultFiltersContainNothing) {
+  BloomFilter def;  // default-constructed: zero bytes
+  EXPECT_FALSE(def.MightContain(42));
+  EXPECT_DOUBLE_EQ(def.SizeBytes(), 0.0);
+  BloomFilter sized(100, 0.01);  // sized but nothing inserted
+  EXPECT_FALSE(sized.MightContain(42));
+  EXPECT_GT(sized.SizeBytes(), 0.0);
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  Xoshiro256 rng(11);
+  const size_t n = 5000;
+  BloomFilter f(n, 0.01);
+  std::set<uint64_t> inserted;
+  while (inserted.size() < n) inserted.insert(rng.Next());
+  for (uint64_t k : inserted) f.Insert(k);
+  size_t fp = 0;
+  const size_t probes = 20000;
+  for (size_t i = 0; i < probes; ++i) {
+    uint64_t k = rng.Next();
+    if (inserted.count(k) == 0 && f.MightContain(k)) ++fp;
+  }
+  // 1% target; allow generous slack for hash imperfections.
+  EXPECT_LT(static_cast<double>(fp) / static_cast<double>(probes), 0.03);
+}
+
+TEST(BloomFilterTest, SizeScalesWithKeysAndFpp) {
+  BloomFilter small(1000, 0.01);
+  BloomFilter big(10000, 0.01);
+  BloomFilter sloppy(10000, 0.1);
+  EXPECT_GT(big.SizeBytes(), small.SizeBytes());
+  EXPECT_LT(sloppy.SizeBytes(), big.SizeBytes());
+}
+
+// ---- Dedup combiner (DESIGN.md §5.1) ----------------------------------------
+
+Message Msg(uint32_t tag, uint32_t aux, Tuple payload = Tuple{},
+            double wire = 3.0) {
+  Message m;
+  m.tag = tag;
+  m.aux = aux;
+  m.payload = std::move(payload);
+  m.wire_bytes = wire;
+  return m;
+}
+
+TEST(DedupCombinerTest, RemovesDuplicatesKeepsFirstOccurrenceOrder) {
+  DedupCombiner combiner;
+  std::vector<Message> values;
+  values.push_back(Msg(2, 0));
+  values.push_back(Msg(1, 0, Tuple::Ints({7})));
+  values.push_back(Msg(2, 0));  // duplicate of [0]
+  values.push_back(Msg(2, 1));  // distinct aux
+  values.push_back(Msg(1, 0, Tuple::Ints({8})));  // distinct payload
+  values.push_back(Msg(1, 0, Tuple::Ints({7})));  // duplicate of [1]
+  combiner.Combine(Tuple::Ints({1}), &values);
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_EQ(values[0].tag, 2u);
+  EXPECT_EQ(values[1].payload, Tuple::Ints({7}));
+  EXPECT_EQ(values[2].aux, 1u);
+  EXPECT_EQ(values[3].payload, Tuple::Ints({8}));
+}
+
+// ---- Engine accounting of combiners and filters -----------------------------
+
+// A mapper that emits `copies` identical messages per fact, keyed by the
+// first attribute.
+class DupMapper : public Mapper {
+ public:
+  explicit DupMapper(int copies) : copies_(copies) {}
+  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
+    for (int i = 0; i < copies_; ++i) {
+      Message m;
+      m.tag = 1;
+      m.wire_bytes = 4.0;
+      emitter->Emit(Tuple{fact[0]}, std::move(m));
+    }
+  }
+
+ private:
+  int copies_;
+};
+
+class KeyCountReducer : public Reducer {
+ public:
+  void Reduce(const Tuple& key, const std::vector<Message>& values,
+              ReduceEmitter* emitter) override {
+    Tuple out;
+    out.PushBack(key[0]);
+    out.PushBack(Value::Int(values.empty() ? 0 : 1));  // set semantics
+    emitter->Emit(0, std::move(out));
+  }
+};
+
+JobSpec DupJob(const std::string& in, const std::string& out, bool combine) {
+  JobSpec spec;
+  spec.name = "dup";
+  spec.inputs.push_back({in});
+  JobOutput o;
+  o.dataset = out;
+  o.arity = 2;
+  spec.outputs.push_back(o);
+  spec.mapper_factory = [] { return std::make_unique<DupMapper>(3); };
+  spec.reducer_factory = [] { return std::make_unique<KeyCountReducer>(); };
+  if (combine) {
+    spec.combiner_factory = [] { return std::make_unique<DedupCombiner>(); };
+  }
+  return spec;
+}
+
+TEST(EngineTest, CombinerShrinksShuffleAndIsAccounted) {
+  Database db;
+  Relation r("In", 1);
+  for (int64_t i = 0; i < 200; ++i) ASSERT_OK(r.Add(Tuple::Ints({i % 20})));
+  db.Put(std::move(r));
+  Engine engine(SmallCluster());
+  auto with = engine.Run(DupJob("In", "OutC", true), &db);
+  auto without = engine.Run(DupJob("In", "OutN", false), &db);
+  ASSERT_OK(with);
+  ASSERT_OK(without);
+  // Identical result *sets* (the combiner can change the reducer count,
+  // which permutes raw output order; canonical query outputs are sorted
+  // downstream), smaller shuffle, exact message conservation.
+  EXPECT_TRUE(db.Get("OutC").value()->SetEquals(*db.Get("OutN").value()));
+  EXPECT_LT(with->shuffle_mb, without->shuffle_mb);
+  EXPECT_GT(with->combined_messages, 0u);
+  EXPECT_GT(with->combined_mb, 0.0);
+  EXPECT_EQ(with->shuffle_messages + with->combined_messages,
+            without->shuffle_messages);
+  EXPECT_EQ(without->combined_messages, 0u);
+  // The dedup never crosses reduce keys: every key still arrives.
+  EXPECT_EQ(db.Get("OutC").value()->size(), 20u);
+}
+
+TEST(EngineTest, CombinerWithoutPackingStillDedupes) {
+  Database db;
+  Relation r("In", 1);
+  for (int64_t i = 0; i < 60; ++i) ASSERT_OK(r.Add(Tuple::Ints({i % 6})));
+  db.Put(std::move(r));
+  Engine engine(SmallCluster());
+  JobSpec spec = DupJob("In", "Out", true);
+  spec.pack_messages = false;
+  auto stats = engine.Run(spec, &db);
+  ASSERT_OK(stats);
+  EXPECT_GT(stats->combined_messages, 0u);
+  EXPECT_EQ(db.Get("Out").value()->size(), 6u);
+}
+
+// A mapper that consults filter 0 before emitting (like the ops mappers).
+class FilteringMapper : public Mapper {
+ public:
+  void AttachFilters(const FilterSet* filters) override { filters_ = filters; }
+  uint64_t SuppressedEmissions() const override { return suppressed_; }
+  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
+    Tuple key{fact[0]};
+    if (filters_ != nullptr && !filters_->filter(0).MightContain(key.Hash())) {
+      ++suppressed_;
+      return;
+    }
+    Message m;
+    m.tag = 1;
+    m.wire_bytes = 4.0;
+    emitter->Emit(std::move(key), std::move(m));
+  }
+
+ private:
+  const FilterSet* filters_ = nullptr;
+  uint64_t suppressed_ = 0;
+};
+
+TEST(EngineTest, FilterBuilderAttachesAndAccounts) {
+  Database db;
+  Relation r("In", 1);
+  for (int64_t i = 0; i < 100; ++i) ASSERT_OK(r.Add(Tuple::Ints({i})));
+  db.Put(std::move(r));
+
+  JobSpec spec;
+  spec.name = "filtered";
+  spec.inputs.push_back({"In"});
+  JobOutput o;
+  o.dataset = "Out";
+  o.arity = 2;
+  spec.outputs.push_back(o);
+  spec.mapper_factory = [] { return std::make_unique<FilteringMapper>(); };
+  spec.reducer_factory = [] { return std::make_unique<KeyCountReducer>(); };
+  // Filter admits only even keys.
+  spec.filter_builder =
+      [](const std::vector<const Relation*>& rels) -> Result<FilterSet> {
+    FilterSet fs;
+    fs.Add(BloomFilter(rels[0]->size(), 0.01));
+    for (const Tuple& t : rels[0]->tuples()) {
+      if (t[0].AsInt() % 2 == 0) fs.mutable_filter(0)->Insert(Tuple{t[0]}.Hash());
+    }
+    fs.set_scan_mb(rels[0]->SizeMb());
+    return fs;
+  };
+
+  Engine engine(SmallCluster());
+  auto stats = engine.Run(spec, &db);
+  ASSERT_OK(stats);
+  // ~50 odd keys suppressed (no false negatives: all evens pass).
+  EXPECT_GE(stats->filtered_messages, 45u);
+  EXPECT_GT(stats->filter_mb, 0.0);
+  EXPECT_GT(stats->filter_broadcast_mb, 0.0);
+  EXPECT_GT(stats->filter_build_cost, 0.0);
+  EXPECT_GE(db.Get("Out").value()->size(), 50u);  // evens always survive
 }
 
 TEST(ProgramTest, RoundsIsLongestChain) {

@@ -7,7 +7,10 @@
 //  * the cost model is monotone in its size arguments;
 //  * multiway-toposort enumeration on random DAGs yields only valid sorts
 //    and always contains the all-singletons sort;
-//  * Greedy-BSGF grouping cost never beats the brute-force optimum.
+//  * Greedy-BSGF grouping cost never beats the brute-force optimum;
+//  * shuffle-volume optimizations (DESIGN.md §5): over random BSGF
+//    queries, results are byte-identical with combiners/Bloom filters on
+//    vs. off, and the optimized run never shuffles more records.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,7 +18,11 @@
 
 #include "common/rng.h"
 #include "cost/model.h"
+#include "data/generator.h"
 #include "mr/program.h"
+#include "mr/runtime.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "plan/toposort.h"
 #include "sgf/condition.h"
 #include "sgf/parser.h"
@@ -297,6 +304,138 @@ TEST_P(ToposortPropertyTest, RejectsInvalidSorts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ToposortPropertyTest,
                          ::testing::Range<uint64_t>(0, 30));
+
+// ---- Shuffle-volume optimizations on random BSGF queries (DESIGN.md §5) ----
+
+// Renders a random BSGF query over guard G(x, y, z) and conditional
+// relations S/T/U/V of arity 2. Atom terms mix guard variables,
+// existentials, and small constants; the WHERE condition is a random
+// AND/OR/NOT tree over the atoms.
+std::string RandomBsgfQueryText(Xoshiro256* rng) {
+  const char* kGuardVars[3] = {"x", "y", "z"};
+  const char* kRels[4] = {"S", "T", "U", "V"};
+  const size_t natoms = 1 + rng->Uniform(4);
+  std::vector<std::string> leaves;
+  for (size_t i = 0; i < natoms; ++i) {
+    std::string t1 = kGuardVars[rng->Uniform(3)];
+    std::string t2;
+    switch (rng->Uniform(3)) {
+      case 0:
+        t2 = kGuardVars[rng->Uniform(3)];
+        break;
+      case 1:
+        t2 = "e" + std::to_string(i);
+        break;
+      default:
+        t2 = std::to_string(rng->Uniform(50));
+        break;
+    }
+    std::string atom =
+        std::string(kRels[rng->Uniform(4)]) + "(" + t1 + ", " + t2 + ")";
+    leaves.push_back(rng->Bernoulli(0.3) ? "NOT " + atom : atom);
+  }
+  while (leaves.size() > 1) {
+    size_t i = rng->Uniform(leaves.size() - 1);
+    leaves[i] = "(" + leaves[i] +
+                (rng->Bernoulli(0.5) ? " AND " : " OR ") + leaves[i + 1] +
+                ")";
+    leaves.erase(leaves.begin() + static_cast<long>(i) + 1);
+  }
+  // Random non-empty SELECT subset of the guard variables.
+  std::vector<std::string> select;
+  for (const char* v : kGuardVars) {
+    if (rng->Bernoulli(0.5)) select.push_back(v);
+  }
+  if (select.empty()) select.push_back(kGuardVars[rng->Uniform(3)]);
+  std::string sel;
+  if (select.size() == 1) {
+    sel = select[0];
+  } else {
+    sel = "(";
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) sel += ", ";
+      sel += select[i];
+    }
+    sel += ")";
+  }
+  return "Z := SELECT " + sel + " FROM G(x, y, z) WHERE " + leaves[0] + ";";
+}
+
+struct OptRun {
+  std::vector<Tuple> output;  // tuple order, not just set
+  plan::Metrics metrics;
+};
+
+class OptimizationEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(OptimizationEquivalenceTest, ByteIdenticalResultsAndNoExtraShuffle) {
+  Xoshiro256 rng(GetParam() ^ 0x5b10f17e5ULL);
+  Dictionary* dict = &Dictionary::Global();
+  const std::string text = RandomBsgfQueryText(&rng);
+  auto query = sgf::ParseSgf(text, dict);
+  ASSERT_OK(query) << text;
+
+  data::GeneratorConfig g;
+  g.tuples = 300;
+  g.representation_scale = 1.0;
+  g.seed = GetParam() * 131 + 7;
+  g.selectivity = 0.4;
+  data::Generator gen(g);
+  Database db;
+  db.Put(gen.Guard("G", 3));
+  for (const char* rel : {"S", "T", "U", "V"}) {
+    db.Put(gen.Conditional(rel, 2));
+  }
+
+  cost::ClusterConfig config;
+  config.split_mb = 0.002;
+  config.mb_per_reducer = 0.002;
+
+  // GREEDY exercises MSJ + EVAL; SEQ exercises semi-/anti-join chains
+  // (anti-joins must keep their requests: only asserts are filtered).
+  for (plan::Strategy strategy :
+       {plan::Strategy::kGreedy, plan::Strategy::kSeq}) {
+    auto run = [&](bool optimized) -> OptRun {
+      plan::PlannerOptions opts;
+      opts.strategy = strategy;
+      opts.sample_size = 32;
+      opts.op.combiners = optimized;
+      opts.op.bloom_filters = optimized;
+      plan::Planner planner(config, opts);
+      mr::Engine engine(config);
+      mr::Runtime runtime(&engine);
+      Database run_db = db;
+      // ExecuteAndVerify additionally checks against the naive reference
+      // evaluator, so each configuration is independently correct.
+      auto result = plan::ExecuteAndVerify(*query, planner, runtime, &run_db);
+      EXPECT_TRUE(result.ok())
+          << text << "\noptimized=" << optimized << ": " << result.status();
+      OptRun out;
+      if (result.ok()) {
+        out.metrics = result->metrics;
+        out.output = run_db.Get("Z").value()->tuples();
+      }
+      return out;
+    };
+    OptRun on = run(true);
+    OptRun off = run(false);
+    // Byte-identical output: same tuples in the same order.
+    EXPECT_EQ(on.output, off.output) << text;
+    // The optimized run never shuffles more.
+    EXPECT_LE(on.metrics.shuffle_records, off.metrics.shuffle_records) << text;
+    EXPECT_LE(on.metrics.shuffle_messages, off.metrics.shuffle_messages)
+        << text;
+    EXPECT_LE(on.metrics.shuffle_mb, off.metrics.shuffle_mb + 1e-9) << text;
+    // Nothing is dropped or combined when the knobs are off.
+    EXPECT_EQ(off.metrics.combined_messages, 0u);
+    EXPECT_EQ(off.metrics.filtered_messages, 0u);
+    EXPECT_EQ(off.metrics.filter_broadcast_mb, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizationEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 16));
 
 }  // namespace
 }  // namespace gumbo

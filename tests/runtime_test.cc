@@ -260,6 +260,48 @@ TEST(RuntimeTest, ByteIdenticalAcrossPoolSizes) {
   }
 }
 
+// ---- Shuffle accounting: one source of truth --------------------------------
+
+// JobStats::shuffle_mb (measured once, map-side, post-combine) is the
+// single source of truth for shuffle volume; RoundStats::shuffle_mb is
+// derived from it at the commit barrier and ProgramStats::ShuffleMb()
+// sums the same per-job figures. The three views must agree exactly —
+// nothing re-measures shuffle bytes (the PR-1 engine/runtime
+// double-counting hazard).
+TEST(RuntimeTest, ShuffleBytesHaveOneSourceOfTruth) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  plan::PlannerOptions opts;
+  opts.strategy = plan::Strategy::kGreedy;
+  opts.sample_size = 64;
+  cost::ClusterConfig config = TestCluster();
+  plan::Planner planner(config, opts);
+  Engine engine(config);
+  Runtime runtime(&engine);
+  Database db = w->db;
+  auto plan = planner.Plan(w->query, db);
+  ASSERT_OK(plan);
+  auto result = plan::ExecutePlan(*plan, runtime, &db);
+  ASSERT_OK(result);
+  const ProgramStats& stats = result->stats;
+  ASSERT_FALSE(stats.round_stats.empty());
+  double via_rounds = 0.0;
+  for (const RoundStats& r : stats.round_stats) via_rounds += r.shuffle_mb;
+  double via_jobs = 0.0;
+  for (const JobStats& j : stats.jobs) via_jobs += j.shuffle_mb;
+  EXPECT_DOUBLE_EQ(via_rounds, via_jobs);
+  EXPECT_DOUBLE_EQ(via_rounds, stats.ShuffleMb());
+  // Every job is in exactly one round.
+  size_t jobs_in_rounds = 0;
+  for (const RoundStats& r : stats.round_stats) jobs_in_rounds += r.jobs.size();
+  EXPECT_EQ(jobs_in_rounds, stats.jobs.size());
+  // The executor's metrics are derived from the same aggregates.
+  EXPECT_DOUBLE_EQ(result->metrics.shuffle_mb, stats.ShuffleMb());
+  EXPECT_DOUBLE_EQ(result->metrics.communication_mb,
+                   stats.ShuffleMb() + stats.FilterBroadcastMb());
+  EXPECT_GT(stats.ShuffleMessages(), 0u);
+}
+
 TEST(RuntimeTest, ConcurrentMatchesSequentialRuntime) {
   auto w = data::MakeC(1, SmallData());  // nested query: several rounds
   ASSERT_OK(w);
