@@ -79,14 +79,16 @@ void BM_MsjMapFunction(benchmark::State& state) {
     return;
   }
   const Relation* guard = w->db.Get("R").value();
-  struct NullEmitter : mr::MapEmitter {
-    void Emit(Tuple, mr::Message) override {}
-  } sink;
   for (auto _ : state) {
+    // A fresh flat buffer per pass: the measured figure now includes the
+    // real emission path (fingerprint grouping included), matching what
+    // the engine pays per map task.
+    mr::MapOutputBuffer sink;
     auto mapper = job->mapper_factory();
     for (size_t i = 0; i < guard->size(); ++i) {
       mapper->Map(0, guard->tuples()[i], i, &sink);
     }
+    benchmark::DoNotOptimize(sink.num_messages());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(guard->size()));

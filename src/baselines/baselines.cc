@@ -52,26 +52,23 @@ class LojMapper : public mr::Mapper {
   explicit LojMapper(std::shared_ptr<const CompiledLoj> c) : c_(std::move(c)) {}
 
   void Map(size_t input_index, const Tuple& fact, uint64_t,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     const LojSpec& s = c_->spec;
     if (input_index == 0) {
       Tuple prefix;
       for (uint32_t i = 0; i < s.guard.arity(); ++i) prefix.PushBack(fact[i]);
       if (s.filter_guard_pattern && !s.guard.Conforms(prefix)) return;
-      mr::Message msg;
-      msg.tag = kTagRequest;
-      msg.payload = fact;  // the full (possibly already-flagged) row
-      msg.wire_bytes = ops::kTagBytes + mr::TupleWireBytes(fact);
-      emitter->Emit(s.guard.Project(prefix, c_->key_vars), std::move(msg));
+      // Payload: the full (possibly already-flagged) row.
+      emitter->Emit(s.guard.Project(prefix, c_->key_vars), kTagRequest, 0,
+                    fact, ops::kTagBytes + mr::TupleWireBytes(fact));
     } else {
       const auto& [atom, ds] = s.atoms[input_index - 1];
       if (!atom.Conforms(fact)) return;
-      mr::Message msg;
-      msg.tag = kTagAssert;
-      msg.aux = static_cast<uint32_t>(input_index - 1);
-      // Hive/Pig ship the conditional tuple itself.
-      msg.wire_bytes = ops::kTagBytes + mr::TupleWireBytes(fact);
-      emitter->Emit(atom.Project(fact, c_->key_vars), std::move(msg));
+      // Hive/Pig ship the conditional tuple itself (wire size), though
+      // only the match flag matters at the reducer.
+      emitter->Emit(atom.Project(fact, c_->key_vars), kTagAssert,
+                    static_cast<uint32_t>(input_index - 1),
+                    ops::kTagBytes + mr::TupleWireBytes(fact));
     }
   }
 
@@ -84,16 +81,16 @@ class LojReducer : public mr::Reducer {
   explicit LojReducer(std::shared_ptr<const CompiledLoj> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple&, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple&, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     const size_t n = c_->spec.atoms.size();
     matched_.assign(n, false);
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagAssert) matched_[m.aux] = true;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagAssert) matched_[m.aux()] = true;
     }
-    for (const mr::Message& m : values) {
-      if (m.tag != kTagRequest) continue;
-      Tuple row = m.payload;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() != kTagRequest) continue;
+      Tuple row = m.PayloadTuple();
       for (size_t a = 0; a < n; ++a) {
         row.PushBack(Value::Int(matched_[a] ? 1 : 0));
       }
@@ -161,7 +158,7 @@ class CombineMapper : public mr::Mapper {
       : c_(std::move(c)) {}
 
   void Map(size_t input_index, const Tuple& fact, uint64_t,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     const FlaggedSource& src = c_->sources[input_index];
     Tuple key;
     for (uint32_t i = 0; i < c_->query.guard().arity(); ++i) {
@@ -172,18 +169,12 @@ class CombineMapper : public mr::Mapper {
     if (!c_->query.guard().Conforms(key)) return;
     for (const auto& [col, atom] : src.flags) {
       if (fact[col] == Value::Int(1)) {
-        mr::Message msg;
-        msg.tag = kTagX;
-        msg.aux = static_cast<uint32_t>(atom);
-        msg.wire_bytes = ops::kTagBytes + ops::kSmallIdBytes;
-        emitter->Emit(key, std::move(msg));
+        emitter->Emit(key, kTagX, static_cast<uint32_t>(atom),
+                      ops::kTagBytes + ops::kSmallIdBytes);
       }
     }
     if (input_index == 0) {
-      mr::Message msg;
-      msg.tag = kTagGuard;
-      msg.wire_bytes = ops::kTagBytes;
-      emitter->Emit(std::move(key), std::move(msg));
+      emitter->Emit(key, kTagGuard, 0, ops::kTagBytes);
     }
   }
 
@@ -196,13 +187,13 @@ class CombineReducer : public mr::Reducer {
   explicit CombineReducer(std::shared_ptr<const CompiledCombine> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     bool guard_present = false;
     truth_.assign(c_->query.num_conditional_atoms(), false);
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagGuard) guard_present = true;
-      if (m.tag == kTagX) truth_[m.aux] = true;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagGuard) guard_present = true;
+      if (m.tag() == kTagX) truth_[m.aux()] = true;
     }
     if (!guard_present) return;
     bool keep = !c_->query.has_condition() ||
@@ -264,21 +255,15 @@ class SemiFullMapper : public mr::Mapper {
   explicit SemiFullMapper(std::shared_ptr<const CompiledSemiFull> c)
       : c_(std::move(c)) {}
   void Map(size_t input_index, const Tuple& fact, uint64_t,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     if (input_index == 0) {
       if (c_->filter_guard_pattern && !c_->guard.Conforms(fact)) return;
-      mr::Message msg;
-      msg.tag = kTagRequest;
-      msg.payload = fact;
-      msg.wire_bytes = ops::kTagBytes + mr::TupleWireBytes(fact);
-      emitter->Emit(c_->guard.Project(fact, c_->key_vars), std::move(msg));
+      emitter->Emit(c_->guard.Project(fact, c_->key_vars), kTagRequest, 0,
+                    fact, ops::kTagBytes + mr::TupleWireBytes(fact));
     } else {
       if (!c_->conditional.Conforms(fact)) return;
-      mr::Message msg;
-      msg.tag = kTagAssert;
-      msg.wire_bytes = ops::kTagBytes + mr::TupleWireBytes(fact);
-      emitter->Emit(c_->conditional.Project(fact, c_->key_vars),
-                    std::move(msg));
+      emitter->Emit(c_->conditional.Project(fact, c_->key_vars), kTagAssert,
+                    0, ops::kTagBytes + mr::TupleWireBytes(fact));
     }
   }
 
@@ -288,18 +273,18 @@ class SemiFullMapper : public mr::Mapper {
 
 class SemiFullReducer : public mr::Reducer {
  public:
-  void Reduce(const Tuple&, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple&, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     bool asserted = false;
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagAssert) {
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagAssert) {
         asserted = true;
         break;
       }
     }
     if (!asserted) return;
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagRequest) emitter->Emit(0, m.payload);
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagRequest) emitter->Emit(0, m.PayloadTuple());
     }
   }
 };

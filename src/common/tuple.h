@@ -13,12 +13,33 @@
 #include <functional>
 #include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "common/value.h"
 
 namespace gumbo {
 
 class Dictionary;
+
+/// SplitMix64-style mixing step shared by Tuple::Hash and the shuffle's
+/// flat-key fingerprints (mr/map_output.h). Folding `word` into the
+/// running state `h` here — instead of each caller rolling its own — is
+/// what guarantees fingerprint == Tuple::Hash() bit for bit, which the
+/// shuffle relies on for byte-identical partitioning.
+inline uint64_t FingerprintMix(uint64_t h, uint64_t word) {
+  uint64_t z = word + h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// 64-bit fingerprint of a flat-encoded tuple (`arity` raw Value words).
+/// Equal to Tuple::Hash() of the decoded tuple by construction.
+inline uint64_t TupleFingerprint(const uint64_t* words, uint32_t arity) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ arity;
+  for (uint32_t i = 0; i < arity; ++i) h = FingerprintMix(h, words[i]);
+  return h;
+}
 
 /// A fixed-arity row of Values. Cheap to copy at small arity; ordered and
 /// hashable so it can serve as a shuffle key.
@@ -106,13 +127,29 @@ class Tuple {
 
   uint64_t Hash() const {
     uint64_t h = 0x9e3779b97f4a7c15ULL ^ size_;
-    for (uint32_t i = 0; i < size_; ++i) {
-      uint64_t z = data()[i].raw() + h;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      h = z ^ (z >> 31);
-    }
+    for (uint32_t i = 0; i < size_; ++i) h = FingerprintMix(h, data()[i].raw());
     return h;
+  }
+
+  // ---- Flat encoding (the shuffle's wire form, DESIGN.md §3) ----
+  // A tuple's flat form is its size() raw Value words; the arity travels
+  // out of band (in the shuffle's key/group headers).
+
+  /// Appends the tuple's raw words to `out`; returns the starting word
+  /// offset within `out`.
+  size_t EncodeTo(std::vector<uint64_t>* out) const {
+    size_t pos = out->size();
+    for (uint32_t i = 0; i < size_; ++i) out->push_back(data()[i].raw());
+    return pos;
+  }
+
+  /// Rebuilds a tuple from `arity` flat words. Round-trips with EncodeTo
+  /// for every Value kind (ints incl. negatives, interned strings) and
+  /// every arity, including heap-spilled tuples beyond kInlineCapacity.
+  static Tuple DecodeFrom(const uint64_t* words, uint32_t arity) {
+    Tuple t;
+    for (uint32_t i = 0; i < arity; ++i) t.PushBack(Value::FromRaw(words[i]));
+    return t;
   }
 
   /// Renders as "(v1, v2, ...)" resolving strings through `dict` if given.

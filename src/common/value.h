@@ -29,6 +29,11 @@ class Value {
   /// Dictionary::Intern, which calls this.
   static Value StringId(uint64_t id) { return Value(kStringBase | id); }
 
+  /// Reconstructs a Value from its raw 64-bit word — the inverse of raw().
+  /// Used by the flat shuffle encoding (Tuple::DecodeFrom), which ships
+  /// tuples as bare word arrays.
+  static Value FromRaw(uint64_t raw) { return Value(raw); }
+
   bool is_string() const { return (raw_ & kStringBase) != 0; }
   bool is_int() const { return !is_string(); }
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
+#include "mr/map_output.h"
 #include "mr/message.h"
 
 namespace gumbo::cost {
@@ -12,18 +12,6 @@ namespace gumbo::cost {
 namespace {
 
 constexpr double kMbPerByte = 1.0 / (1024.0 * 1024.0);
-
-// Collects emissions of a sampled map run.
-class SamplingEmitter : public mr::MapEmitter {
- public:
-  void Emit(Tuple key, mr::Message value) override {
-    buffer_.push_back({std::move(key), std::move(value)});
-  }
-  const std::vector<mr::KeyValue>& buffer() const { return buffer_; }
-
- private:
-  std::vector<mr::KeyValue> buffer_;
-};
 
 }  // namespace
 
@@ -56,30 +44,18 @@ Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
     if (n == 0 || !job.mapper_factory) return p;
     size_t s = std::min(sample_size_, n);
     auto mapper = job.mapper_factory();
-    SamplingEmitter emitter;
+    mr::MapOutputBuffer emitter;
     for (size_t k = 0; k < s; ++k) {
       size_t idx = k * n / s;  // stride sample, deterministic
       mapper->Map(input_index, rel->tuples()[idx],
                   static_cast<uint64_t>(idx), &emitter);
     }
-    // Apply packing the way the engine would within a task.
+    // Account packing the way the shuffle would within a task: the flat
+    // buffer already grouped by key, so this is a read-off, not a regroup.
     double wire_bytes = 0.0;
-    double records = 0.0;
-    if (job.pack_messages) {
-      std::unordered_map<Tuple, double> per_key;
-      for (const mr::KeyValue& kv : emitter.buffer()) {
-        auto [it, inserted] = per_key.emplace(kv.key, 0.0);
-        if (inserted) it->second += mr::TupleWireBytes(kv.key);
-        it->second += kv.value.wire_bytes;
-      }
-      for (const auto& [k, b] : per_key) wire_bytes += b;
-      records = static_cast<double>(per_key.size());
-    } else {
-      for (const mr::KeyValue& kv : emitter.buffer()) {
-        wire_bytes += mr::TupleWireBytes(kv.key) + kv.value.wire_bytes;
-      }
-      records = static_cast<double>(emitter.buffer().size());
-    }
+    size_t record_count = 0;
+    emitter.AccountWire(job.pack_messages, &wire_bytes, &record_count);
+    double records = static_cast<double>(record_count);
     double blowup = static_cast<double>(n) / static_cast<double>(s) *
                     rel->representation_scale();
     p.output_mb = wire_bytes * blowup * job.intermediate_overhead_factor *

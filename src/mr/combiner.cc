@@ -1,40 +1,56 @@
 #include "mr/combiner.h"
 
+#include <cstring>
+
 namespace gumbo::mr {
 
 namespace {
 
-inline uint64_t MessageHash(const Message& m) {
+inline uint64_t MessageHash(const Message& m, const uint64_t* arena) {
   uint64_t z = (static_cast<uint64_t>(m.tag) << 32) ^ m.aux;
-  z ^= m.payload.Hash() + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+  const uint64_t payload_fp =
+      TupleFingerprint(m.payload_words(arena), m.payload_size);
+  z ^= payload_fp + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   return z ^ (z >> 31);
 }
 
+inline bool SameMessage(const Message& a, const Message& b,
+                        const uint64_t* arena) {
+  if (a.tag != b.tag || a.aux != b.aux || a.payload_size != b.payload_size) {
+    return false;
+  }
+  return a.payload_size == 0 ||
+         std::memcmp(a.payload_words(arena), b.payload_words(arena),
+                     a.payload_size * sizeof(uint64_t)) == 0;
+}
+
 }  // namespace
 
-void DedupCombiner::Combine(const Tuple& key, std::vector<Message>* values) {
+size_t DedupCombiner::Combine(const uint64_t* key, uint32_t key_arity,
+                              Message* values, size_t count,
+                              const uint64_t* payload_arena) {
   (void)key;
-  if (values->size() < 2) return;
+  (void)key_arity;
+  if (count < 2) return count;
   seen_.clear();
-  std::vector<Message> kept;
-  kept.reserve(values->size());
-  for (Message& m : *values) {
-    const uint64_t h = MessageHash(m);
+  size_t kept = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t h = MessageHash(values[i], payload_arena);
     std::vector<uint32_t>& bucket = seen_[h];
     bool duplicate = false;
     for (uint32_t idx : bucket) {
-      const Message& k = kept[idx];
-      if (k.tag == m.tag && k.aux == m.aux && k.payload == m.payload) {
+      if (SameMessage(values[idx], values[i], payload_arena)) {
         duplicate = true;
         break;
       }
     }
     if (duplicate) continue;
-    bucket.push_back(static_cast<uint32_t>(kept.size()));
-    kept.push_back(std::move(m));
+    bucket.push_back(static_cast<uint32_t>(kept));
+    if (kept != i) values[kept] = values[i];
+    ++kept;
   }
-  *values = std::move(kept);
+  return kept;
 }
 
 }  // namespace gumbo::mr

@@ -27,10 +27,12 @@ namespace gumbo::mr {
 /// task's value list for a key, keeping first occurrences in order
 /// (DESIGN.md §5.1; legality per operator in docs/operators.md). Wire
 /// size is not part of the identity: operators assign it as a pure
-/// function of the other three fields.
+/// function of the other three fields. Payloads are compared by their
+/// flat words, inline or spilled alike.
 class DedupCombiner : public Combiner {
  public:
-  void Combine(const Tuple& key, std::vector<Message>* values) override;
+  size_t Combine(const uint64_t* key, uint32_t key_arity, Message* values,
+                 size_t count, const uint64_t* payload_arena) override;
 
  private:
   /// Scratch reused across key groups: message hash -> indices of kept

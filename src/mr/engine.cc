@@ -21,17 +21,6 @@ struct MapTaskSpec {
   double input_mb = 0.0;
 };
 
-class VectorMapEmitter : public MapEmitter {
- public:
-  void Emit(Tuple key, Message value) override {
-    buffer_.push_back({std::move(key), std::move(value)});
-  }
-  std::vector<KeyValue>& buffer() { return buffer_; }
-
- private:
-  std::vector<KeyValue> buffer_;
-};
-
 class VectorReduceEmitter : public ReduceEmitter {
  public:
   explicit VectorReduceEmitter(size_t num_outputs) : outputs_(num_outputs) {}
@@ -142,13 +131,15 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     if (filters != nullptr) mapper->AttachFilters(filters.get());
     auto combiner =
         job.combiner_factory ? job.combiner_factory() : nullptr;
-    VectorMapEmitter emitter;
+    // Emissions go straight into the flat map-output buffer; the shuffle
+    // adopts its arenas wholesale (DESIGN.md §3).
+    MapOutputBuffer emitter;
     for (size_t j = t.begin; j < t.end; ++j) {
       mapper->Map(t.input_index, rel->tuples()[j], static_cast<uint64_t>(j),
                   &emitter);
     }
-    ShuffleTaskIo io = shuffle.AddTaskOutput(ti, std::move(emitter.buffer()),
-                                             combiner.get());
+    ShuffleTaskIo io =
+        shuffle.AddTaskOutput(ti, std::move(emitter), combiner.get());
     task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
     task_io[ti].metadata_mb =
         static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
@@ -183,6 +174,7 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     stats.map_task_costs[ti] = cost::MapCost(config_.costs, p) + broadcast_cost;
     stats.shuffle_records += task_io[ti].io.records;
     stats.shuffle_messages += task_io[ti].io.messages;
+    stats.fingerprint_collisions += task_io[ti].io.fingerprint_collisions;
     stats.combined_messages += task_io[ti].io.combined_messages;
     stats.combined_mb +=
         task_io[ti].io.combined_bytes * overhead * scale * kMbPerByte;
@@ -224,7 +216,7 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     auto reducer = job.reducer_factory();
     VectorReduceEmitter emitter(job.outputs.size());
     shuffle.ForEachGroup(
-        rj, [&](const Tuple& key, const std::vector<Message>& values) {
+        rj, [&](const Tuple& key, const MessageGroup& values) {
           reducer->Reduce(key, values, &emitter);
         });
     ReduceTaskOut& out = red[rj];

@@ -11,16 +11,10 @@
 #include "common/result.h"
 #include "common/tuple.h"
 #include "mr/filter.h"
+#include "mr/map_output.h"
 #include "mr/message.h"
 
 namespace gumbo::mr {
-
-/// Sink for map-side emissions.
-class MapEmitter {
- public:
-  virtual ~MapEmitter() = default;
-  virtual void Emit(Tuple key, Message value) = 0;
-};
 
 /// Sink for reduce-side output tuples; output_index selects one of the
 /// job's declared outputs.
@@ -38,8 +32,11 @@ class Mapper {
   /// Called once per input fact. `input_index` identifies which JobInput
   /// the fact came from; `tuple_id` is the fact's index within its input
   /// relation (stable across runs; used by the tuple-id optimization).
+  /// Emissions go straight into the flat map-output buffer
+  /// (mr/map_output.h) — `emitter` is a concrete class, not an
+  /// interface, so the per-emission path pays no virtual dispatch.
   virtual void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-                   MapEmitter* emitter) = 0;
+                   Emitter* emitter) = 0;
 
   /// Hands the mapper the job's Bloom filters (DESIGN.md §5.2) before any
   /// Map call; only invoked when JobSpec::filter_builder produced a
@@ -58,7 +55,10 @@ class Reducer {
  public:
   virtual ~Reducer() = default;
   /// Called once per key group, keys in sorted order within the task.
-  virtual void Reduce(const Tuple& key, const std::vector<Message>& values,
+  /// `values` is a zero-copy view over the shuffle's flat buffers, valid
+  /// only for the duration of the call; messages arrive in (map task,
+  /// emission) order.
+  virtual void Reduce(const Tuple& key, const MessageGroup& values,
                       ReduceEmitter* emitter) = 0;
 };
 
@@ -72,10 +72,14 @@ class Reducer {
 class Combiner {
  public:
   virtual ~Combiner() = default;
-  /// Shrinks `values` (all of one map task's messages for `key`) in
-  /// place. Must keep at least one message per surviving equivalence
-  /// class and must not reorder the survivors.
-  virtual void Combine(const Tuple& key, std::vector<Message>* values) = 0;
+  /// Shrinks the `count` messages of one key group in place (the key in
+  /// flat form: `key_arity` raw words at `key`; `payload_arena` resolves
+  /// spilled payloads). Returns how many messages survive, compacted to
+  /// the front of `values`. Must keep at least one message per surviving
+  /// equivalence class and must not reorder the survivors.
+  virtual size_t Combine(const uint64_t* key, uint32_t key_arity,
+                         Message* values, size_t count,
+                         const uint64_t* payload_arena) = 0;
 };
 
 /// How the engine picks the number of reduce tasks.

@@ -1,0 +1,132 @@
+#include "mr/map_output.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gumbo::mr {
+
+namespace {
+// Sized for a few thousand distinct keys without rehashing; one buffer
+// exists per in-flight map task, so the 16 KB footprint is irrelevant
+// next to the task's own output.
+constexpr size_t kInitialTableSize = 4096;  // power of two
+}  // namespace
+
+MapOutputBuffer::MapOutputBuffer(FingerprintFn fingerprint)
+    : fingerprint_(fingerprint), table_(kInitialTableSize, kNone),
+      table_mask_(kInitialTableSize - 1) {}
+
+void MapOutputBuffer::EmitImpl(const Tuple& key, bool prehashed,
+                               uint64_t fingerprint, uint32_t tag,
+                               uint32_t aux, const Tuple* payload,
+                               double wire_bytes) {
+  // Stage the key's flat words on the stack (fingerprinting and the
+  // collision compare both run over words); the arena is only written
+  // when the key turns out to be first-seen.
+  const uint32_t arity = key.size();
+  uint64_t stack_words[kStackKeyWords];
+  const uint64_t* words;
+  if (arity <= kStackKeyWords) {
+    uint32_t i = 0;
+    for (const Value& v : key) stack_words[i++] = v.raw();
+    words = stack_words;
+  } else {
+    key_scratch_.clear();
+    key.EncodeTo(&key_scratch_);
+    words = key_scratch_.data();
+  }
+  if (!prehashed) {
+    fingerprint = fingerprint_(words, arity);
+  }
+  const uint32_t gi = FindOrAddGroup(words, arity, fingerprint);
+
+  Message m;
+  m.tag = tag;
+  m.aux = aux;
+  m.wire_bytes = wire_bytes;
+  if (payload != nullptr && !payload->empty()) {
+    m.payload_size = payload->size();
+    if (m.payload_size <= Message::kInlinePayloadValues) {
+      uint32_t i = 0;
+      for (const Value& v : *payload) m.inline_payload[i++] = v.raw();
+    } else {
+      m.payload_pos = static_cast<uint32_t>(payload->EncodeTo(&payload_arena_));
+    }
+  }
+
+  const uint32_t mi = static_cast<uint32_t>(messages_.size());
+  messages_.push_back(m);
+  next_.push_back(kNone);
+  group_of_.push_back(gi);
+  Group& g = groups_[gi];
+  if (g.tail == kNone) {
+    g.head = mi;
+  } else {
+    next_[g.tail] = mi;
+  }
+  g.tail = mi;
+  ++g.count;
+}
+
+uint32_t MapOutputBuffer::FindOrAddGroup(const uint64_t* words,
+                                         uint32_t arity,
+                                         uint64_t fingerprint) {
+  if ((groups_.size() + 1) * 4 > table_.size() * 3) GrowTable();
+  size_t idx = fingerprint & table_mask_;
+  bool collided = false;
+  while (table_[idx] != kNone) {
+    const Group& g = groups_[table_[idx]];
+    if (g.fingerprint == fingerprint) {
+      if (g.key_arity == arity &&
+          (arity == 0 ||
+           std::memcmp(key_arena_.data() + g.key_pos, words,
+                       arity * sizeof(uint64_t)) == 0)) {
+        return table_[idx];
+      }
+      collided = true;
+    }
+    idx = (idx + 1) & table_mask_;
+  }
+  // Counted once per *inserted* key that shares a fingerprint with a
+  // different existing key — re-emissions of a known key never recount.
+  if (collided) ++fingerprint_collisions_;
+  Group g;
+  g.key_pos = static_cast<uint32_t>(key_arena_.size());
+  g.key_arity = arity;
+  g.fingerprint = fingerprint;
+  key_arena_.insert(key_arena_.end(), words, words + arity);
+  const uint32_t gi = static_cast<uint32_t>(groups_.size());
+  groups_.push_back(g);
+  table_[idx] = gi;
+  return gi;
+}
+
+void MapOutputBuffer::GrowTable() {
+  std::vector<uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, kNone);
+  table_mask_ = table_.size() - 1;
+  // Reinsert by fingerprint only: all stored groups are distinct keys, so
+  // no compares are needed.
+  for (uint32_t gi : old) {
+    if (gi == kNone) continue;
+    size_t idx = groups_[gi].fingerprint & table_mask_;
+    while (table_[idx] != kNone) idx = (idx + 1) & table_mask_;
+    table_[idx] = gi;
+  }
+}
+
+void MapOutputBuffer::AccountWire(bool packed, double* wire_bytes,
+                                  size_t* records) const {
+  double wire = 0.0;
+  for (const Message& m : messages_) wire += m.wire_bytes;
+  if (packed) {
+    for (const Group& g : groups_) wire += KeyWireBytes(g.key_arity);
+    *records = groups_.size();
+  } else {
+    for (uint32_t gi : group_of_) wire += KeyWireBytes(groups_[gi].key_arity);
+    *records = messages_.size();
+  }
+  *wire_bytes = wire;
+}
+
+}  // namespace gumbo::mr

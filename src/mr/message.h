@@ -1,42 +1,152 @@
-// Intermediate key/value data of the simulated MapReduce engine.
+// Intermediate key/value data of the simulated MapReduce engine, in flat
+// (struct-of-arrays) form.
 //
-// Keys are Tuples. Values are Messages: a small operator-defined header
-// (tag + aux) plus an optional Tuple payload and an explicit wire size in
-// bytes. Operators set the wire size to what a compact Hadoop
-// serialization would use (see ops/messages.h); the engine turns it into
-// represented megabytes for the cost model.
+// Keys are tuples flat-encoded into a contiguous word arena with a
+// precomputed 64-bit fingerprint (common/tuple.h); values are POD
+// `Message` structs whose small tuple payloads live inline and whose
+// larger ones spill to a shared payload arena. Operators set the wire
+// size to what a compact Hadoop serialization would use (see
+// ops/messages.h); the engine turns it into represented megabytes for
+// the cost model. Reducers see one key group at a time through the
+// `MessageGroup` view, which stitches together the group's per-map-task
+// message runs without copying them.
 #ifndef GUMBO_MR_MESSAGE_H_
 #define GUMBO_MR_MESSAGE_H_
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/tuple.h"
 
 namespace gumbo::mr {
 
-/// One value shuffled from a mapper to a reducer.
+/// One value shuffled from a mapper to a reducer. POD: copying a Message
+/// is a 40-byte memcpy, never a Tuple copy. Payloads of up to
+/// kInlinePayloadValues values are stored inside the struct; larger ones
+/// live in the owning buffer's payload arena at `payload_pos`.
 struct Message {
+  static constexpr uint32_t kInlinePayloadValues = 2;
+
   /// Operator-defined discriminator (e.g. request vs assert).
   uint32_t tag = 0;
   /// Operator-defined auxiliary id (e.g. condition id, equation index).
   uint32_t aux = 0;
-  /// Optional tuple payload (e.g. the projected guard tuple).
-  Tuple payload;
+  /// Payload arity in values (0 = no payload).
+  uint32_t payload_size = 0;
+  /// Word offset into the payload arena when the payload is spilled;
+  /// unused (0) while it fits inline.
+  uint32_t payload_pos = 0;
   /// Wire size of this value in bytes, excluding the key (the engine
   /// accounts key bytes once per packed list or once per message when
   /// packing is disabled).
   double wire_bytes = 0.0;
+  /// The payload's raw Value words when payload_size <= kInlinePayloadValues.
+  uint64_t inline_payload[kInlinePayloadValues];
+
+  bool payload_is_inline() const {
+    return payload_size <= kInlinePayloadValues;
+  }
+  /// The payload's flat words; `arena` is the owning buffer's payload
+  /// arena (may be null when the payload is inline or empty).
+  const uint64_t* payload_words(const uint64_t* arena) const {
+    return payload_is_inline() ? inline_payload : arena + payload_pos;
+  }
+};
+static_assert(std::is_trivially_copyable_v<Message>,
+              "Message must stay POD: the shuffle memcpys it freely");
+
+/// A borrowed view of one message plus the arena resolving its payload.
+/// Cheap to copy; valid as long as the underlying shuffle buffers live.
+class MessageRef {
+ public:
+  MessageRef(const Message* m, const uint64_t* arena) : m_(m), arena_(arena) {}
+
+  uint32_t tag() const { return m_->tag; }
+  uint32_t aux() const { return m_->aux; }
+  double wire_bytes() const { return m_->wire_bytes; }
+  uint32_t payload_size() const { return m_->payload_size; }
+  const uint64_t* payload_words() const { return m_->payload_words(arena_); }
+  /// Decodes the payload back into a Tuple (empty tuple when absent).
+  Tuple PayloadTuple() const {
+    return Tuple::DecodeFrom(payload_words(), m_->payload_size);
+  }
+
+ private:
+  const Message* m_;
+  const uint64_t* arena_;
 };
 
-struct KeyValue {
-  Tuple key;
-  Message value;
+/// All messages of one reduce key, as up to a handful of contiguous
+/// segments — one per (map task, run) — concatenated in (map task,
+/// emission) order. Iteration yields MessageRefs; nothing is copied or
+/// re-materialized per key.
+class MessageGroup {
+ public:
+  struct Segment {
+    const Message* msgs = nullptr;
+    const uint64_t* arena = nullptr;  ///< payload arena of the owning task
+    uint32_t count = 0;
+  };
+
+  MessageGroup(const Segment* segments, size_t num_segments, size_t total)
+      : segments_(segments), num_segments_(num_segments), total_(total) {}
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  class const_iterator {
+   public:
+    const_iterator(const Segment* seg, uint32_t i) : seg_(seg), i_(i) {}
+    MessageRef operator*() const { return {seg_->msgs + i_, seg_->arena}; }
+    const_iterator& operator++() {
+      if (++i_ == seg_->count) {
+        ++seg_;
+        i_ = 0;
+      }
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const {
+      return seg_ == o.seg_ && i_ == o.i_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    const Segment* seg_;
+    uint32_t i_;
+  };
+
+  const_iterator begin() const { return {segments_, 0}; }
+  const_iterator end() const { return {segments_ + num_segments_, 0}; }
+
+  /// Random access; O(num_segments) — fine for the segment counts the
+  /// shuffle produces (usually 1), prefer iteration in reducer loops.
+  MessageRef operator[](size_t i) const {
+    assert(i < total_);
+    const Segment* seg = segments_;
+    while (i >= seg->count) {
+      i -= seg->count;
+      ++seg;
+    }
+    return {seg->msgs + i, seg->arena};
+  }
+
+ private:
+  const Segment* segments_;
+  size_t num_segments_;
+  size_t total_;
 };
 
 /// Bytes of a tuple on the wire at the paper's data densities
 /// (10 bytes per attribute by default).
 inline double TupleWireBytes(const Tuple& t, double bytes_per_value = 10.0) {
   return bytes_per_value * static_cast<double>(t.size());
+}
+
+/// Wire bytes of a flat-encoded key of the given arity.
+inline double KeyWireBytes(uint32_t arity, double bytes_per_value = 10.0) {
+  return bytes_per_value * static_cast<double>(arity);
 }
 
 }  // namespace gumbo::mr

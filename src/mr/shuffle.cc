@@ -2,90 +2,161 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <cstring>
 
 namespace gumbo::mr {
 
 Shuffle::Shuffle(size_t num_map_tasks, bool pack_messages)
-    : pack_messages_(pack_messages), task_records_(num_map_tasks) {}
+    : pack_messages_(pack_messages), tasks_(num_map_tasks) {
+  assert(num_map_tasks < (1u << 24) && "RecordRef packs the task in 24 bits");
+}
 
-ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, std::vector<KeyValue> kvs,
+ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, MapOutputBuffer buffer,
                                      Combiner* combiner) {
-  assert(task < task_records_.size());
-  std::vector<ShuffleRecord>& records = task_records_[task];
-  assert(records.empty() && "task output ingested twice");
+  assert(task < tasks_.size());
+  TaskData& td = tasks_[task];
+  assert(td.entries.empty() && td.messages.empty() &&
+         "task output ingested twice");
   ShuffleTaskIo io;
-  // The combiner contract needs per-key value lists, so combining always
-  // goes through the grouped form even when packing is off (survivors are
-  // then re-materialized as singleton records below).
+  io.fingerprint_collisions = buffer.fingerprint_collisions();
+  td.key_arena = std::move(buffer.key_arena_);
+  td.payload_arena = std::move(buffer.payload_arena_);
+
   if (pack_messages_ || combiner != nullptr) {
-    // Group by key, preserving first-seen key order for determinism.
-    std::unordered_map<Tuple, size_t> index;
-    index.reserve(kvs.size());
-    std::vector<ShuffleRecord> grouped;
-    for (KeyValue& kv : kvs) {
-      auto [it, inserted] = index.emplace(kv.key, grouped.size());
-      if (inserted) {
-        ShuffleRecord rec;
-        rec.key = std::move(kv.key);
-        grouped.push_back(std::move(rec));
+    // Lay each key group out contiguously (first-seen key order, chain =
+    // emission order within the key), combining in place on the
+    // destination range before accounting — one POD copy per message,
+    // no per-group scratch. The combiner contract needs per-key value
+    // lists, so combining always goes through the grouped form even when
+    // packing is off (survivors then become singleton records over the
+    // same contiguous range).
+    td.messages.reserve(buffer.messages_.size());
+    td.entries.reserve(pack_messages_ ? buffer.groups_.size()
+                                      : buffer.messages_.size());
+    for (const MapOutputBuffer::Group& g : buffer.groups_) {
+      const size_t begin = td.messages.size();
+      double group_wire = 0.0;
+      for (uint32_t mi = g.head; mi != MapOutputBuffer::kNone;
+           mi = buffer.next_[mi]) {
+        td.messages.push_back(buffer.messages_[mi]);
+        group_wire += buffer.messages_[mi].wire_bytes;
       }
-      grouped[it->second].values.push_back(std::move(kv.value));
-    }
-    if (combiner != nullptr) {
-      for (ShuffleRecord& rec : grouped) {
-        if (rec.values.size() < 2) continue;
-        const size_t before = rec.values.size();
-        double before_bytes = 0.0;
-        for (const Message& m : rec.values) before_bytes += m.wire_bytes;
-        combiner->Combine(rec.key, &rec.values);
-        assert(!rec.values.empty() && "combiner dropped a whole key group");
-        const size_t removed = before - rec.values.size();
+      size_t count = td.messages.size() - begin;
+      if (combiner != nullptr && count >= 2) {
+        const size_t kept = combiner->Combine(
+            td.key_arena.data() + g.key_pos, g.key_arity,
+            td.messages.data() + begin, count, td.payload_arena.data());
+        assert(kept >= 1 && "combiner dropped a whole key group");
+        const size_t removed = count - kept;
+        td.messages.resize(begin + kept);
+        double after_wire = 0.0;
+        for (size_t i = 0; i < kept; ++i) {
+          after_wire += td.messages[begin + i].wire_bytes;
+        }
         io.combined_messages += removed;
-        for (const Message& m : rec.values) before_bytes -= m.wire_bytes;
-        io.combined_bytes += before_bytes;
+        io.combined_bytes += group_wire - after_wire;
         if (!pack_messages_) {
           // Without packing each removed message would have paid its own
           // key header as a singleton record.
           io.combined_bytes +=
-              static_cast<double>(removed) * TupleWireBytes(rec.key);
+              static_cast<double>(removed) * KeyWireBytes(g.key_arity);
         }
+        group_wire = after_wire;
+        count = kept;
       }
-    }
-    if (pack_messages_) {
-      for (ShuffleRecord& rec : grouped) {
-        rec.wire_bytes = TupleWireBytes(rec.key);
-        for (const Message& m : rec.values) rec.wire_bytes += m.wire_bytes;
-      }
-      records = std::move(grouped);
-    } else {
-      // No packing: every surviving message pays its own key header.
-      for (ShuffleRecord& rec : grouped) {
-        for (Message& m : rec.values) {
-          ShuffleRecord r;
-          r.key = rec.key;
-          r.wire_bytes = TupleWireBytes(r.key) + m.wire_bytes;
-          r.values.push_back(std::move(m));
-          records.push_back(std::move(r));
+      if (pack_messages_) {
+        KeyEntry e;
+        e.key_pos = g.key_pos;
+        e.key_arity = g.key_arity;
+        e.fingerprint = g.fingerprint;
+        e.msg_begin = static_cast<uint32_t>(begin);
+        e.msg_count = static_cast<uint32_t>(count);
+        e.wire_bytes = KeyWireBytes(g.key_arity) + group_wire;
+        td.entries.push_back(e);
+      } else {
+        // No packing: every surviving message pays its own key header;
+        // the messages stay where they are, entries just point at them
+        // one by one.
+        for (size_t i = 0; i < count; ++i) {
+          KeyEntry e;
+          e.key_pos = g.key_pos;
+          e.key_arity = g.key_arity;
+          e.fingerprint = g.fingerprint;
+          e.msg_begin = static_cast<uint32_t>(begin + i);
+          e.msg_count = 1;
+          e.wire_bytes =
+              KeyWireBytes(g.key_arity) + td.messages[begin + i].wire_bytes;
+          td.entries.push_back(e);
         }
       }
     }
   } else {
-    records.reserve(kvs.size());
-    for (KeyValue& kv : kvs) {
-      ShuffleRecord rec;
-      rec.wire_bytes = TupleWireBytes(kv.key) + kv.value.wire_bytes;
-      rec.key = std::move(kv.key);
-      rec.values.push_back(std::move(kv.value));
-      records.push_back(std::move(rec));
+    // Neither packing nor combining: singleton records in raw emission
+    // order; the emitter's message array already is that order.
+    td.messages = std::move(buffer.messages_);
+    td.entries.reserve(td.messages.size());
+    for (uint32_t mi = 0; mi < td.messages.size(); ++mi) {
+      const MapOutputBuffer::Group& g = buffer.groups_[buffer.group_of_[mi]];
+      KeyEntry e;
+      e.key_pos = g.key_pos;
+      e.key_arity = g.key_arity;
+      e.fingerprint = g.fingerprint;
+      e.msg_begin = mi;
+      e.msg_count = 1;
+      e.wire_bytes = KeyWireBytes(g.key_arity) + td.messages[mi].wire_bytes;
+      td.entries.push_back(e);
     }
   }
-  io.records = records.size();
-  for (const ShuffleRecord& rec : records) {
-    io.wire_bytes += rec.wire_bytes;
-    io.messages += rec.values.size();
-  }
+
+  io.records = td.entries.size();
+  io.messages = td.messages.size();
+  for (const KeyEntry& e : td.entries) io.wire_bytes += e.wire_bytes;
   return io;
+}
+
+bool Shuffle::KeyLess(const RecordRef& a, const RecordRef& b) const {
+  // Fast paths on the inlined fields: the first word is the first
+  // lexicographic position, and when either key ends there (arity < 2),
+  // the arity hint finishes the comparison — no memory indirection.
+  if (a.word0 != b.word0) return a.word0 < b.word0;
+  const uint32_t ah = a.arity_hint();
+  const uint32_t bh = b.arity_hint();
+  if (ah < 2 || bh < 2) {
+    // The shared prefix is exhausted at word0: shorter key first...
+    if (ah != bh) return ah < bh;
+    // ...or the keys are equal: (task, emission) order. Making the
+    // tie-break explicit lets Partition use std::sort — same order a
+    // stable sort would give, without the allocation and constant
+    // factor. Equal arity hints make task_arity order the task order.
+    if (a.task_arity != b.task_arity) return a.task_arity < b.task_arity;
+    return a.entry < b.entry;
+  }
+  // Both keys have >= 2 words: lexicographic over the remaining raw
+  // words, then arity — identical to Tuple::operator< (Value order is
+  // raw-word order).
+  const KeyEntry& ea = EntryOf(a);
+  const KeyEntry& eb = EntryOf(b);
+  const uint64_t* wa = KeyWordsOf(a);
+  const uint64_t* wb = KeyWordsOf(b);
+  const uint32_t n = std::min(ea.key_arity, eb.key_arity);
+  for (uint32_t i = 1; i < n; ++i) {
+    if (wa[i] < wb[i]) return true;
+    if (wb[i] < wa[i]) return false;
+  }
+  if (ea.key_arity != eb.key_arity) return ea.key_arity < eb.key_arity;
+  if (a.task_arity != b.task_arity) return a.task_arity < b.task_arity;
+  return a.entry < b.entry;
+}
+
+bool Shuffle::KeyEquals(const RecordRef& a, const RecordRef& b) const {
+  const KeyEntry& ea = EntryOf(a);
+  const KeyEntry& eb = EntryOf(b);
+  if (ea.fingerprint != eb.fingerprint || ea.key_arity != eb.key_arity) {
+    return false;
+  }
+  return ea.key_arity == 0 ||
+         std::memcmp(KeyWordsOf(a), KeyWordsOf(b),
+                     ea.key_arity * sizeof(uint64_t)) == 0;
 }
 
 void Shuffle::Partition(int num_partitions, ThreadPool* pool) {
@@ -93,69 +164,123 @@ void Shuffle::Partition(int num_partitions, ThreadPool* pool) {
   assert(partitions_.empty() && "Partition called twice");
   num_partitions_ = num_partitions;
   const size_t r = static_cast<size_t>(num_partitions);
-  const size_t tasks = task_records_.size();
+  const size_t tasks = tasks_.size();
 
-  // Bucket each task's records, then concatenate buckets in task order so
-  // every partition sees its records in (task, emission) order.
-  std::vector<std::vector<std::vector<const ShuffleRecord*>>> buckets(tasks);
-  auto bucket_task = [&](size_t ti) {
-    buckets[ti].resize(r);
-    for (const ShuffleRecord& rec : task_records_[ti]) {
-      buckets[ti][rec.key.Hash() % static_cast<uint64_t>(r)].push_back(&rec);
-    }
-  };
-  auto gather_partition = [&](size_t p) {
-    size_t total = 0;
-    for (size_t ti = 0; ti < tasks; ++ti) total += buckets[ti][p].size();
-    partitions_[p].reserve(total);
-    for (size_t ti = 0; ti < tasks; ++ti) {
-      partitions_[p].insert(partitions_[p].end(), buckets[ti][p].begin(),
-                            buckets[ti][p].end());
+  // Two counting passes instead of intermediate bucket vectors: first
+  // count each task's records (and wire bytes) per partition, then write
+  // every record directly into its final slot. Tasks write disjoint
+  // slices (offsets are per task x partition), so both passes
+  // parallelize without locks, and the (task, emission) pre-sort order
+  // falls out of the offsets.
+  std::vector<std::vector<uint32_t>> counts(tasks);
+  std::vector<std::vector<double>> wires(tasks);
+  auto count_task = [&](size_t ti) {
+    counts[ti].assign(r, 0);
+    wires[ti].assign(r, 0.0);
+    for (const KeyEntry& e : tasks_[ti].entries) {
+      const size_t p = e.fingerprint % static_cast<uint64_t>(r);
+      ++counts[ti][p];
+      wires[ti][p] += e.wire_bytes;
     }
   };
   partitions_.resize(r);
+  partition_wire_bytes_.resize(r, 0.0);
+  // Exclusive prefix sums over the counts matrix: base[ti][p] is where
+  // task ti's first record of partition p lands. Built once in the
+  // sizing pass below, so scatter offset setup is O(r) per task.
+  std::vector<std::vector<size_t>> base(tasks);
+  auto scatter_task = [&](size_t ti) {
+    const TaskData& td = tasks_[ti];
+    const std::vector<KeyEntry>& entries = td.entries;
+    std::vector<size_t> offset = base[ti];
+    const uint32_t task_bits = static_cast<uint32_t>(ti) << 8;
+    for (uint32_t ei = 0; ei < entries.size(); ++ei) {
+      const KeyEntry& e = entries[ei];
+      RecordRef ref;
+      ref.word0 = e.key_arity > 0 ? td.key_arena[e.key_pos] : 0;
+      ref.task_arity =
+          task_bits | std::min(e.key_arity, RecordRef::kAritySaturated);
+      ref.entry = ei;
+      const size_t p = e.fingerprint % static_cast<uint64_t>(r);
+      partitions_[p][offset[p]++] = ref;
+    }
+  };
+  auto sort_partition = [&](size_t p) {
+    std::vector<RecordRef>& refs = partitions_[p];
+    // The one sort of the shuffle, cached here — ForEachGroup never
+    // re-sorts. KeyLess breaks key ties by (task, emission), so plain
+    // sort yields exactly the stable order.
+    std::sort(refs.begin(), refs.end(),
+              [this](const RecordRef& a, const RecordRef& b) {
+                return KeyLess(a, b);
+              });
+  };
+  auto size_partitions = [&] {
+    for (size_t ti = 0; ti < tasks; ++ti) base[ti].assign(r, 0);
+    for (size_t p = 0; p < r; ++p) {
+      size_t total = 0;
+      double wire = 0.0;
+      for (size_t ti = 0; ti < tasks; ++ti) {
+        base[ti][p] = total;
+        total += counts[ti][p];
+        wire += wires[ti][p];
+      }
+      partitions_[p].resize(total);
+      partition_wire_bytes_[p] = wire;
+    }
+  };
   if (pool != nullptr) {
-    pool->ParallelFor(tasks, bucket_task);
-    pool->ParallelFor(r, gather_partition);
+    pool->ParallelFor(tasks, count_task);
+    size_partitions();
+    pool->ParallelFor(tasks, scatter_task);
+    pool->ParallelFor(r, sort_partition);
   } else {
-    for (size_t ti = 0; ti < tasks; ++ti) bucket_task(ti);
-    for (size_t p = 0; p < r; ++p) gather_partition(p);
+    for (size_t ti = 0; ti < tasks; ++ti) count_task(ti);
+    size_partitions();
+    for (size_t ti = 0; ti < tasks; ++ti) scatter_task(ti);
+    for (size_t p = 0; p < r; ++p) sort_partition(p);
   }
 }
 
 double Shuffle::PartitionWireBytes(size_t p) const {
-  assert(p < partitions_.size());
-  double bytes = 0.0;
-  for (const ShuffleRecord* rec : partitions_[p]) bytes += rec->wire_bytes;
-  return bytes;
+  assert(p < partition_wire_bytes_.size());
+  return partition_wire_bytes_[p];
 }
 
 void Shuffle::ForEachGroup(
-    size_t p, const std::function<void(const Tuple&,
-                                       const std::vector<Message>&)>& fn)
-    const {
+    size_t p,
+    const std::function<void(const Tuple&, const MessageGroup&)>& fn) const {
   assert(p < partitions_.size());
-  // One flat index per partition; the stable sort keeps (task, emission)
-  // order within equal keys, so merged value lists match a sequential run.
-  std::vector<const ShuffleRecord*> sorted = partitions_[p];
-  std::stable_sort(sorted.begin(), sorted.end(),
-                   [](const ShuffleRecord* a, const ShuffleRecord* b) {
-                     return a->key < b->key;
-                   });
-  std::vector<Message> merged;  // reused across key groups
-  for (size_t i = 0; i < sorted.size();) {
+  const std::vector<RecordRef>& refs = partitions_[p];
+  // Reused scratch: the only per-key allocation-ish state, and it
+  // stabilizes at the maximum segment count after a few keys.
+  std::vector<MessageGroup::Segment> segments;
+  for (size_t i = 0; i < refs.size();) {
     size_t j = i + 1;
-    while (j < sorted.size() && sorted[j]->key == sorted[i]->key) ++j;
-    if (j == i + 1) {
-      fn(sorted[i]->key, sorted[i]->values);
-    } else {
-      merged.clear();
-      for (size_t k = i; k < j; ++k) {
-        merged.insert(merged.end(), sorted[k]->values.begin(),
-                      sorted[k]->values.end());
+    while (j < refs.size() && KeyEquals(refs[i], refs[j])) ++j;
+    segments.clear();
+    size_t total = 0;
+    for (size_t k = i; k < j; ++k) {
+      const TaskData& td = tasks_[refs[k].task()];
+      const KeyEntry& e = td.entries[refs[k].entry];
+      if (e.msg_count == 0) continue;
+      total += e.msg_count;
+      const Message* msgs = td.messages.data() + e.msg_begin;
+      if (!segments.empty()) {
+        // Adjacent records of the same task with contiguous message
+        // ranges (the unpacked singleton case) fuse into one segment.
+        MessageGroup::Segment& last = segments.back();
+        if (last.msgs + last.count == msgs &&
+            last.arena == td.payload_arena.data()) {
+          last.count += e.msg_count;
+          continue;
+        }
       }
-      fn(sorted[i]->key, merged);
+      segments.push_back({msgs, td.payload_arena.data(), e.msg_count});
     }
+    const KeyEntry& e0 = EntryOf(refs[i]);
+    const Tuple key = Tuple::DecodeFrom(KeyWordsOf(refs[i]), e0.key_arity);
+    fn(key, MessageGroup(segments.data(), segments.size(), total));
     i = j;
   }
 }

@@ -3,45 +3,45 @@
 // and reduce phases share one flat-buffer representation.
 //
 // Pipeline:
-//   1. AddTaskOutput ingests one map task's raw emissions, grouping values
-//      by key in first-seen order when packing is enabled (Gumbo §5.1
-//      optimization (1): one key header per packed list on the wire) and
-//      applying the job's optional map-side combiner per key group
-//      (DESIGN.md §5.1) — combined-away messages are reported back so the
-//      engine can account them;
-//   2. Partition hash-buckets every record by key into reduce partitions,
-//      keeping records of each partition in (map task, emission) order;
-//   3. ForEachGroup walks one partition's distinct keys in sorted order.
+//   1. AddTaskOutput adopts one map task's MapOutputBuffer — keys already
+//      flat-encoded, fingerprinted, and grouped in first-seen order by
+//      the emitter's open-addressing table (Gumbo §5.1 optimization (1):
+//      one key header per packed list on the wire) — lays each key group
+//      out contiguously, and applies the job's optional map-side combiner
+//      per key group (DESIGN.md §5.1) before any byte is accounted;
+//   2. Partition buckets every record by its cached fingerprint into
+//      reduce partitions and sorts each partition ONCE by key (stable, so
+//      records keep (map task, emission) order within equal keys); the
+//      sorted index arrays and per-partition wire bytes are cached;
+//   3. ForEachGroup walks one partition's distinct keys in sorted order,
+//      handing the reducer a zero-copy MessageGroup view that stitches
+//      the key's per-task message runs together.
 //
-// The reduce side performs a single stable sort over one flat record
-// vector per partition instead of building a per-key hash map, so the hot
-// path allocates O(partitions) scratch buffers rather than O(keys).
+// The hot path never materializes a Tuple or a per-key vector: keys stay
+// flat words until a reducer needs them, messages stay POD, and the only
+// per-key scratch is a reused segment array.
 //
 // Determinism: record order within a partition is the (task index,
 // emission index) order, the stable sort preserves it within equal keys,
 // and distinct keys come out in sorted order — all independent of thread
-// count and scheduling.
+// count and scheduling. Fingerprints equal Tuple::Hash(), so partition
+// assignment (and therefore every byte of output) matches the previous
+// Tuple-keyed representation exactly.
 #ifndef GUMBO_MR_SHUFFLE_H_
 #define GUMBO_MR_SHUFFLE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "common/tuple.h"
 #include "mr/job.h"
+#include "mr/map_output.h"
 #include "mr/message.h"
 
 namespace gumbo::mr {
-
-/// One shuffle record: a key plus all messages one map task emitted for it
-/// (a singleton list per message when packing is disabled).
-struct ShuffleRecord {
-  Tuple key;
-  std::vector<Message> values;
-  double wire_bytes = 0.0;  ///< key bytes + value bytes of this record
-};
 
 /// Wire-level accounting of one map task's shuffle output. All figures
 /// are post-combine: the combiner (DESIGN.md §5.1) runs before anything
@@ -53,6 +53,7 @@ struct ShuffleTaskIo {
   size_t messages = 0;      ///< shuffled values (after combining)
   size_t combined_messages = 0;  ///< values removed by the combiner
   double combined_bytes = 0.0;   ///< wire bytes the combiner removed
+  uint64_t fingerprint_collisions = 0;  ///< distinct keys, equal fingerprint
 };
 
 class Shuffle {
@@ -60,24 +61,27 @@ class Shuffle {
   /// `pack_messages`: group values by key within each map task.
   Shuffle(size_t num_map_tasks, bool pack_messages);
 
-  size_t num_map_tasks() const { return task_records_.size(); }
+  size_t num_map_tasks() const { return tasks_.size(); }
 
-  /// Ingests one map task's emitted key/values. `combiner` (may be null)
-  /// is applied to every key group before accounting (DESIGN.md §5.1);
+  /// Adopts one map task's emission buffer. `combiner` (may be null) is
+  /// applied to every key group before accounting (DESIGN.md §5.1);
   /// without packing, surviving values are re-materialized as singleton
   /// records, each paying its own key header. Safe to call concurrently
   /// for distinct `task` indices.
-  ShuffleTaskIo AddTaskOutput(size_t task, std::vector<KeyValue> kvs,
+  ShuffleTaskIo AddTaskOutput(size_t task, MapOutputBuffer buffer,
                               Combiner* combiner = nullptr);
 
-  /// Hash-partitions every ingested record into `num_partitions` reduce
-  /// partitions. Must be called once, after all AddTaskOutput calls.
-  /// `pool` parallelizes the bucketing (nullptr = sequential).
+  /// Hash-partitions every ingested record by fingerprint into
+  /// `num_partitions` reduce partitions and sorts each partition's index
+  /// array once by key. Must be called once, after all AddTaskOutput
+  /// calls. `pool` parallelizes bucketing and sorting (nullptr =
+  /// sequential).
   void Partition(int num_partitions, ThreadPool* pool = nullptr);
 
   int num_partitions() const { return num_partitions_; }
 
-  /// Total key + value wire bytes received by partition `p`.
+  /// Total key + value wire bytes received by partition `p` (cached at
+  /// Partition time).
   double PartitionWireBytes(size_t p) const;
 
   /// Invokes `fn(key, values)` once per distinct key of partition `p`,
@@ -85,17 +89,62 @@ class Shuffle {
   /// order. Safe to call concurrently for distinct `p` after Partition.
   void ForEachGroup(
       size_t p,
-      const std::function<void(const Tuple&, const std::vector<Message>&)>&
-          fn) const;
+      const std::function<void(const Tuple&, const MessageGroup&)>& fn) const;
 
  private:
+  /// One wire record: a packed key group, or a single message when
+  /// packing is off. Key words live in the owning task's key arena.
+  struct KeyEntry {
+    uint32_t key_pos = 0;
+    uint32_t key_arity = 0;
+    uint64_t fingerprint = 0;
+    uint32_t msg_begin = 0;  ///< into TaskData::messages
+    uint32_t msg_count = 0;
+    double wire_bytes = 0.0;  ///< key header + value bytes of this record
+  };
+
+  /// One map task's finalized output: messages contiguous per key entry.
+  struct TaskData {
+    std::vector<uint64_t> key_arena;
+    std::vector<uint64_t> payload_arena;
+    std::vector<Message> messages;
+    std::vector<KeyEntry> entries;
+  };
+
+  /// 16 bytes per record in the sorted partition arrays. word0 and the
+  /// saturating arity hint are inlined so the sort decides single-word
+  /// keys (the common MSJ join-key case) without touching the key arena
+  /// or entry array at all.
+  struct RecordRef {
+    static constexpr uint32_t kAritySaturated = 0xff;
+    /// First key word (0 for empty keys) — the first lexicographic
+    /// comparison position.
+    uint64_t word0 = 0;
+    /// (task << 8) | min(key_arity, kAritySaturated).
+    uint32_t task_arity = 0;
+    uint32_t entry = 0;
+
+    uint32_t task() const { return task_arity >> 8; }
+    uint32_t arity_hint() const { return task_arity & kAritySaturated; }
+  };
+
+  const uint64_t* KeyWordsOf(const RecordRef& r) const {
+    const TaskData& td = tasks_[r.task()];
+    return td.key_arena.data() + td.entries[r.entry].key_pos;
+  }
+  const KeyEntry& EntryOf(const RecordRef& r) const {
+    return tasks_[r.task()].entries[r.entry];
+  }
+  bool KeyLess(const RecordRef& a, const RecordRef& b) const;
+  bool KeyEquals(const RecordRef& a, const RecordRef& b) const;
+
   bool pack_messages_;
-  /// [task] -> records the task produced, in emission / first-seen order.
-  std::vector<std::vector<ShuffleRecord>> task_records_;
+  std::vector<TaskData> tasks_;
   int num_partitions_ = 0;
-  /// [partition] -> records, in (task, emission) order. Pointees live in
-  /// task_records_.
-  std::vector<std::vector<const ShuffleRecord*>> partitions_;
+  /// [partition] -> records sorted by key (ties in (task, emission)
+  /// order), cached by Partition.
+  std::vector<std::vector<RecordRef>> partitions_;
+  std::vector<double> partition_wire_bytes_;
 };
 
 }  // namespace gumbo::mr

@@ -38,6 +38,10 @@ struct JobStats {
   // ---- Shuffle-volume optimization counters (DESIGN.md §5) ----
   uint64_t shuffle_records = 0;   ///< materialized records (post-packing)
   uint64_t shuffle_messages = 0;  ///< shuffled values (post-combine)
+  /// Distinct keys whose 64-bit fingerprints collided in the map-side
+  /// grouping table (DESIGN.md §3); resolved by full-key compares, so
+  /// purely diagnostic for hash quality.
+  uint64_t fingerprint_collisions = 0;
   uint64_t combined_messages = 0; ///< values removed by the combiner
   double combined_mb = 0.0;       ///< intermediate MB the combiner removed
   uint64_t filtered_messages = 0; ///< emissions suppressed by Bloom filters

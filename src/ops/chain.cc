@@ -34,34 +34,30 @@ class ChainMapper : public mr::Mapper {
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     (void)tuple_id;
     const ChainStepSpec& s = c_->spec;
     if (input_index == 0) {
       if (s.filter_guard_pattern && !s.guard.Conforms(fact)) return;
       Tuple key = s.guard.Project(fact, c_->key_vars);
+      const uint64_t h = key.Hash();
       if (filters_ != nullptr && c_->request_filter &&
-          !filters_->filter(0).MightContain(key.Hash())) {
+          !filters_->filter(0).MightContain(h)) {
         ++suppressed_;  // key provably unmatched: the semi-join drops it
         return;
       }
-      mr::Message msg;
-      msg.tag = kTagRequest;
-      msg.payload = fact;
-      msg.wire_bytes = RequestWireBytes(mr::TupleWireBytes(fact));
-      emitter->Emit(std::move(key), std::move(msg));
+      emitter->EmitPrehashed(key, h, kTagRequest, 0, fact,
+                             RequestWireBytes(mr::TupleWireBytes(fact)));
     } else {
       if (!s.conditional.Conforms(fact)) return;
       Tuple key = s.conditional.Project(fact, c_->key_vars);
+      const uint64_t h = key.Hash();
       if (filters_ != nullptr &&
-          !filters_->filter(1).MightContain(key.Hash())) {
+          !filters_->filter(1).MightContain(h)) {
         ++suppressed_;  // no input tuple can request this key
         return;
       }
-      mr::Message msg;
-      msg.tag = kTagAssert;
-      msg.wire_bytes = AssertWireBytes();
-      emitter->Emit(std::move(key), std::move(msg));
+      emitter->EmitPrehashed(key, h, kTagAssert, 0, AssertWireBytes());
     }
   }
 
@@ -76,24 +72,24 @@ class ChainReducer : public mr::Reducer {
   explicit ChainReducer(std::shared_ptr<const CompiledStep> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)key;
     bool asserted = false;
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagAssert) {
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagAssert) {
         asserted = true;
         break;
       }
     }
     const ChainStepSpec& s = c_->spec;
     if (asserted != s.positive) return;
-    for (const mr::Message& m : values) {
-      if (m.tag != kTagRequest) continue;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() != kTagRequest) continue;
       if (s.emit_projection) {
-        emitter->Emit(0, s.guard.Project(m.payload, s.select_vars));
+        emitter->Emit(0, s.guard.Project(m.PayloadTuple(), s.select_vars));
       } else {
-        emitter->Emit(0, m.payload);
+        emitter->Emit(0, m.PayloadTuple());
       }
     }
   }
@@ -114,13 +110,11 @@ class UnionMapper : public mr::Mapper {
   explicit UnionMapper(std::shared_ptr<const CompiledUnion> c)
       : c_(std::move(c)) {}
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     (void)input_index;
     (void)tuple_id;
-    mr::Message msg;
-    msg.tag = kTagGuard;
-    msg.wire_bytes = kTagBytes;
-    emitter->Emit(c_->guard.Project(fact, c_->select_vars), std::move(msg));
+    emitter->Emit(c_->guard.Project(fact, c_->select_vars), kTagGuard, 0,
+                  kTagBytes);
   }
 
  private:
@@ -129,7 +123,7 @@ class UnionMapper : public mr::Mapper {
 
 class UnionReducer : public mr::Reducer {
  public:
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)values;
     emitter->Emit(0, key);

@@ -43,32 +43,24 @@ class EvalMapper : public mr::Mapper {
       : c_(std::move(c)) {}
 
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     for (const auto& route : c_->routes[input_index]) {
       const auto& task = c_->tasks[route.task];
       if (route.is_guard) {
         if (!task.query.guard().Conforms(fact)) continue;
-        mr::Message msg;
-        msg.tag = kTagGuard;
         if (c_->tuple_id_refs) {
           // Ship the guard tuple to resolve the id at the reducer.
-          msg.payload = fact;
-          msg.wire_bytes =
-              kTagBytes + mr::TupleWireBytes(fact);
           Tuple identity{Value::Int(static_cast<int64_t>(tuple_id))};
-          emitter->Emit(MakeKey(task.task_id, identity), std::move(msg));
+          emitter->Emit(MakeKey(task.task_id, identity), kTagGuard, 0, fact,
+                        kTagBytes + mr::TupleWireBytes(fact));
         } else {
-          msg.wire_bytes = kTagBytes;
-          emitter->Emit(MakeKey(task.task_id, fact), std::move(msg));
+          emitter->Emit(MakeKey(task.task_id, fact), kTagGuard, 0, kTagBytes);
         }
       } else {
         // Membership fact of X_{atom_index}: the fact IS the identity
         // (an id in id mode, the guard tuple otherwise).
-        mr::Message msg;
-        msg.tag = kTagX;
-        msg.aux = route.atom_index;
-        msg.wire_bytes = kTagBytes + kSmallIdBytes;
-        emitter->Emit(MakeKey(task.task_id, fact), std::move(msg));
+        emitter->Emit(MakeKey(task.task_id, fact), kTagX, route.atom_index,
+                      kTagBytes + kSmallIdBytes);
       }
     }
   }
@@ -82,19 +74,24 @@ class EvalReducer : public mr::Reducer {
   explicit EvalReducer(std::shared_ptr<const CompiledEval> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     uint32_t task_id = static_cast<uint32_t>(key[0].AsInt());
     const auto& task = c_->tasks[task_id];
-    const Tuple* guard_fact = nullptr;
+    Tuple guard_tuple;
+    bool have_guard = false;
     truth_.assign(task.query.num_conditional_atoms(), false);
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagGuard) {
-        if (guard_fact == nullptr) guard_fact = &m.payload;
-      } else if (m.tag == kTagX) {
-        truth_[m.aux] = true;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagGuard) {
+        if (!have_guard) {
+          guard_tuple = m.PayloadTuple();
+          have_guard = true;
+        }
+      } else if (m.tag() == kTagX) {
+        truth_[m.aux()] = true;
       }
     }
+    const Tuple* guard_fact = have_guard ? &guard_tuple : nullptr;
     if (guard_fact == nullptr) {
       // No guard fact for this key: X_i entries can only originate from
       // guard facts, so this indicates a plan bug in full-tuple mode; in

@@ -46,30 +46,31 @@ class MsjMapper : public mr::Mapper {
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     // Guard role: one request per equation this fact guards — unless the
     // condition's Bloom filter proves the key has no match (a semi-join
     // request with no Assert is dropped at the reducer anyway, so
-    // skipping it here cannot change the result; DESIGN.md §5.2).
+    // skipping it here cannot change the result; DESIGN.md §5.2). The
+    // key hash doubles as the emitter's grouping fingerprint.
     for (size_t ei : c_->guard_eqs_of_input[input_index]) {
       const auto& eq = c_->equations[ei];
       if (!eq.guard.Conforms(fact)) continue;
       Tuple key = eq.guard.Project(fact, eq.key_vars);
+      const uint64_t h = key.Hash();
       if (filters_ != nullptr &&
-          !filters_->filter(eq.cond_id).MightContain(key.Hash())) {
+          !filters_->filter(eq.cond_id).MightContain(h)) {
         ++suppressed_;
         continue;
       }
-      mr::Message msg;
-      msg.tag = kTagRequest;
-      msg.aux = static_cast<uint32_t>(ei);
+      const double wire = RequestWireBytes(eq.payload_bytes);
       if (c_->tuple_id_refs) {
-        msg.payload = Tuple{Value::Int(static_cast<int64_t>(tuple_id))};
+        emitter->EmitPrehashed(key, h, kTagRequest, static_cast<uint32_t>(ei),
+                               Tuple{Value::Int(static_cast<int64_t>(tuple_id))},
+                               wire);
       } else {
-        msg.payload = fact;
+        emitter->EmitPrehashed(key, h, kTagRequest, static_cast<uint32_t>(ei),
+                               fact, wire);
       }
-      msg.wire_bytes = RequestWireBytes(eq.payload_bytes);
-      emitter->Emit(std::move(key), std::move(msg));
     }
     // Conditional role: one assert per *distinct* (condition id, key) —
     // unless the guard-side filter proves no guard fact projects to this
@@ -80,9 +81,10 @@ class MsjMapper : public mr::Mapper {
       const auto& eq = c_->equations[ei];
       if (!eq.conditional.Conforms(fact)) continue;
       Tuple key = eq.conditional.Project(fact, eq.key_vars);
+      const uint64_t h = key.Hash();
       if (filters_ != nullptr &&
           !filters_->filter(c_->num_conditions + eq.cond_id)
-               .MightContain(key.Hash())) {
+               .MightContain(h)) {
         ++suppressed_;
         continue;
       }
@@ -95,11 +97,8 @@ class MsjMapper : public mr::Mapper {
       }
       if (duplicate) continue;
       seen_.emplace_back(eq.cond_id, key);
-      mr::Message msg;
-      msg.tag = kTagAssert;
-      msg.aux = eq.cond_id;
-      msg.wire_bytes = AssertWireBytes();
-      emitter->Emit(std::move(key), std::move(msg));
+      emitter->EmitPrehashed(key, h, kTagAssert, eq.cond_id,
+                             AssertWireBytes());
     }
   }
 
@@ -116,18 +115,18 @@ class MsjReducer : public mr::Reducer {
   explicit MsjReducer(std::shared_ptr<const CompiledMsj> c)
       : c_(std::move(c)), asserted_(c_->num_conditions, false) {}
 
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)key;
     std::fill(asserted_.begin(), asserted_.end(), false);
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagAssert) asserted_[m.aux] = true;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagAssert) asserted_[m.aux()] = true;
     }
-    for (const mr::Message& m : values) {
-      if (m.tag != kTagRequest) continue;
-      const auto& eq = c_->equations[m.aux];
+    for (const mr::MessageRef m : values) {
+      if (m.tag() != kTagRequest) continue;
+      const auto& eq = c_->equations[m.aux()];
       if (asserted_[eq.cond_id]) {
-        emitter->Emit(eq.output_index, m.payload);
+        emitter->Emit(eq.output_index, m.PayloadTuple());
       }
     }
   }

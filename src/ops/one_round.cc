@@ -94,7 +94,7 @@ class OneRoundMapper : public mr::Mapper {
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
   void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
-           mr::MapEmitter* emitter) override {
+           mr::Emitter* emitter) override {
     (void)tuple_id;
     for (size_t ti : c_->guard_tasks_of_input[input_index]) {
       const auto& task = c_->tasks[ti];
@@ -122,11 +122,8 @@ class OneRoundMapper : public mr::Mapper {
             continue;
           }
         }
-        mr::Message msg;
-        msg.tag = kTagRequest;
-        msg.payload = projection;
-        msg.wire_bytes = RequestWireBytes(task.payload_bytes);
-        emitter->Emit(MakeKey(ti, gi, key_proj), std::move(msg));
+        emitter->Emit(MakeKey(ti, gi, key_proj), kTagRequest, 0, projection,
+                      RequestWireBytes(task.payload_bytes));
       }
     }
     seen_.clear();
@@ -154,11 +151,7 @@ class OneRoundMapper : public mr::Mapper {
       }
       if (dup) continue;
       seen_.emplace_back(route.cond_id, key);
-      mr::Message msg;
-      msg.tag = kTagAssert;
-      msg.aux = route.cond_id;
-      msg.wire_bytes = AssertWireBytes();
-      emitter->Emit(std::move(key), std::move(msg));
+      emitter->Emit(key, kTagAssert, route.cond_id, AssertWireBytes());
     }
   }
 
@@ -174,15 +167,15 @@ class OneRoundReducer : public mr::Reducer {
   explicit OneRoundReducer(std::shared_ptr<const CompiledOneRound> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const std::vector<mr::Message>& values,
+  void Reduce(const Tuple& key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     size_t ti = static_cast<size_t>(key[0].AsInt());
     size_t gi = static_cast<size_t>(key[1].AsInt());
     const auto& task = c_->tasks[ti];
     const KeyGroup& group = task.groups[gi];
     asserted_.assign(group.num_cond_ids, false);
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagAssert) asserted_[m.aux] = true;
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagAssert) asserted_[m.aux()] = true;
     }
     bool holds = false;
     switch (group.mode) {
@@ -212,8 +205,10 @@ class OneRoundReducer : public mr::Reducer {
       }
     }
     if (!holds) return;
-    for (const mr::Message& m : values) {
-      if (m.tag == kTagRequest) emitter->Emit(task.output_index, m.payload);
+    for (const mr::MessageRef m : values) {
+      if (m.tag() == kTagRequest) {
+        emitter->Emit(task.output_index, m.PayloadTuple());
+      }
     }
   }
 

@@ -22,17 +22,14 @@ using ::gumbo::testing::RowsOf;
 // A toy job: groups input tuples by first attribute and counts them.
 class CountMapper : public Mapper {
  public:
-  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
-    Message m;
-    m.tag = 1;
-    m.wire_bytes = 4.0;
-    emitter->Emit(Tuple{fact[0]}, std::move(m));
+  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
+    emitter->Emit(Tuple{fact[0]}, /*tag=*/1, /*aux=*/0, /*wire_bytes=*/4.0);
   }
 };
 
 class CountReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const std::vector<Message>& values,
+  void Reduce(const Tuple& key, const MessageGroup& values,
               ReduceEmitter* emitter) override {
     Tuple out;
     out.PushBack(key[0]);
@@ -275,31 +272,65 @@ TEST(BloomFilterTest, SizeScalesWithKeysAndFpp) {
 
 // ---- Dedup combiner (DESIGN.md §5.1) ----------------------------------------
 
-Message Msg(uint32_t tag, uint32_t aux, Tuple payload = Tuple{},
-            double wire = 3.0) {
+// Builds a flat message; payloads beyond the inline capacity spill into
+// `arena`, mirroring what MapOutputBuffer does.
+Message Msg(uint32_t tag, uint32_t aux, const Tuple& payload,
+            std::vector<uint64_t>* arena, double wire = 3.0) {
   Message m;
   m.tag = tag;
   m.aux = aux;
-  m.payload = std::move(payload);
   m.wire_bytes = wire;
+  m.payload_size = payload.size();
+  if (payload.size() <= Message::kInlinePayloadValues) {
+    uint32_t i = 0;
+    for (const Value& v : payload) m.inline_payload[i++] = v.raw();
+  } else {
+    m.payload_pos = static_cast<uint32_t>(payload.EncodeTo(arena));
+  }
   return m;
 }
 
 TEST(DedupCombinerTest, RemovesDuplicatesKeepsFirstOccurrenceOrder) {
   DedupCombiner combiner;
+  std::vector<uint64_t> arena;
   std::vector<Message> values;
-  values.push_back(Msg(2, 0));
-  values.push_back(Msg(1, 0, Tuple::Ints({7})));
-  values.push_back(Msg(2, 0));  // duplicate of [0]
-  values.push_back(Msg(2, 1));  // distinct aux
-  values.push_back(Msg(1, 0, Tuple::Ints({8})));  // distinct payload
-  values.push_back(Msg(1, 0, Tuple::Ints({7})));  // duplicate of [1]
-  combiner.Combine(Tuple::Ints({1}), &values);
-  ASSERT_EQ(values.size(), 4u);
+  values.push_back(Msg(2, 0, Tuple{}, &arena));
+  values.push_back(Msg(1, 0, Tuple::Ints({7}), &arena));
+  values.push_back(Msg(2, 0, Tuple{}, &arena));  // duplicate of [0]
+  values.push_back(Msg(2, 1, Tuple{}, &arena));  // distinct aux
+  values.push_back(Msg(1, 0, Tuple::Ints({8}), &arena));  // distinct payload
+  values.push_back(Msg(1, 0, Tuple::Ints({7}), &arena));  // duplicate of [1]
+  std::vector<uint64_t> key_words;
+  Tuple::Ints({1}).EncodeTo(&key_words);
+  const size_t kept =
+      combiner.Combine(key_words.data(), 1, values.data(), values.size(),
+                       arena.data());
+  ASSERT_EQ(kept, 4u);
   EXPECT_EQ(values[0].tag, 2u);
-  EXPECT_EQ(values[1].payload, Tuple::Ints({7}));
+  EXPECT_EQ(MessageRef(&values[1], arena.data()).PayloadTuple(),
+            Tuple::Ints({7}));
   EXPECT_EQ(values[2].aux, 1u);
-  EXPECT_EQ(values[3].payload, Tuple::Ints({8}));
+  EXPECT_EQ(MessageRef(&values[3], arena.data()).PayloadTuple(),
+            Tuple::Ints({8}));
+}
+
+TEST(DedupCombinerTest, SpilledPayloadsCompareByWords) {
+  DedupCombiner combiner;
+  std::vector<uint64_t> arena;
+  std::vector<Message> values;
+  // Arity 5 > kInlinePayloadValues: payloads live in the arena.
+  Tuple big1 = Tuple::Ints({1, 2, 3, 4, 5});
+  Tuple big2 = Tuple::Ints({1, 2, 3, 4, 6});
+  values.push_back(Msg(1, 0, big1, &arena));
+  values.push_back(Msg(1, 0, big2, &arena));  // distinct
+  values.push_back(Msg(1, 0, big1, &arena));  // duplicate of [0]
+  std::vector<uint64_t> key_words;
+  Tuple::Ints({9}).EncodeTo(&key_words);
+  const size_t kept = combiner.Combine(key_words.data(), 1, values.data(),
+                                       values.size(), arena.data());
+  ASSERT_EQ(kept, 2u);
+  EXPECT_EQ(MessageRef(&values[0], arena.data()).PayloadTuple(), big1);
+  EXPECT_EQ(MessageRef(&values[1], arena.data()).PayloadTuple(), big2);
 }
 
 // ---- Engine accounting of combiners and filters -----------------------------
@@ -309,12 +340,9 @@ TEST(DedupCombinerTest, RemovesDuplicatesKeepsFirstOccurrenceOrder) {
 class DupMapper : public Mapper {
  public:
   explicit DupMapper(int copies) : copies_(copies) {}
-  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
+  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
     for (int i = 0; i < copies_; ++i) {
-      Message m;
-      m.tag = 1;
-      m.wire_bytes = 4.0;
-      emitter->Emit(Tuple{fact[0]}, std::move(m));
+      emitter->Emit(Tuple{fact[0]}, /*tag=*/1, /*aux=*/0, /*wire_bytes=*/4.0);
     }
   }
 
@@ -324,7 +352,7 @@ class DupMapper : public Mapper {
 
 class KeyCountReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const std::vector<Message>& values,
+  void Reduce(const Tuple& key, const MessageGroup& values,
               ReduceEmitter* emitter) override {
     Tuple out;
     out.PushBack(key[0]);
@@ -392,16 +420,14 @@ class FilteringMapper : public Mapper {
  public:
   void AttachFilters(const FilterSet* filters) override { filters_ = filters; }
   uint64_t SuppressedEmissions() const override { return suppressed_; }
-  void Map(size_t, const Tuple& fact, uint64_t, MapEmitter* emitter) override {
+  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
     Tuple key{fact[0]};
-    if (filters_ != nullptr && !filters_->filter(0).MightContain(key.Hash())) {
+    const uint64_t h = key.Hash();
+    if (filters_ != nullptr && !filters_->filter(0).MightContain(h)) {
       ++suppressed_;
       return;
     }
-    Message m;
-    m.tag = 1;
-    m.wire_bytes = 4.0;
-    emitter->Emit(std::move(key), std::move(m));
+    emitter->EmitPrehashed(key, h, /*tag=*/1, /*aux=*/0, /*wire_bytes=*/4.0);
   }
 
  private:

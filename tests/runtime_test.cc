@@ -76,7 +76,7 @@ class GateMapper : public Mapper {
   GateMapper(std::atomic<int>* started, int expected)
       : started_(started), expected_(expected) {}
   void Map(size_t, const Tuple& fact, uint64_t,
-           MapEmitter* emitter) override {
+           Emitter* emitter) override {
     if (!announced_) {
       announced_ = true;
       started_->fetch_add(1);
@@ -87,9 +87,7 @@ class GateMapper : public Mapper {
         std::this_thread::yield();
       }
     }
-    Message m;
-    m.wire_bytes = 4.0;
-    emitter->Emit(Tuple{fact[0]}, std::move(m));
+    emitter->Emit(Tuple{fact[0]}, /*tag=*/0, /*aux=*/0, /*wire_bytes=*/4.0);
   }
 
  private:
@@ -100,7 +98,7 @@ class GateMapper : public Mapper {
 
 class PassKeyReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const std::vector<Message>&,
+  void Reduce(const Tuple& key, const MessageGroup&,
               ReduceEmitter* emitter) override {
     emitter->Emit(0, Tuple{key[0]});
   }
@@ -215,10 +213,12 @@ struct RunOutput {
 };
 
 RunOutput RunWithThreads(const data::Workload& w, plan::Strategy strategy,
-                         size_t threads, bool concurrent_jobs = true) {
+                         size_t threads, bool concurrent_jobs = true,
+                         ops::OpOptions op = ops::OpOptions{}) {
   plan::PlannerOptions opts;
   opts.strategy = strategy;
   opts.sample_size = 64;
+  opts.op = op;
   cost::ClusterConfig config = TestCluster();
   plan::Planner planner(config, opts);
   ThreadPool pool(threads);
@@ -257,6 +257,32 @@ TEST(RuntimeTest, ByteIdenticalAcrossPoolSizes) {
     EXPECT_EQ(one.metrics.net_time, eight.metrics.net_time);
     EXPECT_EQ(one.metrics.total_time, eight.metrics.total_time);
     EXPECT_EQ(one.metrics.input_mb, eight.metrics.input_mb);
+  }
+}
+
+// The flat shuffle representation (DESIGN.md §3) must stay byte-identical
+// across pool sizes under every packing/combining mode — each mode takes
+// a different path through AddTaskOutput (grouped, grouped-then-exploded,
+// raw emission order).
+TEST(RuntimeTest, ByteIdenticalAcrossPoolSizesForAllShuffleModes) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  for (bool pack : {true, false}) {
+    for (bool combine : {true, false}) {
+      ops::OpOptions op;
+      op.pack_messages = pack;
+      op.combiners = combine;
+      RunOutput one = RunWithThreads(*w, plan::Strategy::kGreedy, 1,
+                                     /*concurrent_jobs=*/true, op);
+      RunOutput eight = RunWithThreads(*w, plan::Strategy::kGreedy, 8,
+                                       /*concurrent_jobs=*/true, op);
+      EXPECT_EQ(one.outputs, eight.outputs)
+          << "pack=" << pack << " combine=" << combine;
+      EXPECT_EQ(one.metrics.communication_mb, eight.metrics.communication_mb)
+          << "pack=" << pack << " combine=" << combine;
+      EXPECT_EQ(one.metrics.net_time, eight.metrics.net_time)
+          << "pack=" << pack << " combine=" << combine;
+    }
   }
 }
 
