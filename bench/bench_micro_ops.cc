@@ -86,7 +86,7 @@ void BM_MsjMapFunction(benchmark::State& state) {
     mr::MapOutputBuffer sink;
     auto mapper = job->mapper_factory();
     for (size_t i = 0; i < guard->size(); ++i) {
-      mapper->Map(0, guard->tuples()[i], i, &sink);
+      mapper->Map(0, guard->view(i), i, &sink);
     }
     benchmark::DoNotOptimize(sink.num_messages());
   }

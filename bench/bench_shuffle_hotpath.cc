@@ -114,7 +114,7 @@ Result<std::vector<TaskStream>> RecordStreams(const data::Workload& w,
       auto mapper = job.mapper_factory();
       mr::MapOutputBuffer buffer;
       for (size_t j = begin; j < end; ++j) {
-        mapper->Map(ii, rel->tuples()[j], static_cast<uint64_t>(j), &buffer);
+        mapper->Map(ii, rel->view(j), static_cast<uint64_t>(j), &buffer);
       }
       TaskStream stream;
       stream.reserve(buffer.num_messages());
@@ -143,8 +143,8 @@ struct Checksum {
   size_t groups = 0;
   size_t messages = 0;
 
-  void Key(const Tuple& key) {
-    hash = FingerprintMix(hash, key.Hash());
+  void Key(TupleView key) {
+    hash = FingerprintMix(hash, key.Fingerprint());
     ++groups;
   }
   // `payload_hash` is Tuple::Hash() of the payload; the flat path
@@ -335,7 +335,7 @@ size_t RunFlat(const std::vector<TaskStream>& streams, Checksum* sum,
   for (int p = 0; p < shuffle.num_partitions(); ++p) {
     shuffle.ForEachGroup(
         static_cast<size_t>(p),
-        [&](const Tuple& key, const mr::MessageGroup& values) {
+        [&](TupleView key, const mr::MessageGroup& values) {
           sum->Key(key);
           for (const mr::MessageRef m : values) {
             sum->Value(m.tag(), m.aux(),

@@ -78,7 +78,7 @@ int main() {
   std::printf("Recommended upcoming books: %zu of 40\n",
               recommended->size());
   int shown = 0;
-  for (const Tuple& t : recommended->tuples()) {
+  for (gumbo::RowView t : recommended->views()) {
     if (shown++ >= 5) break;
     std::printf("  %s\n", t.ToString(dict).c_str());
   }

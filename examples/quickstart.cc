@@ -73,7 +73,7 @@ int main() {
 
   const Relation* z = db.Get("Z").value();
   std::printf("Result Z (%zu tuples):\n", z->size());
-  for (const Tuple& t : z->tuples()) {
+  for (gumbo::RowView t : z->views()) {
     std::printf("  %s\n", t.ToString(dict).c_str());
   }
   std::printf(

@@ -51,12 +51,13 @@ class LojMapper : public mr::Mapper {
  public:
   explicit LojMapper(std::shared_ptr<const CompiledLoj> c) : c_(std::move(c)) {}
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t,
+  void Map(size_t input_index, RowView fact, uint64_t,
            mr::Emitter* emitter) override {
     const LojSpec& s = c_->spec;
     if (input_index == 0) {
-      Tuple prefix;
-      for (uint32_t i = 0; i < s.guard.arity(); ++i) prefix.PushBack(fact[i]);
+      // The guard pattern covers the first guard.arity() columns: a
+      // zero-copy prefix view of the (possibly already-flagged) row.
+      TupleView prefix(fact.words(), s.guard.arity());
       if (s.filter_guard_pattern && !s.guard.Conforms(prefix)) return;
       // Payload: the full (possibly already-flagged) row.
       emitter->Emit(s.guard.Project(prefix, c_->key_vars), kTagRequest, 0,
@@ -81,7 +82,7 @@ class LojReducer : public mr::Reducer {
   explicit LojReducer(std::shared_ptr<const CompiledLoj> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple&, const mr::MessageGroup& values,
+  void Reduce(TupleView, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     const size_t n = c_->spec.atoms.size();
     matched_.assign(n, false);
@@ -94,7 +95,7 @@ class LojReducer : public mr::Reducer {
       for (size_t a = 0; a < n; ++a) {
         row.PushBack(Value::Int(matched_[a] ? 1 : 0));
       }
-      emitter->Emit(0, std::move(row));
+      emitter->Emit(0, row);
     }
   }
 
@@ -157,13 +158,11 @@ class CombineMapper : public mr::Mapper {
   explicit CombineMapper(std::shared_ptr<const CompiledCombine> c)
       : c_(std::move(c)) {}
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t,
+  void Map(size_t input_index, RowView fact, uint64_t,
            mr::Emitter* emitter) override {
     const FlaggedSource& src = c_->sources[input_index];
-    Tuple key;
-    for (uint32_t i = 0; i < c_->query.guard().arity(); ++i) {
-      key.PushBack(fact[i]);
-    }
+    // Zero-copy prefix: the guard row is the first guard.arity() columns.
+    TupleView key(fact.words(), c_->query.guard().arity());
     // Guard pattern filter: a no-op for rows that already passed an LOJ
     // job, but required when a source is the raw guard relation.
     if (!c_->query.guard().Conforms(key)) return;
@@ -187,7 +186,7 @@ class CombineReducer : public mr::Reducer {
   explicit CombineReducer(std::shared_ptr<const CompiledCombine> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     bool guard_present = false;
     truth_.assign(c_->query.num_conditional_atoms(), false);
@@ -254,7 +253,7 @@ class SemiFullMapper : public mr::Mapper {
  public:
   explicit SemiFullMapper(std::shared_ptr<const CompiledSemiFull> c)
       : c_(std::move(c)) {}
-  void Map(size_t input_index, const Tuple& fact, uint64_t,
+  void Map(size_t input_index, RowView fact, uint64_t,
            mr::Emitter* emitter) override {
     if (input_index == 0) {
       if (c_->filter_guard_pattern && !c_->guard.Conforms(fact)) return;
@@ -273,7 +272,7 @@ class SemiFullMapper : public mr::Mapper {
 
 class SemiFullReducer : public mr::Reducer {
  public:
-  void Reduce(const Tuple&, const mr::MessageGroup& values,
+  void Reduce(TupleView, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     bool asserted = false;
     for (const mr::MessageRef m : values) {
@@ -284,7 +283,7 @@ class SemiFullReducer : public mr::Reducer {
     }
     if (!asserted) return;
     for (const mr::MessageRef m : values) {
-      if (m.tag() == kTagRequest) emitter->Emit(0, m.PayloadTuple());
+      if (m.tag() == kTagRequest) emitter->Emit(0, m.PayloadView());
     }
   }
 };

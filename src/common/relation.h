@@ -1,11 +1,18 @@
-// Relation and Database: named sets of facts with byte-size accounting.
+// Relation and Database: named sets of facts on flat arena storage.
 //
-// A Relation is the in-memory representation of one relation instance. In
-// addition to the actual tuples it tracks a *represented size*: the paper's
-// experiments run on 1-4 GB relations; this repo executes on smaller
-// materialized samples while accounting bytes at a configurable
-// representation scale (see DESIGN.md "Substitutions"). All cost-model and
-// counter arithmetic uses the represented megabytes.
+// A Relation is the in-memory representation of one relation instance.
+// Tuples are stored as contiguous flat-encoded words (8 bytes per Value,
+// common/tuple.h) in one per-relation arena, with a parallel array of
+// precomputed 64-bit fingerprints (== Tuple::Hash of the row, computed
+// exactly once when the row is added). Scans hand out zero-copy RowViews;
+// no Tuple object exists between rounds unless a caller materializes one
+// (DESIGN.md §7).
+//
+// In addition to the actual tuples a Relation tracks a *represented
+// size*: the paper's experiments run on 1-4 GB relations; this repo
+// executes on smaller materialized samples while accounting bytes at a
+// configurable representation scale (see DESIGN.md "Substitutions"). All
+// cost-model and counter arithmetic uses the represented megabytes.
 #ifndef GUMBO_COMMON_RELATION_H_
 #define GUMBO_COMMON_RELATION_H_
 
@@ -21,6 +28,67 @@
 
 namespace gumbo {
 
+class ThreadPool;
+
+/// One stored row: a zero-copy TupleView plus the relation's precomputed
+/// fingerprint, so scan consumers (mappers, filter builders) never hash a
+/// stored tuple again.
+class RowView : public TupleView {
+ public:
+  constexpr RowView() : TupleView(), fingerprint_(0) {}
+  constexpr RowView(const uint64_t* words, uint32_t arity, uint64_t fingerprint)
+      : TupleView(words, arity), fingerprint_(fingerprint) {}
+
+  /// The stored fingerprint — equal to Fingerprint() (and to
+  /// Tuple::Hash() of the decoded row) by construction, but free.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  uint64_t fingerprint_;
+};
+
+/// Accumulates flat rows of one fixed arity — the reduce-side emission
+/// target (mr/engine.cc): reducers append encoded words + fingerprint
+/// here, and the finished builder is adopted by a Relation arena-wholesale
+/// instead of tuple-by-tuple.
+class RelationBuilder {
+ public:
+  RelationBuilder() : arity_(0) {}
+  explicit RelationBuilder(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return fingerprints_.size(); }
+  bool empty() const { return fingerprints_.empty(); }
+
+  void Reserve(size_t rows) {
+    words_.reserve(rows * arity_);
+    fingerprints_.reserve(rows);
+  }
+
+  /// Appends one row of `arity()` raw words; the fingerprint is computed
+  /// here, once, and travels with the row from then on.
+  void AddWords(const uint64_t* words) {
+    words_.insert(words_.end(), words, words + arity_);
+    fingerprints_.push_back(TupleFingerprint(words, arity_));
+  }
+
+  void Add(TupleView row) {
+    assert(row.size() == arity_ && "builder arity mismatch");
+    AddWords(row.words());
+  }
+
+  /// Raw word bytes currently buffered (bookkeeping for adopt-time
+  /// accounting).
+  size_t WordBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  friend class Relation;
+
+  uint32_t arity_;
+  std::vector<uint64_t> words_;         ///< size() * arity_ flat words
+  std::vector<uint64_t> fingerprints_;  ///< one per row
+};
+
 /// One relation instance: a name, a fixed arity, and a bag of tuples that
 /// is normalized to a set on demand (SortAndDedupe).
 class Relation {
@@ -34,34 +102,119 @@ class Relation {
 
   /// Appends a tuple. The tuple's size must equal the relation arity
   /// (checked; returns InvalidArgument otherwise).
-  Status Add(Tuple t) {
+  Status Add(const Tuple& t) {
     if (t.size() != arity_) {
       return Status::InvalidArgument("tuple arity " + std::to_string(t.size()) +
                                      " != relation arity " +
                                      std::to_string(arity_) + " for " + name_);
     }
-    tuples_.push_back(std::move(t));
+    AddWords(t.raw_words());
     return Status::Ok();
   }
 
   /// Appends without the arity check; used on hot paths where the arity is
   /// enforced by construction. Asserts in debug builds.
-  void AddUnchecked(Tuple t) {
+  void AddUnchecked(const Tuple& t) {
     assert(t.size() == arity_);
-    tuples_.push_back(std::move(t));
+    AddWords(t.raw_words());
   }
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  std::vector<Tuple>& mutable_tuples() { return tuples_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  /// Appends a borrowed flat row. Asserts the arity in debug builds.
+  void AddView(TupleView row) {
+    assert(row.size() == arity_);
+    AddWords(row.words());
+  }
+
+  /// Flat hot path: appends one row of `arity()` raw words straight into
+  /// the arena. The fingerprint is computed here — the only time this row
+  /// is ever hashed (DESIGN.md §7).
+  void AddWords(const uint64_t* words) {
+    words_.insert(words_.end(), words, words + arity_);
+    fingerprints_.push_back(TupleFingerprint(words, arity_));
+  }
+
+  /// Pre-sizes the arenas for `rows` additional tuples.
+  void Reserve(size_t rows) {
+    words_.reserve(words_.size() + rows * arity_);
+    fingerprints_.reserve(fingerprints_.size() + rows);
+  }
+
+  /// Adopts a builder's rows. The builder must have this relation's
+  /// arity. When the relation is empty the builder's arenas are moved
+  /// wholesale (no copy, no re-hash); otherwise its words and
+  /// fingerprints are appended with two bulk copies. The builder is left
+  /// empty either way.
+  void Adopt(RelationBuilder&& b);
+
+  size_t size() const { return fingerprints_.size(); }
+  bool empty() const { return fingerprints_.empty(); }
+
+  /// Zero-copy view of row `i`, with its stored fingerprint. Valid until
+  /// the relation is mutated.
+  RowView view(size_t i) const {
+    assert(i < size());
+    return RowView(words_.data() + i * arity_, arity_, fingerprints_[i]);
+  }
+
+  /// Stored fingerprint of row `i` (== view(i).Fingerprint() ==
+  /// TupleAt(i).Hash()).
+  uint64_t fingerprint(size_t i) const {
+    assert(i < size());
+    return fingerprints_[i];
+  }
+
+  /// The flat word arena: size() * arity() words, row-major.
+  const std::vector<uint64_t>& words() const { return words_; }
+  /// One precomputed fingerprint per row.
+  const std::vector<uint64_t>& fingerprints() const { return fingerprints_; }
+
+  /// Iteration support: `for (RowView row : rel.views())`.
+  class ViewIterator {
+   public:
+    ViewIterator(const Relation* rel, size_t i) : rel_(rel), i_(i) {}
+    RowView operator*() const { return rel_->view(i_); }
+    ViewIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const ViewIterator& o) const { return i_ == o.i_; }
+    bool operator!=(const ViewIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const Relation* rel_;
+    size_t i_;
+  };
+  class ViewRange {
+   public:
+    explicit ViewRange(const Relation* rel) : rel_(rel) {}
+    ViewIterator begin() const { return {rel_, 0}; }
+    ViewIterator end() const { return {rel_, rel_->size()}; }
+
+   private:
+    const Relation* rel_;
+  };
+  ViewRange views() const { return ViewRange(this); }
+
+  /// Materializes row `i` as an owning Tuple (tests / diagnostics; scans
+  /// should use view()).
+  Tuple TupleAt(size_t i) const { return view(i).ToTuple(); }
+
+  /// Materializes every row (tests / diagnostics only — this is the
+  /// copying path the flat storage exists to avoid).
+  std::vector<Tuple> ToTuples() const;
 
   /// Sorts tuples lexicographically and removes duplicates, giving the
-  /// relation canonical set semantics. Deterministic.
-  void SortAndDedupe();
+  /// relation canonical set semantics. Operates on the flat words (Value
+  /// order is raw-word order, so the result is byte-identical to sorting
+  /// decoded Tuples); stored fingerprints are permuted, never recomputed.
+  /// `pool` parallelizes the sort (chunked sort + pairwise merges);
+  /// results are identical for any pool, including nullptr. Deterministic.
+  void SortAndDedupe(ThreadPool* pool = nullptr);
 
-  /// Whether two relations hold the same set of tuples (both are
-  /// canonicalized by copy; inputs are untouched).
+  /// Whether two relations hold the same set of tuples. Fingerprint-
+  /// bucketed: rows are ordered by (fingerprint, words) — word memcmp only
+  /// on fingerprint collision — and the deduped sequences compared.
+  /// Inputs are untouched.
   bool SetEquals(const Relation& other) const;
 
   /// Bytes each tuple represents on disk, following the paper's data shape
@@ -80,20 +233,21 @@ class Relation {
 
   /// Represented size in MB: tuples * scale * bytes_per_tuple / 2^20.
   double SizeMb() const {
-    return static_cast<double>(tuples_.size()) * representation_scale_ *
+    return static_cast<double>(size()) * representation_scale_ *
            bytes_per_tuple() / (1024.0 * 1024.0);
   }
 
   /// Represented record count (tuples * scale); used for per-record
   /// metadata accounting (Hadoop's 16 B map-output metadata).
   double RepresentedRecords() const {
-    return static_cast<double>(tuples_.size()) * representation_scale_;
+    return static_cast<double>(size()) * representation_scale_;
   }
 
  private:
   std::string name_;
   uint32_t arity_;
-  std::vector<Tuple> tuples_;
+  std::vector<uint64_t> words_;         ///< size() * arity_ flat words
+  std::vector<uint64_t> fingerprints_;  ///< one per row, set at add time
   double bytes_per_tuple_ = -1.0;
   double representation_scale_ = 1.0;
 };
@@ -129,10 +283,11 @@ class Database {
     return &it->second;
   }
 
-  /// Adds a fact to an existing relation.
-  Status AddFact(const std::string& name, Tuple t) {
+  /// Adds a fact to an existing relation; the fact goes straight into the
+  /// relation's flat arena.
+  Status AddFact(const std::string& name, const Tuple& t) {
     GUMBO_ASSIGN_OR_RETURN(Relation * rel, GetMutable(name));
-    return rel->Add(std::move(t));
+    return rel->Add(t);
   }
 
   /// Removes a relation; returns false if absent.

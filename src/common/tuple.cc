@@ -4,18 +4,31 @@
 
 namespace gumbo {
 
+namespace {
+
+std::string ValueToString(Value v, const Dictionary* dict) {
+  if (dict != nullptr) return dict->ToString(v);
+  if (v.is_int()) return std::to_string(v.AsInt());
+  return "str#" + std::to_string(v.string_id());
+}
+
+}  // namespace
+
 std::string Tuple::ToString(const Dictionary* dict) const {
   std::string out = "(";
   for (uint32_t i = 0; i < size_; ++i) {
     if (i > 0) out += ", ";
-    const Value& v = data()[i];
-    if (dict != nullptr) {
-      out += dict->ToString(v);
-    } else if (v.is_int()) {
-      out += std::to_string(v.AsInt());
-    } else {
-      out += "str#" + std::to_string(v.string_id());
-    }
+    out += ValueToString(data()[i], dict);
+  }
+  out += ")";
+  return out;
+}
+
+std::string TupleView::ToString(const Dictionary* dict) const {
+  std::string out = "(";
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (i > 0) out += ", ";
+    out += ValueToString((*this)[i], dict);
   }
   out += ")";
   return out;

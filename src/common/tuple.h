@@ -155,6 +155,14 @@ class Tuple {
   /// Renders as "(v1, v2, ...)" resolving strings through `dict` if given.
   std::string ToString(const Dictionary* dict = nullptr) const;
 
+  /// The tuple's values as raw 64-bit words, without copying. A Value is
+  /// exactly its raw word (static_assert below), so the value array IS
+  /// the flat encoding — this is what makes Tuple → TupleView conversion
+  /// free.
+  const uint64_t* raw_words() const {
+    return reinterpret_cast<const uint64_t*>(data());
+  }
+
  private:
   bool IsInline() const { return capacity_ == kInlineCapacity; }
   Value* data() { return IsInline() ? inline_ : heap_; }
@@ -192,6 +200,69 @@ class Tuple {
   };
   uint32_t size_;
   uint32_t capacity_;
+};
+
+static_assert(sizeof(Value) == sizeof(uint64_t),
+              "Value must stay a bare word: flat storage and raw_words() "
+              "reinterpret Value arrays as uint64_t arrays");
+
+/// A borrowed, zero-copy view of one flat-encoded tuple: a span of raw
+/// Value words plus an arity (DESIGN.md §7). This is the scan currency of
+/// the flat relation storage — map tasks, filter builders, and reducers
+/// all read TupleViews; a heap Tuple is materialized only when a caller
+/// genuinely needs an owning copy (ToTuple).
+///
+/// Comparison and hashing match Tuple exactly: Value order is raw-word
+/// order, so lexicographic word compare == Tuple::operator<, and
+/// Fingerprint() == Tuple::Hash() of the decoded tuple.
+class TupleView {
+ public:
+  constexpr TupleView() : words_(nullptr), arity_(0) {}
+  constexpr TupleView(const uint64_t* words, uint32_t arity)
+      : words_(words), arity_(arity) {}
+  /// Implicit: a Tuple's value array already is its flat encoding. The
+  /// view borrows — it is valid only while the tuple lives.
+  TupleView(const Tuple& t) : words_(t.raw_words()), arity_(t.size()) {}
+
+  uint32_t size() const { return arity_; }
+  bool empty() const { return arity_ == 0; }
+  const uint64_t* words() const { return words_; }
+
+  Value operator[](uint32_t i) const {
+    assert(i < arity_);
+    return Value::FromRaw(words_[i]);
+  }
+
+  /// Materializes an owning Tuple (the only copying operation here).
+  Tuple ToTuple() const { return Tuple::DecodeFrom(words_, arity_); }
+
+  /// Equal to Tuple::Hash() of the decoded tuple.
+  uint64_t Fingerprint() const { return TupleFingerprint(words_, arity_); }
+
+  bool operator==(TupleView o) const {
+    if (arity_ != o.arity_) return false;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (words_[i] != o.words_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(TupleView o) const { return !(*this == o); }
+
+  /// Lexicographic raw-word order — identical to Tuple::operator< because
+  /// Value order is raw order.
+  bool operator<(TupleView o) const {
+    const uint32_t n = arity_ < o.arity_ ? arity_ : o.arity_;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+    }
+    return arity_ < o.arity_;
+  }
+
+  std::string ToString(const Dictionary* dict = nullptr) const;
+
+ private:
+  const uint64_t* words_;
+  uint32_t arity_;
 };
 
 }  // namespace gumbo

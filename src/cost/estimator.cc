@@ -47,7 +47,7 @@ Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
     mr::MapOutputBuffer emitter;
     for (size_t k = 0; k < s; ++k) {
       size_t idx = k * n / s;  // stride sample, deterministic
-      mapper->Map(input_index, rel->tuples()[idx],
+      mapper->Map(input_index, rel->view(idx),
                   static_cast<uint64_t>(idx), &emitter);
     }
     // Account packing the way the shuffle would within a task: the flat

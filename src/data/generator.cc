@@ -29,13 +29,15 @@ Relation Generator::Guard(const std::string& name, uint32_t arity) const {
   rel.set_representation_scale(config_.representation_scale);
   Xoshiro256 rng(config_.seed ^ NameSalt(name));
   const uint64_t domain = config_.Domain();
-  rel.mutable_tuples().reserve(config_.tuples);
+  rel.Reserve(config_.tuples);
+  // Rows are built as flat words straight into the relation arena — no
+  // Tuple object exists on the generation path (DESIGN.md §7).
+  std::vector<uint64_t> row(arity);
   for (size_t i = 0; i < config_.tuples; ++i) {
-    Tuple t;
     for (uint32_t a = 0; a < arity; ++a) {
-      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+      row[a] = Value::Int(static_cast<int64_t>(rng.Uniform(domain))).raw();
     }
-    rel.AddUnchecked(std::move(t));
+    rel.AddWords(row.data());
   }
   return rel;
 }
@@ -49,27 +51,27 @@ Relation Generator::Conditional(const std::string& name, uint32_t arity,
   Xoshiro256 rng(config_.seed ^ NameSalt(name) ^ 0x5eedULL);
   const uint64_t domain = config_.Domain();
   const uint64_t salt = NameSalt(name);
-  rel.mutable_tuples().reserve(config_.tuples);
+  rel.Reserve(config_.tuples);
+  std::vector<uint64_t> row(arity);
   // Pass 1: all selected domain values (ensures the advertised match
   // fraction exactly over the domain).
   for (uint64_t v = 0; v < domain && rel.size() < config_.tuples; ++v) {
     if (!Selected(v, salt, selectivity)) continue;
-    Tuple t;
-    t.PushBack(Value::Int(static_cast<int64_t>(v)));
+    row[0] = Value::Int(static_cast<int64_t>(v)).raw();
     for (uint32_t a = 1; a < arity; ++a) {
-      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+      row[a] = Value::Int(static_cast<int64_t>(rng.Uniform(domain))).raw();
     }
-    rel.AddUnchecked(std::move(t));
+    rel.AddWords(row.data());
   }
   // Pass 2: pad with non-matching values (>= domain) up to the count.
   while (rel.size() < config_.tuples) {
-    Tuple t;
-    t.PushBack(Value::Int(
-        static_cast<int64_t>(domain + rng.Uniform(domain) + 1)));
+    row[0] =
+        Value::Int(static_cast<int64_t>(domain + rng.Uniform(domain) + 1))
+            .raw();
     for (uint32_t a = 1; a < arity; ++a) {
-      t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+      row[a] = Value::Int(static_cast<int64_t>(rng.Uniform(domain))).raw();
     }
-    rel.AddUnchecked(std::move(t));
+    rel.AddWords(row.data());
   }
   return rel;
 }

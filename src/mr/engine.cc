@@ -21,17 +21,28 @@ struct MapTaskSpec {
   double input_mb = 0.0;
 };
 
-class VectorReduceEmitter : public ReduceEmitter {
+// Reduce-side sink writing straight into flat RelationBuilders — one per
+// declared output — so the collect phase adopts arenas wholesale instead
+// of moving tuples one by one (DESIGN.md §7). Rows are fingerprinted once
+// here, at emission; the output relation never re-hashes them.
+class BuilderReduceEmitter : public ReduceEmitter {
  public:
-  explicit VectorReduceEmitter(size_t num_outputs) : outputs_(num_outputs) {}
-  void Emit(size_t output_index, Tuple tuple) override {
-    assert(output_index < outputs_.size());
-    outputs_[output_index].push_back(std::move(tuple));
+  explicit BuilderReduceEmitter(const std::vector<JobOutput>& outputs) {
+    builders_.reserve(outputs.size());
+    for (const JobOutput& o : outputs) builders_.emplace_back(o.arity);
   }
-  std::vector<std::vector<Tuple>>& outputs() { return outputs_; }
+  void Emit(size_t output_index, const Tuple& tuple) override {
+    assert(output_index < builders_.size());
+    builders_[output_index].Add(tuple);
+  }
+  void Emit(size_t output_index, TupleView row) override {
+    assert(output_index < builders_.size());
+    builders_[output_index].Add(row);
+  }
+  std::vector<RelationBuilder>& builders() { return builders_; }
 
  private:
-  std::vector<std::vector<Tuple>> outputs_;
+  std::vector<RelationBuilder> builders_;
 };
 
 }  // namespace
@@ -135,7 +146,9 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     // adopts its arenas wholesale (DESIGN.md §3).
     MapOutputBuffer emitter;
     for (size_t j = t.begin; j < t.end; ++j) {
-      mapper->Map(t.input_index, rel->tuples()[j], static_cast<uint64_t>(j),
+      // Zero-copy scan: the mapper sees the stored flat row with its
+      // precomputed fingerprint (DESIGN.md §7).
+      mapper->Map(t.input_index, rel->view(j), static_cast<uint64_t>(j),
                   &emitter);
     }
     ShuffleTaskIo io =
@@ -206,7 +219,7 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   shuffle.Partition(r, &pool());
 
   struct ReduceTaskOut {
-    std::vector<std::vector<Tuple>> outputs;  // [output_index] -> tuples
+    std::vector<RelationBuilder> outputs;  // [output_index] -> flat rows
     double shuffle_mb = 0.0;
     double output_mb = 0.0;
   };
@@ -214,15 +227,15 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
 
   pool().ParallelFor(static_cast<size_t>(r), [&](size_t rj) {
     auto reducer = job.reducer_factory();
-    VectorReduceEmitter emitter(job.outputs.size());
+    BuilderReduceEmitter emitter(job.outputs);
     shuffle.ForEachGroup(
-        rj, [&](const Tuple& key, const MessageGroup& values) {
+        rj, [&](TupleView key, const MessageGroup& values) {
           reducer->Reduce(key, values, &emitter);
         });
     ReduceTaskOut& out = red[rj];
     out.shuffle_mb =
         shuffle.PartitionWireBytes(rj) * overhead * scale * kMbPerByte;
-    out.outputs = std::move(emitter.outputs());
+    out.outputs = std::move(emitter.builders());
     for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
       const JobOutput& spec = job.outputs[oi];
       double bpt = spec.bytes_per_tuple > 0.0 ? spec.bytes_per_tuple
@@ -246,14 +259,22 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   // cost attribution; the bytes metric itself is the map-side
   // stats.shuffle_mb (the single source of truth, see mr/stats.h). The
   // two views must agree — every shuffled byte lands in exactly one
-  // partition.
-  assert(std::abs(received_mb - stats.shuffle_mb) <=
-             1e-6 * std::max(1.0, stats.shuffle_mb) &&
-         "map-side and reduce-side shuffle accounting diverged");
-  (void)received_mb;
+  // partition — and the invariant is enforced in Release builds too, so
+  // CI's Release matrix catches accounting drift.
+  if (std::abs(received_mb - stats.shuffle_mb) >
+      1e-6 * std::max(1.0, stats.shuffle_mb)) {
+    return Status::Internal(
+        "job " + job.name +
+        ": map-side and reduce-side shuffle accounting diverged (map " +
+        std::to_string(stats.shuffle_mb) + " MB, reduce " +
+        std::to_string(received_mb) + " MB)");
+  }
   stats.hdfs_write_mb = total_output_mb;
 
   // ---- Collect outputs -----------------------------------------------------
+  // Reduce tasks produced flat builders; the first non-empty builder's
+  // arenas are moved into the relation wholesale, the rest are appended
+  // with bulk copies — never tuple-by-tuple (DESIGN.md §7).
   result.outputs.reserve(job.outputs.size());
   for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
     const JobOutput& spec = job.outputs[oi];
@@ -262,11 +283,14 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     out.set_representation_scale(scale);
     size_t total = 0;
     for (const auto& rt : red) total += rt.outputs[oi].size();
-    out.mutable_tuples().reserve(total);
     for (auto& rt : red) {
-      for (Tuple& t : rt.outputs[oi]) out.AddUnchecked(std::move(t));
+      const bool first_move = out.empty() && !rt.outputs[oi].empty();
+      out.Adopt(std::move(rt.outputs[oi]));
+      // Reserve for the remaining appends only after the wholesale move
+      // of the first arena (reserving earlier would defeat the move).
+      if (first_move) out.Reserve(total - out.size());
     }
-    if (spec.dedupe) out.SortAndDedupe();
+    if (spec.dedupe) out.SortAndDedupe(&pool());
     result.outputs.push_back(std::move(out));
   }
 

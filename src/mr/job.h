@@ -17,11 +17,18 @@
 namespace gumbo::mr {
 
 /// Sink for reduce-side output tuples; output_index selects one of the
-/// job's declared outputs.
+/// job's declared outputs. The engine's implementation encodes straight
+/// into a flat RelationBuilder (common/relation.h), so emitted rows are
+/// adopted by the output relation arena-wholesale.
 class ReduceEmitter {
  public:
   virtual ~ReduceEmitter() = default;
-  virtual void Emit(size_t output_index, Tuple tuple) = 0;
+  /// Emits an owning tuple (reducers that construct fresh rows).
+  virtual void Emit(size_t output_index, const Tuple& tuple) = 0;
+  /// Emits a borrowed flat row (reducers that forward payloads or keys
+  /// verbatim) — the zero-copy path: words flow from the shuffle buffers
+  /// into the output builder without a Tuple in between.
+  virtual void Emit(size_t output_index, TupleView row) = 0;
 };
 
 /// User map function. One instance is created per map task, so Map may keep
@@ -29,13 +36,18 @@ class ReduceEmitter {
 class Mapper {
  public:
   virtual ~Mapper() = default;
-  /// Called once per input fact. `input_index` identifies which JobInput
-  /// the fact came from; `tuple_id` is the fact's index within its input
-  /// relation (stable across runs; used by the tuple-id optimization).
-  /// Emissions go straight into the flat map-output buffer
-  /// (mr/map_output.h) — `emitter` is a concrete class, not an
-  /// interface, so the per-emission path pays no virtual dispatch.
-  virtual void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  /// Called once per input fact. `fact` is a zero-copy view of the stored
+  /// row, carrying the relation's precomputed fingerprint — when the
+  /// shuffle key is the fact itself, pass fact.fingerprint() to
+  /// EmitPrehashed so the tuple is never hashed again after load
+  /// (DESIGN.md §7). The view is valid for the duration of the call.
+  /// `input_index` identifies which JobInput the fact came from;
+  /// `tuple_id` is the fact's index within its input relation (stable
+  /// across runs; used by the tuple-id optimization). Emissions go
+  /// straight into the flat map-output buffer (mr/map_output.h) —
+  /// `emitter` is a concrete class, not an interface, so the
+  /// per-emission path pays no virtual dispatch.
+  virtual void Map(size_t input_index, RowView fact, uint64_t tuple_id,
                    Emitter* emitter) = 0;
 
   /// Hands the mapper the job's Bloom filters (DESIGN.md §5.2) before any
@@ -55,10 +67,10 @@ class Reducer {
  public:
   virtual ~Reducer() = default;
   /// Called once per key group, keys in sorted order within the task.
-  /// `values` is a zero-copy view over the shuffle's flat buffers, valid
-  /// only for the duration of the call; messages arrive in (map task,
-  /// emission) order.
-  virtual void Reduce(const Tuple& key, const MessageGroup& values,
+  /// `key` and `values` are zero-copy views over the shuffle's flat
+  /// buffers, valid only for the duration of the call; messages arrive in
+  /// (map task, emission) order.
+  virtual void Reduce(TupleView key, const MessageGroup& values,
                       ReduceEmitter* emitter) = 0;
 };
 

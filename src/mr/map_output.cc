@@ -16,25 +16,15 @@ MapOutputBuffer::MapOutputBuffer(FingerprintFn fingerprint)
     : fingerprint_(fingerprint), table_(kInitialTableSize, kNone),
       table_mask_(kInitialTableSize - 1) {}
 
-void MapOutputBuffer::EmitImpl(const Tuple& key, bool prehashed,
+void MapOutputBuffer::EmitImpl(TupleView key, bool prehashed,
                                uint64_t fingerprint, uint32_t tag,
-                               uint32_t aux, const Tuple* payload,
+                               uint32_t aux, TupleView payload,
                                double wire_bytes) {
-  // Stage the key's flat words on the stack (fingerprinting and the
-  // collision compare both run over words); the arena is only written
-  // when the key turns out to be first-seen.
+  // The key arrives as flat words already (stored rows, Tuple projections
+  // and shuffle payloads are all word spans) — no staging copy; the arena
+  // is only written when the key turns out to be first-seen.
   const uint32_t arity = key.size();
-  uint64_t stack_words[kStackKeyWords];
-  const uint64_t* words;
-  if (arity <= kStackKeyWords) {
-    uint32_t i = 0;
-    for (const Value& v : key) stack_words[i++] = v.raw();
-    words = stack_words;
-  } else {
-    key_scratch_.clear();
-    key.EncodeTo(&key_scratch_);
-    words = key_scratch_.data();
-  }
+  const uint64_t* words = key.words();
   if (!prehashed) {
     fingerprint = fingerprint_(words, arity);
   }
@@ -44,13 +34,16 @@ void MapOutputBuffer::EmitImpl(const Tuple& key, bool prehashed,
   m.tag = tag;
   m.aux = aux;
   m.wire_bytes = wire_bytes;
-  if (payload != nullptr && !payload->empty()) {
-    m.payload_size = payload->size();
+  if (!payload.empty()) {
+    m.payload_size = payload.size();
     if (m.payload_size <= Message::kInlinePayloadValues) {
-      uint32_t i = 0;
-      for (const Value& v : *payload) m.inline_payload[i++] = v.raw();
+      for (uint32_t i = 0; i < m.payload_size; ++i) {
+        m.inline_payload[i] = payload.words()[i];
+      }
     } else {
-      m.payload_pos = static_cast<uint32_t>(payload->EncodeTo(&payload_arena_));
+      m.payload_pos = static_cast<uint32_t>(payload_arena_.size());
+      payload_arena_.insert(payload_arena_.end(), payload.words(),
+                            payload.words() + m.payload_size);
     }
   }
 

@@ -35,27 +35,35 @@ class MapOutputBuffer {
   explicit MapOutputBuffer(FingerprintFn fingerprint);
 
   // ---- Emission (the operator-facing hot path) ----
+  //
+  // Keys and payloads arrive as zero-copy TupleViews (owning Tuples
+  // convert implicitly): a key is a span of flat words wherever it lives
+  // — a stored relation row, a stack-built projection, or a shuffle
+  // payload — and its words are copied at most once, into the key arena
+  // when first seen.
 
   /// Emits a message without payload for `key`.
-  void Emit(const Tuple& key, uint32_t tag, uint32_t aux, double wire_bytes) {
-    EmitImpl(key, /*prehashed=*/false, 0, tag, aux, nullptr, wire_bytes);
+  void Emit(TupleView key, uint32_t tag, uint32_t aux, double wire_bytes) {
+    EmitImpl(key, /*prehashed=*/false, 0, tag, aux, TupleView(), wire_bytes);
   }
   /// Emits a message carrying `payload` for `key`.
-  void Emit(const Tuple& key, uint32_t tag, uint32_t aux, const Tuple& payload,
+  void Emit(TupleView key, uint32_t tag, uint32_t aux, TupleView payload,
             double wire_bytes) {
-    EmitImpl(key, /*prehashed=*/false, 0, tag, aux, &payload, wire_bytes);
+    EmitImpl(key, /*prehashed=*/false, 0, tag, aux, payload, wire_bytes);
   }
-  /// Emit variants reusing a fingerprint the caller already computed
-  /// (typically for a Bloom-filter probe). `fingerprint` MUST equal
-  /// key.Hash(); anything else breaks grouping and partitioning.
-  void EmitPrehashed(const Tuple& key, uint64_t fingerprint, uint32_t tag,
+  /// Emit variants reusing a fingerprint the caller already computed — a
+  /// Bloom-probe hash, or the relation's stored row fingerprint when the
+  /// key is the fact itself (identity projection, DESIGN.md §7).
+  /// `fingerprint` MUST equal key.Fingerprint(); anything else breaks
+  /// grouping and partitioning.
+  void EmitPrehashed(TupleView key, uint64_t fingerprint, uint32_t tag,
                      uint32_t aux, double wire_bytes) {
-    EmitImpl(key, /*prehashed=*/true, fingerprint, tag, aux, nullptr,
+    EmitImpl(key, /*prehashed=*/true, fingerprint, tag, aux, TupleView(),
              wire_bytes);
   }
-  void EmitPrehashed(const Tuple& key, uint64_t fingerprint, uint32_t tag,
-                     uint32_t aux, const Tuple& payload, double wire_bytes) {
-    EmitImpl(key, /*prehashed=*/true, fingerprint, tag, aux, &payload,
+  void EmitPrehashed(TupleView key, uint64_t fingerprint, uint32_t tag,
+                     uint32_t aux, TupleView payload, double wire_bytes) {
+    EmitImpl(key, /*prehashed=*/true, fingerprint, tag, aux, payload,
              wire_bytes);
   }
 
@@ -101,12 +109,8 @@ class MapOutputBuffer {
     uint32_t count = 0;      ///< chain length
   };
 
-  /// Keys up to this arity are staged on the stack during Emit; only a
-  /// first-seen key ever touches the arena.
-  static constexpr uint32_t kStackKeyWords = 16;
-
-  void EmitImpl(const Tuple& key, bool prehashed, uint64_t fingerprint,
-                uint32_t tag, uint32_t aux, const Tuple* payload,
+  void EmitImpl(TupleView key, bool prehashed, uint64_t fingerprint,
+                uint32_t tag, uint32_t aux, TupleView payload,
                 double wire_bytes);
   /// Returns the group index for the key `words[0..arity)`, appending the
   /// words to the key arena when the key is new.
@@ -116,7 +120,6 @@ class MapOutputBuffer {
 
   FingerprintFn fingerprint_;
   std::vector<uint64_t> key_arena_;      ///< flat words of all distinct keys
-  std::vector<uint64_t> key_scratch_;    ///< staging for arity > kStackKeyWords
   std::vector<uint64_t> payload_arena_;  ///< spilled message payload words
   std::vector<Group> groups_;            ///< distinct keys, first-seen order
   std::vector<Message> messages_;        ///< all messages, emission order

@@ -68,7 +68,16 @@ class MessageRef {
   double wire_bytes() const { return m_->wire_bytes; }
   uint32_t payload_size() const { return m_->payload_size; }
   const uint64_t* payload_words() const { return m_->payload_words(arena_); }
-  /// Decodes the payload back into a Tuple (empty tuple when absent).
+  /// Zero-copy view of the payload (empty view when absent); valid while
+  /// the underlying shuffle buffers live. Reducers that re-emit payloads
+  /// verbatim should pass this straight to ReduceEmitter::Emit — the
+  /// words flow from the shuffle arena into the output builder without a
+  /// Tuple in between.
+  TupleView PayloadView() const {
+    return TupleView(payload_words(), m_->payload_size);
+  }
+  /// Decodes the payload back into an owning Tuple (empty tuple when
+  /// absent); for callers that mutate or outlive the buffers.
   Tuple PayloadTuple() const {
     return Tuple::DecodeFrom(payload_words(), m_->payload_size);
   }
@@ -139,8 +148,8 @@ class MessageGroup {
 };
 
 /// Bytes of a tuple on the wire at the paper's data densities
-/// (10 bytes per attribute by default).
-inline double TupleWireBytes(const Tuple& t, double bytes_per_value = 10.0) {
+/// (10 bytes per attribute by default). Takes a view; Tuples convert.
+inline double TupleWireBytes(TupleView t, double bytes_per_value = 10.0) {
   return bytes_per_value * static_cast<double>(t.size());
 }
 

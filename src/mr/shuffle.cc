@@ -249,7 +249,7 @@ double Shuffle::PartitionWireBytes(size_t p) const {
 
 void Shuffle::ForEachGroup(
     size_t p,
-    const std::function<void(const Tuple&, const MessageGroup&)>& fn) const {
+    const std::function<void(TupleView, const MessageGroup&)>& fn) const {
   assert(p < partitions_.size());
   const std::vector<RecordRef>& refs = partitions_[p];
   // Reused scratch: the only per-key allocation-ish state, and it
@@ -279,8 +279,8 @@ void Shuffle::ForEachGroup(
       segments.push_back({msgs, td.payload_arena.data(), e.msg_count});
     }
     const KeyEntry& e0 = EntryOf(refs[i]);
-    const Tuple key = Tuple::DecodeFrom(KeyWordsOf(refs[i]), e0.key_arity);
-    fn(key, MessageGroup(segments.data(), segments.size(), total));
+    fn(TupleView(KeyWordsOf(refs[i]), e0.key_arity),
+       MessageGroup(segments.data(), segments.size(), total));
     i = j;
   }
 }

@@ -18,8 +18,8 @@
 //      the key's per-task message runs together.
 //
 // The hot path never materializes a Tuple or a per-key vector: keys stay
-// flat words until a reducer needs them, messages stay POD, and the only
-// per-key scratch is a reused segment array.
+// flat words end to end (reducers receive zero-copy TupleViews), messages
+// stay POD, and the only per-key scratch is a reused segment array.
 //
 // Determinism: record order within a partition is the (task index,
 // emission index) order, the stable sort preserves it within equal keys,
@@ -86,10 +86,12 @@ class Shuffle {
 
   /// Invokes `fn(key, values)` once per distinct key of partition `p`,
   /// keys in sorted order, values concatenated in (map task, emission)
-  /// order. Safe to call concurrently for distinct `p` after Partition.
+  /// order. The key is a zero-copy view into the owning task's key arena
+  /// — no Tuple is materialized anywhere on the reduce path. Safe to call
+  /// concurrently for distinct `p` after Partition.
   void ForEachGroup(
       size_t p,
-      const std::function<void(const Tuple&, const MessageGroup&)>& fn) const;
+      const std::function<void(TupleView, const MessageGroup&)>& fn) const;
 
  private:
   /// One wire record: a packed key group, or a single message when

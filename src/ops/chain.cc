@@ -13,6 +13,10 @@ namespace {
 struct CompiledStep {
   ChainStepSpec spec;
   std::vector<std::string> key_vars;
+  // Identity projections (DESIGN.md §7): the join key is the fact itself,
+  // so the mapper reuses the stored row fingerprint instead of hashing.
+  bool guard_key_identity = false;
+  bool cond_key_identity = false;
   // Bloom pre-filtering (DESIGN.md §5.2). Requests may be dropped on
   // *positive* steps only — an anti-join emits guards *without* matches,
   // so its requests must flow. Asserts at keys no input tuple projects to
@@ -33,31 +37,30 @@ class ChainMapper : public mr::Mapper {
   }
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  void Map(size_t input_index, RowView fact, uint64_t tuple_id,
            mr::Emitter* emitter) override {
     (void)tuple_id;
     const ChainStepSpec& s = c_->spec;
     if (input_index == 0) {
       if (s.filter_guard_pattern && !s.guard.Conforms(fact)) return;
-      Tuple key = s.guard.Project(fact, c_->key_vars);
-      const uint64_t h = key.Hash();
+      key_.Select(s.guard, c_->guard_key_identity, c_->key_vars, fact);
       if (filters_ != nullptr && c_->request_filter &&
-          !filters_->filter(0).MightContain(h)) {
+          !filters_->filter(0).MightContain(key_.hash)) {
         ++suppressed_;  // key provably unmatched: the semi-join drops it
         return;
       }
-      emitter->EmitPrehashed(key, h, kTagRequest, 0, fact,
+      emitter->EmitPrehashed(key_.key, key_.hash, kTagRequest, 0, fact,
                              RequestWireBytes(mr::TupleWireBytes(fact)));
     } else {
       if (!s.conditional.Conforms(fact)) return;
-      Tuple key = s.conditional.Project(fact, c_->key_vars);
-      const uint64_t h = key.Hash();
+      key_.Select(s.conditional, c_->cond_key_identity, c_->key_vars, fact);
       if (filters_ != nullptr &&
-          !filters_->filter(1).MightContain(h)) {
+          !filters_->filter(1).MightContain(key_.hash)) {
         ++suppressed_;  // no input tuple can request this key
         return;
       }
-      emitter->EmitPrehashed(key, h, kTagAssert, 0, AssertWireBytes());
+      emitter->EmitPrehashed(key_.key, key_.hash, kTagAssert, 0,
+                             AssertWireBytes());
     }
   }
 
@@ -65,6 +68,7 @@ class ChainMapper : public mr::Mapper {
   std::shared_ptr<const CompiledStep> c_;
   const mr::FilterSet* filters_ = nullptr;
   uint64_t suppressed_ = 0;
+  ShuffleKey key_;  // per-emission key/fingerprint scratch
 };
 
 class ChainReducer : public mr::Reducer {
@@ -72,7 +76,7 @@ class ChainReducer : public mr::Reducer {
   explicit ChainReducer(std::shared_ptr<const CompiledStep> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)key;
     bool asserted = false;
@@ -87,9 +91,9 @@ class ChainReducer : public mr::Reducer {
     for (const mr::MessageRef m : values) {
       if (m.tag() != kTagRequest) continue;
       if (s.emit_projection) {
-        emitter->Emit(0, s.guard.Project(m.PayloadTuple(), s.select_vars));
+        emitter->Emit(0, s.guard.Project(m.PayloadView(), s.select_vars));
       } else {
-        emitter->Emit(0, m.PayloadTuple());
+        emitter->Emit(0, m.PayloadView());  // zero-copy forward
       }
     }
   }
@@ -103,18 +107,24 @@ class ChainReducer : public mr::Reducer {
 struct CompiledUnion {
   sgf::Atom guard;
   std::vector<std::string> select_vars;
+  bool identity = false;  // projection reproduces the fact (DESIGN.md §7)
 };
 
 class UnionMapper : public mr::Mapper {
  public:
   explicit UnionMapper(std::shared_ptr<const CompiledUnion> c)
       : c_(std::move(c)) {}
-  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  void Map(size_t input_index, RowView fact, uint64_t tuple_id,
            mr::Emitter* emitter) override {
     (void)input_index;
     (void)tuple_id;
-    emitter->Emit(c_->guard.Project(fact, c_->select_vars), kTagGuard, 0,
-                  kTagBytes);
+    if (c_->identity) {
+      emitter->EmitPrehashed(fact, fact.fingerprint(), kTagGuard, 0,
+                             kTagBytes);
+    } else {
+      emitter->Emit(c_->guard.Project(fact, c_->select_vars), kTagGuard, 0,
+                    kTagBytes);
+    }
   }
 
  private:
@@ -123,10 +133,10 @@ class UnionMapper : public mr::Mapper {
 
 class UnionReducer : public mr::Reducer {
  public:
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)values;
-    emitter->Emit(0, key);
+    emitter->Emit(0, key);  // zero-copy: key words into the output builder
   }
 };
 
@@ -142,6 +152,10 @@ Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
   auto compiled = std::make_shared<CompiledStep>();
   compiled->spec = step;
   compiled->key_vars = step.conditional.SharedVariables(step.guard);
+  compiled->guard_key_identity =
+      step.guard.IsIdentityProjection(compiled->key_vars);
+  compiled->cond_key_identity =
+      step.conditional.IsIdentityProjection(compiled->key_vars);
   compiled->bloom_filters = options.bloom_filters;
   compiled->request_filter = options.bloom_filters && step.positive;
   compiled->filter_fpp = options.filter_fpp;
@@ -192,16 +206,18 @@ Result<mr::JobSpec> BuildChainStepJob(const ChainStepSpec& step,
                  : mr::BloomFilter());
       fs.Add(mr::BloomFilter(input->size(), compiled->filter_fpp));
       if (compiled->request_filter) {
-        for (const Tuple& fact : cond->tuples()) {
+        for (RowView fact : cond->views()) {
           if (!s.conditional.Conforms(fact)) continue;
           fs.mutable_filter(0)->Insert(
-              s.conditional.Project(fact, compiled->key_vars).Hash());
+              ShuffleKeyHash(s.conditional, compiled->cond_key_identity,
+                             compiled->key_vars, fact));
         }
       }
-      for (const Tuple& fact : input->tuples()) {
+      for (RowView fact : input->views()) {
         if (s.filter_guard_pattern && !s.guard.Conforms(fact)) continue;
         fs.mutable_filter(1)->Insert(
-            s.guard.Project(fact, compiled->key_vars).Hash());
+            ShuffleKeyHash(s.guard, compiled->guard_key_identity,
+                           compiled->key_vars, fact));
       }
       fs.set_scan_mb((compiled->request_filter ? cond->SizeMb() : 0.0) +
                      input->SizeMb());
@@ -222,6 +238,7 @@ Result<mr::JobSpec> BuildUnionProjectJob(
   auto compiled = std::make_shared<CompiledUnion>();
   compiled->guard = guard;
   compiled->select_vars = select_vars;
+  compiled->identity = guard.IsIdentityProjection(select_vars);
 
   mr::JobSpec spec;
   spec.name = job_name;

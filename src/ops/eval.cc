@@ -30,10 +30,10 @@ struct CompiledEval {
 
 // Key layout: (task_id, guard-identity...), where the identity is the
 // tuple id (id mode) or the full guard tuple.
-Tuple MakeKey(uint32_t task_id, const Tuple& identity) {
+Tuple MakeKey(uint32_t task_id, TupleView identity) {
   Tuple key;
   key.PushBack(Value::Int(task_id));
-  for (const Value& v : identity) key.PushBack(v);
+  for (uint32_t i = 0; i < identity.size(); ++i) key.PushBack(identity[i]);
   return key;
 }
 
@@ -42,7 +42,7 @@ class EvalMapper : public mr::Mapper {
   explicit EvalMapper(std::shared_ptr<const CompiledEval> c)
       : c_(std::move(c)) {}
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  void Map(size_t input_index, RowView fact, uint64_t tuple_id,
            mr::Emitter* emitter) override {
     for (const auto& route : c_->routes[input_index]) {
       const auto& task = c_->tasks[route.task];
@@ -74,25 +74,26 @@ class EvalReducer : public mr::Reducer {
   explicit EvalReducer(std::shared_ptr<const CompiledEval> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     uint32_t task_id = static_cast<uint32_t>(key[0].AsInt());
     const auto& task = c_->tasks[task_id];
-    Tuple guard_tuple;
+    // Zero-copy: the guard payload stays a view into the shuffle arena,
+    // which outlives this call.
+    TupleView guard_fact;
     bool have_guard = false;
     truth_.assign(task.query.num_conditional_atoms(), false);
     for (const mr::MessageRef m : values) {
       if (m.tag() == kTagGuard) {
         if (!have_guard) {
-          guard_tuple = m.PayloadTuple();
+          guard_fact = m.PayloadView();
           have_guard = true;
         }
       } else if (m.tag() == kTagX) {
         truth_[m.aux()] = true;
       }
     }
-    const Tuple* guard_fact = have_guard ? &guard_tuple : nullptr;
-    if (guard_fact == nullptr) {
+    if (!have_guard) {
       // No guard fact for this key: X_i entries can only originate from
       // guard facts, so this indicates a plan bug in full-tuple mode; in
       // id mode it cannot happen either. Ignore defensively.
@@ -107,14 +108,13 @@ class EvalReducer : public mr::Reducer {
     const sgf::BsgfQuery& q = task.query;
     Tuple out;
     if (c_->tuple_id_refs) {
-      out = q.guard().Project(*guard_fact, q.select_vars());
+      out = q.guard().Project(guard_fact, q.select_vars());
     } else {
-      // Key = (task_id, guard tuple); strip the prefix and project.
-      Tuple fact;
-      for (uint32_t i = 1; i < key.size(); ++i) fact.PushBack(key[i]);
-      out = q.guard().Project(fact, q.select_vars());
+      // Key = (task_id, guard tuple); the suffix view is the fact.
+      out = q.guard().Project(TupleView(key.words() + 1, key.size() - 1),
+                              q.select_vars());
     }
-    emitter->Emit(task.output_index, std::move(out));
+    emitter->Emit(task.output_index, out);
   }
 
  private:

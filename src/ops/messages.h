@@ -9,10 +9,52 @@
 #define GUMBO_OPS_MESSAGES_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/relation.h"
 #include "mr/message.h"
+#include "sgf/atom.h"
 
 namespace gumbo::ops {
+
+/// The shuffle key of one fact under one join-key projection, plus its
+/// fingerprint — THE invariant of the flat hot path: `hash` always
+/// equals `TupleFingerprint(key.words(), key.size())` (== Tuple::Hash of
+/// the key), whether it came from the stored row or a fresh projection.
+/// Every mapper emission and every Bloom insert/probe must agree on it,
+/// so the selection logic lives here, once.
+struct ShuffleKey {
+  TupleView key;
+  uint64_t hash = 0;
+  /// Backing storage when the key is a real projection; `key` views it.
+  Tuple projected;
+
+  /// Selects the key for `fact`: on an identity projection
+  /// (`Atom::IsIdentityProjection(vars)`, precomputed by the operator
+  /// builders as `identity`) the fact itself with its stored row
+  /// fingerprint — the tuple is never hashed after load (DESIGN.md §7) —
+  /// otherwise the projection, materialized and hashed once.
+  void Select(const sgf::Atom& atom, bool identity,
+              const std::vector<std::string>& vars, RowView fact) {
+    if (identity) {
+      key = fact;
+      hash = fact.fingerprint();
+    } else {
+      projected = atom.Project(fact, vars);
+      key = projected;
+      hash = key.Fingerprint();
+    }
+  }
+};
+
+/// Hash-only variant for Bloom-filter build scans: the figure a probe of
+/// the same (atom, vars, fact) via ShuffleKey::Select would use.
+inline uint64_t ShuffleKeyHash(const sgf::Atom& atom, bool identity,
+                               const std::vector<std::string>& vars,
+                               RowView fact) {
+  return identity ? fact.fingerprint() : atom.Project(fact, vars).Hash();
+}
 
 /// Message tags used by MSJ / EVAL / 1-ROUND / chain jobs.
 enum MsgTag : uint32_t {

@@ -22,6 +22,11 @@ struct CompiledMsj {
     uint32_t cond_id = 0;               // canonical condition id
     size_t output_index = 0;            // into JobSpec::outputs
     double payload_bytes = 0.0;         // request payload wire size
+    // Identity projections (DESIGN.md §7): when the join key IS the fact,
+    // the mapper reuses the relation's stored row fingerprint instead of
+    // hashing the projection — tuples hash once at load, never again.
+    bool guard_key_identity = false;
+    bool cond_key_identity = false;
   };
   std::vector<Equation> equations;
   // Routing: per input dataset index, which equations read it as guard /
@@ -45,31 +50,32 @@ class MsjMapper : public mr::Mapper {
   }
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  void Map(size_t input_index, RowView fact, uint64_t tuple_id,
            mr::Emitter* emitter) override {
     // Guard role: one request per equation this fact guards — unless the
     // condition's Bloom filter proves the key has no match (a semi-join
     // request with no Assert is dropped at the reducer anyway, so
     // skipping it here cannot change the result; DESIGN.md §5.2). The
-    // key hash doubles as the emitter's grouping fingerprint.
+    // key hash doubles as the emitter's grouping fingerprint; on identity
+    // projections the stored row fingerprint is it, no hashing at all.
     for (size_t ei : c_->guard_eqs_of_input[input_index]) {
       const auto& eq = c_->equations[ei];
       if (!eq.guard.Conforms(fact)) continue;
-      Tuple key = eq.guard.Project(fact, eq.key_vars);
-      const uint64_t h = key.Hash();
+      key_.Select(eq.guard, eq.guard_key_identity, eq.key_vars, fact);
       if (filters_ != nullptr &&
-          !filters_->filter(eq.cond_id).MightContain(h)) {
+          !filters_->filter(eq.cond_id).MightContain(key_.hash)) {
         ++suppressed_;
         continue;
       }
       const double wire = RequestWireBytes(eq.payload_bytes);
       if (c_->tuple_id_refs) {
-        emitter->EmitPrehashed(key, h, kTagRequest, static_cast<uint32_t>(ei),
+        emitter->EmitPrehashed(key_.key, key_.hash, kTagRequest,
+                               static_cast<uint32_t>(ei),
                                Tuple{Value::Int(static_cast<int64_t>(tuple_id))},
                                wire);
       } else {
-        emitter->EmitPrehashed(key, h, kTagRequest, static_cast<uint32_t>(ei),
-                               fact, wire);
+        emitter->EmitPrehashed(key_.key, key_.hash, kTagRequest,
+                               static_cast<uint32_t>(ei), fact, wire);
       }
     }
     // Conditional role: one assert per *distinct* (condition id, key) —
@@ -80,24 +86,23 @@ class MsjMapper : public mr::Mapper {
     for (size_t ei : c_->cond_eqs_of_input[input_index]) {
       const auto& eq = c_->equations[ei];
       if (!eq.conditional.Conforms(fact)) continue;
-      Tuple key = eq.conditional.Project(fact, eq.key_vars);
-      const uint64_t h = key.Hash();
+      key_.Select(eq.conditional, eq.cond_key_identity, eq.key_vars, fact);
       if (filters_ != nullptr &&
           !filters_->filter(c_->num_conditions + eq.cond_id)
-               .MightContain(h)) {
+               .MightContain(key_.hash)) {
         ++suppressed_;
         continue;
       }
       bool duplicate = false;
       for (const auto& [cid, k] : seen_) {
-        if (cid == eq.cond_id && k == key) {
+        if (cid == eq.cond_id && key_.key == k) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
-      seen_.emplace_back(eq.cond_id, key);
-      emitter->EmitPrehashed(key, h, kTagAssert, eq.cond_id,
+      seen_.emplace_back(eq.cond_id, key_.key.ToTuple());
+      emitter->EmitPrehashed(key_.key, key_.hash, kTagAssert, eq.cond_id,
                              AssertWireBytes());
     }
   }
@@ -106,6 +111,7 @@ class MsjMapper : public mr::Mapper {
   std::shared_ptr<const CompiledMsj> c_;
   const mr::FilterSet* filters_ = nullptr;
   uint64_t suppressed_ = 0;
+  ShuffleKey key_;  // per-emission key/fingerprint scratch
   // Scratch: (cond_id, key) pairs asserted for the current fact.
   std::vector<std::pair<uint32_t, Tuple>> seen_;
 };
@@ -115,7 +121,7 @@ class MsjReducer : public mr::Reducer {
   explicit MsjReducer(std::shared_ptr<const CompiledMsj> c)
       : c_(std::move(c)), asserted_(c_->num_conditions, false) {}
 
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     (void)key;
     std::fill(asserted_.begin(), asserted_.end(), false);
@@ -126,7 +132,9 @@ class MsjReducer : public mr::Reducer {
       if (m.tag() != kTagRequest) continue;
       const auto& eq = c_->equations[m.aux()];
       if (asserted_[eq.cond_id]) {
-        emitter->Emit(eq.output_index, m.PayloadTuple());
+        // Zero-copy: payload words flow from the shuffle arena straight
+        // into the output builder.
+        emitter->Emit(eq.output_index, m.PayloadView());
       }
     }
   }
@@ -198,6 +206,8 @@ Result<mr::JobSpec> BuildMsjJob(const std::vector<SemiJoinEquation>& equations,
                            ? kTupleIdBytes
                            : 10.0 * static_cast<double>(in.guard.arity());
     eq.output_index = ei;
+    eq.guard_key_identity = in.guard.IsIdentityProjection(eq.key_vars);
+    eq.cond_key_identity = in.conditional.IsIdentityProjection(eq.key_vars);
     compiled->equations.push_back(std::move(eq));
 
     size_t gi = input_index_of(in.guard_dataset);
@@ -305,18 +315,22 @@ Result<mr::JobSpec> BuildMsjJob(const std::vector<SemiJoinEquation>& equations,
             compiled->guard_eqs_of_input[i];
         if (cond_eqs.empty() && guard_eqs.empty()) continue;
         scan_mb += rels[i]->SizeMb();
-        for (const Tuple& fact : rels[i]->tuples()) {
+        // View-based scan; ShuffleKeyHash keeps the inserted figure in
+        // lockstep with what the mappers probe.
+        for (RowView fact : rels[i]->views()) {
           for (size_t ei : cond_eqs) {
             const auto& eq = compiled->equations[ei];
             if (!eq.conditional.Conforms(fact)) continue;
             fs.mutable_filter(eq.cond_id)
-                ->Insert(eq.conditional.Project(fact, eq.key_vars).Hash());
+                ->Insert(ShuffleKeyHash(eq.conditional, eq.cond_key_identity,
+                                        eq.key_vars, fact));
           }
           for (size_t ei : guard_eqs) {
             const auto& eq = compiled->equations[ei];
             if (!eq.guard.Conforms(fact)) continue;
             fs.mutable_filter(nc + eq.cond_id)
-                ->Insert(eq.guard.Project(fact, eq.key_vars).Hash());
+                ->Insert(ShuffleKeyHash(eq.guard, eq.guard_key_identity,
+                                        eq.key_vars, fact));
           }
         }
       }

@@ -75,11 +75,11 @@ struct CompiledOneRound {
 };
 
 // Key layout: (task_id, group_id, join-key values...).
-Tuple MakeKey(size_t task, size_t group, const Tuple& projected) {
+Tuple MakeKey(size_t task, size_t group, TupleView projected) {
   Tuple key;
   key.PushBack(Value::Int(static_cast<int64_t>(task)));
   key.PushBack(Value::Int(static_cast<int64_t>(group)));
-  for (const Value& v : projected) key.PushBack(v);
+  for (uint32_t i = 0; i < projected.size(); ++i) key.PushBack(projected[i]);
   return key;
 }
 
@@ -93,7 +93,7 @@ class OneRoundMapper : public mr::Mapper {
   }
   uint64_t SuppressedEmissions() const override { return suppressed_; }
 
-  void Map(size_t input_index, const Tuple& fact, uint64_t tuple_id,
+  void Map(size_t input_index, RowView fact, uint64_t tuple_id,
            mr::Emitter* emitter) override {
     (void)tuple_id;
     for (size_t ti : c_->guard_tasks_of_input[input_index]) {
@@ -167,7 +167,7 @@ class OneRoundReducer : public mr::Reducer {
   explicit OneRoundReducer(std::shared_ptr<const CompiledOneRound> c)
       : c_(std::move(c)) {}
 
-  void Reduce(const Tuple& key, const mr::MessageGroup& values,
+  void Reduce(TupleView key, const mr::MessageGroup& values,
               mr::ReduceEmitter* emitter) override {
     size_t ti = static_cast<size_t>(key[0].AsInt());
     size_t gi = static_cast<size_t>(key[1].AsInt());
@@ -207,7 +207,7 @@ class OneRoundReducer : public mr::Reducer {
     if (!holds) return;
     for (const mr::MessageRef m : values) {
       if (m.tag() == kTagRequest) {
-        emitter->Emit(task.output_index, m.PayloadTuple());
+        emitter->Emit(task.output_index, m.PayloadView());  // zero-copy
       }
     }
   }
@@ -457,7 +457,7 @@ Result<mr::JobSpec> BuildOneRoundJob(const std::vector<OneRoundTask>& tasks,
         }
         if (distinct.empty() && guard_groups.empty()) continue;
         scan_mb += rels[i]->SizeMb();
-        for (const Tuple& fact : rels[i]->tuples()) {
+        for (RowView fact : rels[i]->views()) {
           for (const auto* route : distinct) {
             const auto& task = compiled->tasks[route->task];
             const sgf::Atom& atom =

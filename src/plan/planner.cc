@@ -1,6 +1,7 @@
 #include "plan/planner.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 
@@ -51,8 +52,21 @@ Result<Strategy> StrategyFromName(const std::string& name) {
       {"GREEDY-SGF", Strategy::kGreedySgf},
       {"OPT-SGF", Strategy::kOptSgf},
   };
-  auto it = kMap.find(name);
-  if (it == kMap.end()) return Status::InvalidArgument("unknown strategy " + name);
+  // Case-insensitive: "greedy", "Greedy" and "GREEDY" all resolve.
+  std::string upper = name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c)));
+  auto it = kMap.find(upper);
+  if (it == kMap.end()) {
+    std::string valid;
+    for (const auto& [n, s] : kMap) {
+      (void)s;
+      if (!valid.empty()) valid += ", ";
+      valid += n;
+    }
+    return Status::InvalidArgument("unknown strategy " + name +
+                                   " (valid: " + valid + ")");
+  }
   return it->second;
 }
 

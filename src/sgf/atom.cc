@@ -22,7 +22,7 @@ bool Atom::UsesVariable(const std::string& var) const {
   return false;
 }
 
-bool Atom::Conforms(const Tuple& fact) const {
+bool Atom::Conforms(TupleView fact) const {
   if (fact.size() != terms_.size()) return false;
   for (size_t i = 0; i < terms_.size(); ++i) {
     const Term& t = terms_[i];
@@ -41,7 +41,7 @@ bool Atom::Conforms(const Tuple& fact) const {
   return true;
 }
 
-Tuple Atom::Project(const Tuple& fact,
+Tuple Atom::Project(TupleView fact,
                     const std::vector<std::string>& vars) const {
   Tuple out;
   for (const std::string& v : vars) {
@@ -50,6 +50,14 @@ Tuple Atom::Project(const Tuple& fact,
     out.PushBack(fact[static_cast<uint32_t>(pos)]);
   }
   return out;
+}
+
+bool Atom::IsIdentityProjection(const std::vector<std::string>& vars) const {
+  if (vars.size() != terms_.size()) return false;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (PositionOf(vars[i]) != static_cast<int>(i)) return false;
+  }
+  return true;
 }
 
 int Atom::PositionOf(const std::string& var) const {

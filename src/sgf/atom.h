@@ -42,12 +42,20 @@ class Atom {
   /// Conformance check f |= this (paper §4): positions with equal terms
   /// hold equal values; constant positions hold that constant. The fact's
   /// relation is NOT checked here (callers route facts by relation).
-  bool Conforms(const Tuple& fact) const;
+  /// Takes a zero-copy view; owning Tuples convert implicitly.
+  bool Conforms(TupleView fact) const;
 
   /// pi_{this;vars}(fact): projects a conforming fact onto the given
   /// variables (each var's first occurrence position). Callers must pass
   /// variables that occur in this atom.
-  Tuple Project(const Tuple& fact, const std::vector<std::string>& vars) const;
+  Tuple Project(TupleView fact, const std::vector<std::string>& vars) const;
+
+  /// Whether projecting onto `vars` reproduces the fact verbatim (every
+  /// position is a distinct variable, listed in term order). When true,
+  /// Project(fact, vars) == fact word-for-word, so scans can reuse the
+  /// fact's stored fingerprint instead of hashing the projection
+  /// (DESIGN.md §7).
+  bool IsIdentityProjection(const std::vector<std::string>& vars) const;
 
   /// First-occurrence position of `var`, or -1.
   int PositionOf(const std::string& var) const;

@@ -26,7 +26,7 @@ Result<AtomIndex> BuildIndex(const Atom& atom, const Atom& guard,
         "atom " + atom.ToString() + " arity mismatch with relation " +
         rel->name() + "/" + std::to_string(rel->arity()));
   }
-  for (const Tuple& fact : rel->tuples()) {
+  for (RowView fact : rel->views()) {
     if (!atom.Conforms(fact)) continue;
     index.any_conforming = true;
     if (!index.key_is_empty) {
@@ -55,7 +55,7 @@ Result<Relation> NaiveEvalBsgf(const BsgfQuery& query, const Database& db) {
   }
 
   Relation out(query.output(), query.OutputArity());
-  for (const Tuple& fact : guard_rel->tuples()) {
+  for (RowView fact : guard_rel->views()) {
     if (!query.guard().Conforms(fact)) continue;
     bool keep = true;
     if (query.has_condition()) {

@@ -147,7 +147,7 @@ TEST(RelationTest, SortAndDedupe) {
   Relation r = MakeRelation("R", 2, {{3, 4}, {1, 2}, {3, 4}, {1, 2}});
   r.SortAndDedupe();
   ASSERT_EQ(r.size(), 2u);
-  EXPECT_EQ(r.tuples()[0], Tuple::Ints({1, 2}));
+  EXPECT_EQ(r.TupleAt(0), Tuple::Ints({1, 2}));
 }
 
 TEST(RelationTest, SetEqualsIgnoresOrderAndDuplicates) {

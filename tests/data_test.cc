@@ -27,20 +27,22 @@ TEST(GeneratorTest, GuardShape) {
   EXPECT_EQ(r.size(), 5000u);
   EXPECT_EQ(r.arity(), 4u);
   EXPECT_DOUBLE_EQ(r.bytes_per_tuple(), 40.0);
-  for (const Tuple& t : r.tuples()) {
-    for (const Value& v : t) {
-      EXPECT_GE(v.AsInt(), 0);
-      EXPECT_LT(v.AsInt(), 5000);
+  for (RowView t : r.views()) {
+    for (uint32_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t[i].AsInt(), 0);
+      EXPECT_LT(t[i].AsInt(), 5000);
     }
+    // Stored fingerprints match the decoded tuple's hash.
+    EXPECT_EQ(t.fingerprint(), t.ToTuple().Hash());
   }
 }
 
 TEST(GeneratorTest, Deterministic) {
   Generator a(TestConfig()), b(TestConfig());
-  EXPECT_EQ(a.Guard("R").tuples(), b.Guard("R").tuples());
-  EXPECT_EQ(a.Conditional("S").tuples(), b.Conditional("S").tuples());
+  EXPECT_EQ(a.Guard("R").words(), b.Guard("R").words());
+  EXPECT_EQ(a.Conditional("S").words(), b.Conditional("S").words());
   // Different names give different data.
-  EXPECT_NE(a.Guard("R").tuples(), a.Guard("G").tuples());
+  EXPECT_NE(a.Guard("R").words(), a.Guard("G").words());
 }
 
 TEST(GeneratorTest, SelectivityControlsMatchFraction) {
@@ -50,9 +52,9 @@ TEST(GeneratorTest, SelectivityControlsMatchFraction) {
     Relation guard = gen.Guard("R", 1);
     Relation cond = gen.Conditional("S", 1, sel);
     std::set<Value> values;
-    for (const Tuple& t : cond.tuples()) values.insert(t[0]);
+    for (RowView t : cond.views()) values.insert(t[0]);
     size_t matched = 0;
-    for (const Tuple& t : guard.tuples()) {
+    for (RowView t : guard.views()) {
       if (values.count(t[0]) > 0) ++matched;
     }
     double rate = static_cast<double>(matched) / guard.size();
@@ -66,7 +68,7 @@ TEST(GeneratorTest, ConditionalPadsWithNonMatchingValues) {
   Relation cond = gen.Conditional("S", 1);
   EXPECT_EQ(cond.size(), cfg.tuples);
   size_t junk = 0;
-  for (const Tuple& t : cond.tuples()) {
+  for (RowView t : cond.views()) {
     if (t[0].AsInt() >= static_cast<int64_t>(cfg.Domain())) ++junk;
   }
   EXPECT_GT(junk, 0u);  // padding present at low selectivity

@@ -3,6 +3,7 @@
 // filters, the dedup combiner, and their engine accounting.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <set>
 
@@ -22,19 +23,19 @@ using ::gumbo::testing::RowsOf;
 // A toy job: groups input tuples by first attribute and counts them.
 class CountMapper : public Mapper {
  public:
-  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
+  void Map(size_t, RowView fact, uint64_t, Emitter* emitter) override {
     emitter->Emit(Tuple{fact[0]}, /*tag=*/1, /*aux=*/0, /*wire_bytes=*/4.0);
   }
 };
 
 class CountReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const MessageGroup& values,
+  void Reduce(TupleView key, const MessageGroup& values,
               ReduceEmitter* emitter) override {
     Tuple out;
     out.PushBack(key[0]);
     out.PushBack(Value::Int(static_cast<int64_t>(values.size())));
-    emitter->Emit(0, std::move(out));
+    emitter->Emit(0, out);
   }
 };
 
@@ -77,7 +78,7 @@ TEST(EngineTest, GroupCountCorrectAcrossTasksAndReducers) {
 
   const Relation* out = db.Get("Out").value();
   ASSERT_EQ(out->size(), 10u);
-  for (const Tuple& t : out->tuples()) {
+  for (RowView t : out->views()) {
     EXPECT_EQ(t[1], Value::Int(100));  // each group has 100 members
   }
 }
@@ -94,7 +95,7 @@ TEST(EngineTest, DeterministicAcrossRuns) {
   ASSERT_OK(engine.Run(CountJob("In", "Out2"), &db).status());
   const Relation* a = db.Get("Out1").value();
   const Relation* b = db.Get("Out2").value();
-  EXPECT_EQ(a->tuples(), b->tuples());  // identical order, not just set
+  EXPECT_EQ(a->ToTuples(), b->ToTuples());  // identical order, not just set
 }
 
 TEST(EngineTest, CountsBytesAndScale) {
@@ -138,6 +139,57 @@ TEST(EngineTest, PackingReducesShuffleBytes) {
   EXPECT_LT(sp->shuffle_mb, su->shuffle_mb);
   // Same results either way.
   EXPECT_TRUE(db.Get("OutP").value()->SetEquals(*db.Get("OutU").value()));
+}
+
+TEST(EngineTest, ReducerAllocationByMapInputSize) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(r.Add(Tuple::Ints({i % 10, i})));
+  }
+  db.Put(std::move(r));
+  const double input_mb = db.Get("In").value()->SizeMb();
+  cost::ClusterConfig c = SmallCluster();
+  Engine engine(c);
+  JobSpec spec = CountJob("In", "Out");
+  spec.reducer_allocation = ReducerAllocation::kByMapInputSize;
+  auto stats = engine.Run(spec, &db);
+  ASSERT_OK(stats);
+  // Pig's policy: one reducer per 4 * mb_per_reducer of *map input* data,
+  // independent of the intermediate size.
+  const int expected = std::max(
+      1, static_cast<int>(std::ceil(input_mb / (4.0 * c.mb_per_reducer))));
+  EXPECT_EQ(stats->num_reducers, expected);
+  EXPECT_GT(stats->num_reducers, 1);  // the tiny quota forces several
+  // Allocation policy must not change results.
+  EXPECT_EQ(db.Get("Out").value()->size(), 10u);
+}
+
+TEST(EngineTest, ReducerAllocationFixed) {
+  Database db;
+  Relation r("In", 2);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_OK(r.Add(Tuple::Ints({i % 10, i})));
+  }
+  db.Put(std::move(r));
+  Engine engine(SmallCluster());
+  JobSpec spec = CountJob("In", "OutF");
+  spec.reducer_allocation = ReducerAllocation::kFixed;
+  spec.fixed_num_reducers = 3;
+  auto stats = engine.Run(spec, &db);
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->num_reducers, 3);
+  EXPECT_EQ(stats->reduce_task_costs.size(), 3u);
+  EXPECT_EQ(db.Get("OutF").value()->size(), 10u);
+  // Non-positive fixed counts clamp to one reducer.
+  spec = CountJob("In", "OutZ");
+  spec.reducer_allocation = ReducerAllocation::kFixed;
+  spec.fixed_num_reducers = 0;
+  stats = engine.Run(spec, &db);
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->num_reducers, 1);
+  // The fixed and derived allocations agree on the result set.
+  EXPECT_TRUE(db.Get("OutF").value()->SetEquals(*db.Get("OutZ").value()));
 }
 
 TEST(EngineTest, MissingInputFails) {
@@ -340,7 +392,7 @@ TEST(DedupCombinerTest, SpilledPayloadsCompareByWords) {
 class DupMapper : public Mapper {
  public:
   explicit DupMapper(int copies) : copies_(copies) {}
-  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
+  void Map(size_t, RowView fact, uint64_t, Emitter* emitter) override {
     for (int i = 0; i < copies_; ++i) {
       emitter->Emit(Tuple{fact[0]}, /*tag=*/1, /*aux=*/0, /*wire_bytes=*/4.0);
     }
@@ -352,12 +404,12 @@ class DupMapper : public Mapper {
 
 class KeyCountReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const MessageGroup& values,
+  void Reduce(TupleView key, const MessageGroup& values,
               ReduceEmitter* emitter) override {
     Tuple out;
     out.PushBack(key[0]);
     out.PushBack(Value::Int(values.empty() ? 0 : 1));  // set semantics
-    emitter->Emit(0, std::move(out));
+    emitter->Emit(0, out);
   }
 };
 
@@ -420,7 +472,7 @@ class FilteringMapper : public Mapper {
  public:
   void AttachFilters(const FilterSet* filters) override { filters_ = filters; }
   uint64_t SuppressedEmissions() const override { return suppressed_; }
-  void Map(size_t, const Tuple& fact, uint64_t, Emitter* emitter) override {
+  void Map(size_t, RowView fact, uint64_t, Emitter* emitter) override {
     Tuple key{fact[0]};
     const uint64_t h = key.Hash();
     if (filters_ != nullptr && !filters_->filter(0).MightContain(h)) {
@@ -455,7 +507,7 @@ TEST(EngineTest, FilterBuilderAttachesAndAccounts) {
       [](const std::vector<const Relation*>& rels) -> Result<FilterSet> {
     FilterSet fs;
     fs.Add(BloomFilter(rels[0]->size(), 0.01));
-    for (const Tuple& t : rels[0]->tuples()) {
+    for (RowView t : rels[0]->views()) {
       if (t[0].AsInt() % 2 == 0) fs.mutable_filter(0)->Insert(Tuple{t[0]}.Hash());
     }
     fs.set_scan_mb(rels[0]->SizeMb());

@@ -318,7 +318,18 @@ TEST(PlannerTest, StrategyNamesRoundTrip) {
     ASSERT_OK(parsed);
     EXPECT_EQ(*parsed, s);
   }
-  EXPECT_FALSE(StrategyFromName("TURBO").ok());
+  // Case-insensitive lookup.
+  auto lower = StrategyFromName("greedy-sgf");
+  ASSERT_OK(lower);
+  EXPECT_EQ(*lower, Strategy::kGreedySgf);
+  auto mixed = StrategyFromName("Opt");
+  ASSERT_OK(mixed);
+  EXPECT_EQ(*mixed, Strategy::kOpt);
+  // Unknown names fail and the error lists the valid strategies.
+  auto bad = StrategyFromName("TURBO");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("GREEDY"), std::string::npos);
+  EXPECT_NE(bad.status().ToString().find("1-ROUND"), std::string::npos);
 }
 
 // ---- Baselines ----------------------------------------------------------------

@@ -414,7 +414,7 @@ TEST_P(OptimizationEquivalenceTest, ByteIdenticalResultsAndNoExtraShuffle) {
       OptRun out;
       if (result.ok()) {
         out.metrics = result->metrics;
-        out.output = run_db.Get("Z").value()->tuples();
+        out.output = run_db.Get("Z").value()->ToTuples();
       }
       return out;
     };

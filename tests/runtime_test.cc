@@ -75,7 +75,7 @@ class GateMapper : public Mapper {
  public:
   GateMapper(std::atomic<int>* started, int expected)
       : started_(started), expected_(expected) {}
-  void Map(size_t, const Tuple& fact, uint64_t,
+  void Map(size_t, RowView fact, uint64_t,
            Emitter* emitter) override {
     if (!announced_) {
       announced_ = true;
@@ -98,7 +98,7 @@ class GateMapper : public Mapper {
 
 class PassKeyReducer : public Reducer {
  public:
-  void Reduce(const Tuple& key, const MessageGroup&,
+  void Reduce(TupleView key, const MessageGroup&,
               ReduceEmitter* emitter) override {
     emitter->Emit(0, Tuple{key[0]});
   }
@@ -234,7 +234,7 @@ RunOutput RunWithThreads(const data::Workload& w, plan::Strategy strategy,
   RunOutput out;
   out.metrics = result->metrics;
   for (const auto& q : w.query.subqueries()) {
-    out.outputs.push_back(db.Get(q.output()).value()->tuples());
+    out.outputs.push_back(db.Get(q.output()).value()->ToTuples());
   }
   return out;
 }

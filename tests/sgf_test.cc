@@ -367,7 +367,7 @@ TEST(NaiveEvalTest, NestedSgfBookstore) {
   const Relation* z2 = out->Get("Z2").value();
   // Only a2's upcoming book survives (a1 is bad at all three stores).
   ASSERT_EQ(z2->size(), 1u);
-  EXPECT_EQ(z2->tuples()[0], (Tuple{n2, a2}));
+  EXPECT_EQ(z2->TupleAt(0), (Tuple{n2, a2}));
 }
 
 TEST(NaiveEvalTest, GuardednessAllowsDistinctExistentials) {

@@ -78,9 +78,9 @@ std::vector<std::vector<CollectedGroup>> Collect(const Shuffle& shuffle) {
   std::vector<std::vector<CollectedGroup>> out(
       static_cast<size_t>(shuffle.num_partitions()));
   for (size_t p = 0; p < out.size(); ++p) {
-    shuffle.ForEachGroup(p, [&](const Tuple& key, const MessageGroup& values) {
+    shuffle.ForEachGroup(p, [&](TupleView key, const MessageGroup& values) {
       CollectedGroup g;
-      g.key = key;
+      g.key = key.ToTuple();
       for (const MessageRef m : values) {
         g.values.push_back(
             {m.tag(), m.aux(), m.PayloadTuple(), m.wire_bytes()});

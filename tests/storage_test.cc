@@ -1,0 +1,255 @@
+// Equivalence tests for the flat arena-backed relation storage
+// (DESIGN.md §7): a reference row-store — the pre-refactor vector<Tuple>
+// representation, transcribed here — is driven in lockstep with the flat
+// Relation over randomized inputs, and every observable (append order,
+// canonical SortAndDedupe order, SetEquals verdicts, fingerprints) must
+// match byte for byte. Also covers RelationBuilder adoption and the
+// parallel dedupe path's thread-count independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/relation.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace gumbo {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+
+// The pre-refactor representation: a row of owning Tuples with
+// lexicographic sort+unique canonicalization. Kept in-test as the
+// equivalence oracle.
+struct ReferenceRowStore {
+  uint32_t arity = 0;
+  std::vector<Tuple> rows;
+
+  void Add(const Tuple& t) {
+    ASSERT_EQ(t.size(), arity);
+    rows.push_back(t);
+  }
+  void SortAndDedupe() {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+  bool SetEquals(const ReferenceRowStore& other) const {
+    if (arity != other.arity) return false;
+    std::vector<Tuple> a = rows;
+    std::vector<Tuple> b = other.rows;
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    return a == b;
+  }
+};
+
+// A random tuple mixing positive/negative ints and interned strings, from
+// a small domain so duplicates actually occur.
+Tuple RandomTuple(Xoshiro256* rng, uint32_t arity) {
+  Tuple t;
+  for (uint32_t i = 0; i < arity; ++i) {
+    switch (rng->Uniform(4)) {
+      case 0:
+        t.PushBack(Value::Int(static_cast<int64_t>(rng->Uniform(6))));
+        break;
+      case 1:
+        t.PushBack(Value::Int(-static_cast<int64_t>(rng->Uniform(6)) - 1));
+        break;
+      case 2:
+        t.PushBack(Dictionary::Global().Intern(
+            "s" + std::to_string(rng->Uniform(5))));
+        break;
+      default:
+        t.PushBack(Value::Int(static_cast<int64_t>(rng->Uniform(1000))));
+        break;
+    }
+  }
+  return t;
+}
+
+void ExpectSameRows(const Relation& flat, const ReferenceRowStore& ref) {
+  ASSERT_EQ(flat.size(), ref.rows.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat.TupleAt(i), ref.rows[i]) << "row " << i;
+  }
+}
+
+// Append order, views, and fingerprints match the reference exactly,
+// including heap-spilled arities beyond Tuple::kInlineCapacity.
+TEST(FlatStorageTest, AppendOrderViewsAndFingerprints) {
+  for (uint32_t arity : {1u, 2u, 4u, 6u}) {
+    Xoshiro256 rng(1000 + arity);
+    Relation flat("R", arity);
+    ReferenceRowStore ref{arity, {}};
+    for (int i = 0; i < 500; ++i) {
+      Tuple t = RandomTuple(&rng, arity);
+      ref.Add(t);
+      ASSERT_OK(flat.Add(t));
+    }
+    ExpectSameRows(flat, ref);
+    for (size_t i = 0; i < flat.size(); ++i) {
+      RowView v = flat.view(i);
+      EXPECT_EQ(v.fingerprint(), ref.rows[i].Hash());
+      EXPECT_EQ(v.Fingerprint(), ref.rows[i].Hash());
+      EXPECT_TRUE(v == TupleView(ref.rows[i]));
+      EXPECT_EQ(v.ToTuple(), ref.rows[i]);
+    }
+  }
+}
+
+// TupleView ordering and equality agree with Tuple's operators on random
+// pairs (this is what makes the flat sort byte-identical).
+TEST(FlatStorageTest, ViewComparisonsMatchTuple) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    Tuple a = RandomTuple(&rng, 1 + rng.Uniform(5));
+    Tuple b = RandomTuple(&rng, 1 + rng.Uniform(5));
+    EXPECT_EQ(TupleView(a) < TupleView(b), a < b);
+    EXPECT_EQ(TupleView(a) == TupleView(b), a == b);
+  }
+}
+
+// SortAndDedupe yields exactly the reference's sort+unique sequence —
+// same rows, same canonical order — and keeps fingerprints attached to
+// the right rows.
+TEST(FlatStorageTest, SortAndDedupeMatchesReference) {
+  for (uint32_t arity : {1u, 2u, 3u, 5u}) {
+    Xoshiro256 rng(2000 + arity);
+    Relation flat("R", arity);
+    ReferenceRowStore ref{arity, {}};
+    for (int i = 0; i < 800; ++i) {
+      // Re-add an earlier row 25% of the time so every arity actually
+      // exercises the dedupe (high arities rarely collide by chance).
+      Tuple t = (i > 0 && rng.Bernoulli(0.25))
+                    ? ref.rows[rng.Uniform(ref.rows.size())]
+                    : RandomTuple(&rng, arity);
+      ref.Add(t);
+      flat.AddUnchecked(t);
+    }
+    flat.SortAndDedupe();
+    ref.SortAndDedupe();
+    ASSERT_LT(flat.size(), 800u);  // the small domain guarantees dups
+    ExpectSameRows(flat, ref);
+    for (size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(flat.fingerprint(i), flat.TupleAt(i).Hash());
+    }
+  }
+}
+
+// The parallel sort path is byte-identical to the sequential one for any
+// thread count, above and below the chunking threshold.
+TEST(FlatStorageTest, ParallelDedupeThreadCountIndependent) {
+  for (size_t n : {100u, 40000u}) {
+    Xoshiro256 rng(n);
+    Relation seq("R", 2);
+    for (size_t i = 0; i < n; ++i) {
+      Tuple t = RandomTuple(&rng, 2);
+      seq.AddUnchecked(t);
+    }
+    Relation par1 = seq;
+    Relation par8 = seq;
+    seq.SortAndDedupe(nullptr);
+    ThreadPool pool1(1);
+    par1.SortAndDedupe(&pool1);
+    ThreadPool pool8(8);
+    par8.SortAndDedupe(&pool8);
+    EXPECT_EQ(par1.words(), seq.words());
+    EXPECT_EQ(par8.words(), seq.words());
+    EXPECT_EQ(par1.fingerprints(), seq.fingerprints());
+    EXPECT_EQ(par8.fingerprints(), seq.fingerprints());
+  }
+}
+
+// SetEquals verdicts agree with the reference on equal sets (permuted,
+// duplicated), subsets, and disjoint sets.
+TEST(FlatStorageTest, SetEqualsMatchesReference) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t arity = 1 + trial % 3;
+    Relation fa("A", arity), fb("B", arity);
+    ReferenceRowStore ra{arity, {}}, rb{arity, {}};
+    std::vector<Tuple> base;
+    for (int i = 0; i < 30; ++i) base.push_back(RandomTuple(&rng, arity));
+    // A: the base in order, with duplicates.
+    for (const Tuple& t : base) {
+      fa.AddUnchecked(t);
+      ra.Add(t);
+      if (rng.Bernoulli(0.3)) {
+        fa.AddUnchecked(t);
+        ra.Add(t);
+      }
+    }
+    // B: shuffled base; half the trials drop or mutate a row.
+    std::vector<Tuple> b = base;
+    for (size_t i = b.size(); i > 1; --i) {
+      std::swap(b[i - 1], b[rng.Uniform(i)]);
+    }
+    if (trial % 2 == 1) {
+      if (rng.Bernoulli(0.5)) {
+        b.pop_back();
+      } else {
+        b[0] = RandomTuple(&rng, arity);
+      }
+    }
+    for (const Tuple& t : b) {
+      fb.AddUnchecked(t);
+      rb.Add(t);
+    }
+    EXPECT_EQ(fa.SetEquals(fb), ra.SetEquals(rb)) << "trial " << trial;
+    EXPECT_EQ(fb.SetEquals(fa), rb.SetEquals(ra)) << "trial " << trial;
+  }
+}
+
+TEST(FlatStorageTest, SetEqualsRejectsArityMismatch) {
+  Relation a = MakeRelation("A", 1, {{1}});
+  Relation b = MakeRelation("B", 2, {{1, 2}});
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+// Builder adoption: first adopt moves arenas wholesale into an empty
+// relation, later adopts append; the row sequence equals tuple-by-tuple
+// reference appends and the builders come back empty.
+TEST(FlatStorageTest, BuilderAdoption) {
+  Xoshiro256 rng(5);
+  Relation flat("Z", 3);
+  ReferenceRowStore ref{3, {}};
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    RelationBuilder b(3);
+    const int rows = chunk == 2 ? 0 : 40;  // one empty builder in the mix
+    for (int i = 0; i < rows; ++i) {
+      Tuple t = RandomTuple(&rng, 3);
+      ref.Add(t);
+      b.Add(t);
+    }
+    ASSERT_EQ(b.size(), static_cast<size_t>(rows));
+    flat.Adopt(std::move(b));
+    EXPECT_TRUE(b.empty());
+  }
+  ExpectSameRows(flat, ref);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat.fingerprint(i), ref.rows[i].Hash());
+  }
+}
+
+// Zero-arity relations: set semantics collapse to empty vs non-empty.
+TEST(FlatStorageTest, ZeroArity) {
+  Relation r("N", 0);
+  EXPECT_TRUE(r.empty());
+  r.AddUnchecked(Tuple{});
+  r.AddUnchecked(Tuple{});
+  EXPECT_EQ(r.size(), 2u);
+  r.SortAndDedupe();
+  EXPECT_EQ(r.size(), 1u);
+  Relation s("M", 0);
+  EXPECT_FALSE(r.SetEquals(s));
+  s.AddUnchecked(Tuple{});
+  EXPECT_TRUE(r.SetEquals(s));
+}
+
+}  // namespace
+}  // namespace gumbo

@@ -45,9 +45,9 @@ inline std::vector<std::vector<int64_t>> RowsOf(const Relation& rel) {
   Relation copy = rel;
   copy.SortAndDedupe();
   std::vector<std::vector<int64_t>> out;
-  for (const Tuple& t : copy.tuples()) {
+  for (RowView t : copy.views()) {
     std::vector<int64_t> row;
-    for (const Value& v : t) row.push_back(v.AsInt());
+    for (uint32_t i = 0; i < t.size(); ++i) row.push_back(t[i].AsInt());
     out.push_back(std::move(row));
   }
   return out;
