@@ -1,0 +1,412 @@
+// Wall-clock benchmark of the concurrent query service (DESIGN.md §8):
+// closed- and open-loop drivers over the mixed A1 + A3 + B1 workload
+// (Table 2 queries sharing one generated database), comparing admission
+// modes:
+//
+//   serialized       max_inflight=1, plan cache off — the pre-serve
+//                    behavior: one synchronous plan + execute per query,
+//                    re-planning and re-sampling every time;
+//   serialized+cache max_inflight=1, plan cache on (cache effect alone);
+//   concurrent       max_inflight=8, plan cache off (admission overlap
+//                    alone);
+//   concurrent+cache max_inflight=8, plan cache on — the full service.
+//
+// The headline speedup is concurrent+cache vs serialized (throughput of
+// the service vs the pre-serve path). Every response in every mode is
+// checked byte-identical (words + fingerprints) against a solo reference
+// run — the determinism bar of DESIGN.md §8 — so a scheduling or cache
+// bug fails the bench before any number is reported.
+//
+// Usage:
+//   bench_serve [--smoke] [--out FILE] [--baseline FILE]
+//
+//   --smoke      relaxed speedup bar + regression tolerance (CI). The
+//                run shape (clients, queries per client) is identical to
+//                a full run — a smaller smoke run would carry a higher
+//                cold-miss fraction and eat the tolerance with
+//                systematic bias rather than noise.
+//   --out        machine-readable results (default BENCH_serve.json)
+//   --baseline   compare against a committed BENCH_serve.json: exit
+//                non-zero if the speedup regresses more than 20% (30%
+//                under --smoke) vs the baseline (ratios, not absolute
+//                qps, so the gate is stable across machines). Generate
+//                the baseline at the same GUMBO_BENCH_TUPLES.
+//
+// Environment: GUMBO_BENCH_TUPLES (default 5000 here — a serving-shaped
+// size where per-query latency is tens of ms; the fig/table benches'
+// 100000 default is an analytics size) and GUMBO_BENCH_SEED as usual.
+//
+// On a single hardware thread the concurrency column degenerates to ~1x
+// (there is nothing to overlap onto) and the speedup is carried by the
+// plan cache; multi-core machines get both effects. The committed
+// baseline records the speedup on the reference machine; CI gates on the
+// ratio against it.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.h"
+#include "common/str_util.h"
+#include "serve/service.h"
+
+using namespace gumbo;
+using namespace gumbo::bench;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(std::max(
+      0.0, std::ceil(p * static_cast<double>(samples.size())) - 1.0));
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+struct ModeResult {
+  std::string name;
+  size_t inflight = 0;
+  bool cache = false;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t cache_hits = 0;
+  bool identical = true;  // every response matched the solo reference
+};
+
+// Byte-identity check of one response against the solo reference outputs
+// — same relation set, same words, same fingerprints.
+bool Identical(const serve::QueryResponse& resp, const Database& ref) {
+  if (resp.outputs.size() != ref.size()) return false;
+  for (const auto& [name, rel] : ref.relations()) {
+    const auto got = resp.outputs.Get(name);
+    if (!got.ok()) return false;
+    if (!(got.value()->words() == rel.words())) return false;
+    if (!(got.value()->fingerprints() == rel.fingerprints())) return false;
+  }
+  return true;
+}
+
+// Closed loop: `clients` threads each issue `per_client` queries
+// back-to-back (blocking on each response), cycling through the query
+// mix with a per-client offset so distinct classes overlap in flight.
+ModeResult RunClosedLoop(const std::string& name, const Database& db,
+                         const std::vector<sgf::SgfQuery>& queries,
+                         const std::vector<Database>& refs,
+                         const serve::ServiceOptions& opts, size_t clients,
+                         size_t per_client) {
+  ModeResult r;
+  r.name = name;
+  r.inflight = opts.max_inflight;
+  r.cache = opts.plan_cache;
+
+  serve::QueryService service(&db, opts);
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<bool> ok{true};
+  const double t0 = Now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t k = 0; k < per_client; ++k) {
+        const size_t pick = (c + k) % queries.size();
+        serve::QueryResponse resp = service.Run(queries[pick]);
+        if (!resp.ok() || !Identical(resp, refs[pick])) {
+          ok.store(false);
+          return;
+        }
+        latencies[c].push_back(resp.wall_ms);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = Now() - t0;
+
+  r.identical = ok.load();
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  r.qps = static_cast<double>(all.size()) / wall_s;
+  r.p50_ms = PercentileMs(all, 0.50);
+  r.p95_ms = PercentileMs(all, 0.95);
+  r.p99_ms = PercentileMs(all, 0.99);
+  r.cache_hits = service.Stats().cache.hits;
+  return r;
+}
+
+// Open loop: one dispatcher submits at a fixed arrival rate (no waiting
+// for responses), then all completions are collected. Shows queueing
+// latency under an offered load the closed loop never generates.
+ModeResult RunOpenLoop(const Database& db,
+                       const std::vector<sgf::SgfQuery>& queries,
+                       const std::vector<Database>& refs,
+                       const serve::ServiceOptions& opts, size_t total,
+                       double offered_qps) {
+  ModeResult r;
+  r.name = "open-loop";
+  r.inflight = opts.max_inflight;
+  r.cache = opts.plan_cache;
+
+  serve::QueryService service(&db, opts);
+  std::vector<std::future<serve::QueryResponse>> futures;
+  futures.reserve(total);
+  const double interval_s = offered_qps > 0.0 ? 1.0 / offered_qps : 0.0;
+  const double t0 = Now();
+  for (size_t k = 0; k < total; ++k) {
+    const double target = t0 + static_cast<double>(k) * interval_s;
+    while (Now() < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    futures.push_back(service.Submit(queries[k % queries.size()]));
+  }
+  std::vector<double> all;
+  bool ok = true;
+  for (size_t k = 0; k < futures.size(); ++k) {
+    serve::QueryResponse resp = futures[k].get();
+    ok = ok && resp.ok() && Identical(resp, refs[k % refs.size()]);
+    all.push_back(resp.wall_ms);
+  }
+  const double wall_s = Now() - t0;
+  r.identical = ok;
+  r.qps = static_cast<double>(total) / wall_s;
+  r.p50_ms = PercentileMs(all, 0.50);
+  r.p95_ms = PercentileMs(all, 0.95);
+  r.p99_ms = PercentileMs(all, 0.99);
+  r.cache_hits = service.Stats().cache.hits;
+  return r;
+}
+
+// Minimal extraction for the flat JSON this binary writes.
+bool BaselineSpeedup(const std::string& json, double* out) {
+  const std::string key = "\"speedup\":";
+  const size_t at = json.find(key);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + at + key.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--baseline FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  BenchOptions options = BenchOptions::FromEnv();
+  if (std::getenv("GUMBO_BENCH_TUPLES") == nullptr) {
+    options.tuples = 5000;  // serving-shaped default (see header comment)
+  }
+  const size_t kClients = 8;
+  const size_t per_client = 12;  // same shape with/without --smoke
+
+  // ---- Shared database + query mix (A1, A3, B1 read the same relations)
+  data::GeneratorConfig gcfg = options.MakeGeneratorConfig();
+  std::vector<sgf::SgfQuery> queries;
+  std::vector<std::string> names;
+  Database db;
+  {
+    auto a1 = data::MakeA(1, gcfg);
+    auto a3 = data::MakeA(3, gcfg);
+    auto b1 = data::MakeB(1, gcfg);
+    if (!a1.ok() || !a3.ok() || !b1.ok()) {
+      std::fprintf(stderr, "FAIL: workload setup\n");
+      return 1;
+    }
+    db = std::move(a1->db);  // identical relation set across the three
+    for (auto* w : {&*a1, &*a3, &*b1}) {
+      queries.push_back(w->query);
+      names.push_back(w->name);
+    }
+  }
+
+  std::printf(
+      "Concurrent query service: mixed %s workload, %zu tuples/relation,\n"
+      "%zu clients x %zu queries, closed loop (best numbers below are the\n"
+      "full service; 'serialized' is the pre-serve synchronous path)\n\n",
+      "A1+A3+B1", options.tuples, kClients, per_client);
+
+  // ---- Solo references for the byte-identity bar ----
+  cost::ClusterConfig cluster = options.cluster;
+  plan::Planner planner(cluster, plan::PlannerOptions{});
+  mr::Engine engine(cluster);
+  std::vector<Database> refs;
+  for (const sgf::SgfQuery& q : queries) {
+    Database copy = db;
+    auto plan = planner.Plan(q, copy);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "FAIL: solo plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    auto run = plan::ExecutePlan(*plan, &engine, &copy);
+    if (!run.ok()) {
+      std::fprintf(stderr, "FAIL: solo run: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    Database outputs;
+    for (const auto& sub : q.subqueries()) {
+      outputs.Put(*copy.Get(sub.output()).value());
+    }
+    refs.push_back(std::move(outputs));
+  }
+
+  // ---- Closed-loop admission-mode matrix ----
+  auto mode_opts = [&](size_t inflight, bool cache) {
+    serve::ServiceOptions o;
+    o.max_inflight = inflight;
+    o.plan_cache = cache;
+    o.cluster = cluster;
+    o.runtime = options.runtime;
+    return o;
+  };
+  int failures = 0;
+  std::vector<ModeResult> modes;
+  modes.push_back(RunClosedLoop("serialized", db, queries, refs,
+                                mode_opts(1, false), kClients, per_client));
+  modes.push_back(RunClosedLoop("serialized+cache", db, queries, refs,
+                                mode_opts(1, true), kClients, per_client));
+  modes.push_back(RunClosedLoop("concurrent", db, queries, refs,
+                                mode_opts(kClients, false), kClients,
+                                per_client));
+  modes.push_back(RunClosedLoop("concurrent+cache", db, queries, refs,
+                                mode_opts(kClients, true), kClients,
+                                per_client));
+  for (const ModeResult& m : modes) {
+    std::printf(
+        "%-17s inflight=%zu cache=%d | %7.1f q/s | p50 %7.1f ms  p95 %7.1f "
+        "ms  p99 %7.1f ms | %4llu cache hits%s\n",
+        m.name.c_str(), m.inflight, m.cache ? 1 : 0, m.qps, m.p50_ms,
+        m.p95_ms, m.p99_ms, static_cast<unsigned long long>(m.cache_hits),
+        m.identical ? "" : "  RESULTS DIVERGED");
+    if (!m.identical) {
+      std::fprintf(stderr,
+                   "FAIL %s: a response diverged from the solo reference\n",
+                   m.name.c_str());
+      ++failures;
+    }
+  }
+
+  const double speedup = modes[3].qps / modes[0].qps;
+  const double speedup_cache = modes[1].qps / modes[0].qps;
+  const double speedup_conc = modes[3].qps / modes[1].qps;
+  std::printf(
+      "\nspeedup (full service vs serialized): %.2fx"
+      "  [plan cache %.2fx x admission concurrency %.2fx]\n",
+      speedup, speedup_cache, speedup_conc);
+
+  // ---- Open loop at 70%% of the service's closed-loop throughput ----
+  ModeResult open = RunOpenLoop(db, queries, refs, mode_opts(kClients, true),
+                                kClients * per_client, 0.7 * modes[3].qps);
+  std::printf(
+      "open loop @ %.1f q/s offered: %7.1f q/s | p50 %7.1f ms  p95 %7.1f ms"
+      "  p99 %7.1f ms\n",
+      0.7 * modes[3].qps, open.qps, open.p50_ms, open.p95_ms, open.p99_ms);
+  if (!open.identical) {
+    std::fprintf(stderr, "FAIL open-loop: a response diverged\n");
+    ++failures;
+  }
+
+  // The acceptance bar: the full service must at least double the
+  // serialized pre-serve throughput at the default size. The smoke bar
+  // is lower only to absorb noisy shared CI runners — the run shape is
+  // identical, and the committed-baseline ratio gate below carries the
+  // fine-grained regression check.
+  const double bar = smoke ? 1.5 : 2.0;
+  if (speedup < bar) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below the %.1fx bar\n", speedup,
+                 bar);
+    ++failures;
+  }
+
+  // ---- Machine-readable results ----
+  {
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"serve\",\n  \"tuples\": " << options.tuples
+         << ",\n  \"clients\": " << kClients
+         << ",\n  \"queries_per_client\": " << per_client
+         << ",\n  \"workload\": \"" << names[0] << "+" << names[1] << "+"
+         << names[2] << "\",\n  \"modes\": [\n";
+    for (size_t i = 0; i < modes.size(); ++i) {
+      const ModeResult& m = modes[i];
+      json << "    {\"name\": \"" << m.name << "\", \"inflight\": "
+           << m.inflight << ", \"cache\": " << (m.cache ? 1 : 0)
+           << ", \"qps\": " << StrFormat("%.2f", m.qps)
+           << ", \"p50_ms\": " << StrFormat("%.2f", m.p50_ms)
+           << ", \"p95_ms\": " << StrFormat("%.2f", m.p95_ms)
+           << ", \"p99_ms\": " << StrFormat("%.2f", m.p99_ms) << "}"
+           << (i + 1 < modes.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"speedup\": " << StrFormat("%.3f", speedup)
+         << ",\n  \"speedup_cache\": " << StrFormat("%.3f", speedup_cache)
+         << ",\n  \"speedup_concurrency\": "
+         << StrFormat("%.3f", speedup_conc)
+         << ",\n  \"open_loop\": {\"offered_qps\": "
+         << StrFormat("%.2f", 0.7 * modes[3].qps)
+         << ", \"qps\": " << StrFormat("%.2f", open.qps)
+         << ", \"p50_ms\": " << StrFormat("%.2f", open.p50_ms)
+         << ", \"p95_ms\": " << StrFormat("%.2f", open.p95_ms)
+         << ", \"p99_ms\": " << StrFormat("%.2f", open.p99_ms) << "}\n}\n";
+    std::ofstream out(out_path);
+    out << json.str();
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  // ---- Regression gate vs a committed baseline (ratio, not qps) ----
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      ++failures;
+    } else {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      double base = 0.0;
+      if (!BaselineSpeedup(ss.str(), &base)) {
+        std::fprintf(stderr, "FAIL: baseline has no speedup entry\n");
+        ++failures;
+      } else {
+        const double tolerance = smoke ? 0.7 : 0.8;
+        if (speedup < tolerance * base) {
+          std::fprintf(stderr,
+                       "FAIL: speedup %.2fx regressed >%.0f%% vs baseline "
+                       "%.2fx\n",
+                       speedup, 100.0 * (1.0 - tolerance), base);
+          ++failures;
+        } else {
+          std::printf("baseline: %.2fx vs %.2fx committed — ok\n", speedup,
+                      base);
+        }
+      }
+    }
+  }
+
+  return failures == 0 ? 0 : 1;
+}

@@ -253,33 +253,69 @@ class Relation {
 };
 
 /// A database: a set of relation instances addressed by name.
+///
+/// Two serving-layer features (DESIGN.md §8) live here:
+///
+/// *Stats epochs.* Every mutation that can change a relation's statistics
+/// (Put, Create, Erase, AddFact, or handing out a mutable pointer via
+/// GetMutable) bumps a database-wide epoch counter and stamps the touched
+/// relation with it. The serve-layer plan cache keys cached plans on the
+/// epochs of the relations a query reads, so a stale plan can never be
+/// served after the underlying data changed. Reads never bump epochs.
+///
+/// *Overlay views.* A Database constructed over a base database resolves
+/// Get/Contains through the base but takes all writes locally, so many
+/// concurrent queries can execute against one immutable base snapshot
+/// without copying a byte of it: intermediates and outputs land in the
+/// per-query overlay. Enumeration (relations(), size()) and GetMutable
+/// are local-only — an overlay can shadow a base relation but never
+/// mutate one. The base must outlive the overlay and must not be mutated
+/// while overlays read it.
 class Database {
  public:
-  /// Creates an empty relation. Fails if the name is taken.
+  Database() = default;
+
+  /// Overlay view over `base` (may be nullptr for a plain database).
+  explicit Database(const Database* base) : base_(base) {}
+
+  /// Creates an empty relation. Fails if the name is taken (in an overlay:
+  /// taken locally or in the base — shadowing via Create would silently
+  /// split reads from writes).
   Status Create(const std::string& name, uint32_t arity) {
-    if (relations_.count(name) > 0) {
+    if (Contains(name)) {
       return Status::AlreadyExists("relation " + name);
     }
     relations_.emplace(name, Relation(name, arity));
+    BumpStatsEpoch(name);
     return Status::Ok();
   }
 
   /// Inserts or replaces a relation under its own name.
-  void Put(Relation rel) { relations_[rel.name()] = std::move(rel); }
+  void Put(Relation rel) {
+    BumpStatsEpoch(rel.name());
+    relations_[rel.name()] = std::move(rel);
+  }
 
   bool Contains(const std::string& name) const {
-    return relations_.count(name) > 0;
+    if (relations_.count(name) > 0) return true;
+    return base_ != nullptr && base_->Contains(name);
   }
 
   Result<const Relation*> Get(const std::string& name) const {
     auto it = relations_.find(name);
-    if (it == relations_.end()) return Status::NotFound("relation " + name);
-    return &it->second;
+    if (it != relations_.end()) return &it->second;
+    if (base_ != nullptr) return base_->Get(name);
+    return Status::NotFound("relation " + name);
   }
 
+  /// Local-only: never reaches into an overlay's base (overlays must not
+  /// mutate the shared snapshot they read). Bumps the stats epoch — the
+  /// caller received a mutation handle, so cached plans over this
+  /// relation are conservatively stale.
   Result<Relation*> GetMutable(const std::string& name) {
     auto it = relations_.find(name);
     if (it == relations_.end()) return Status::NotFound("relation " + name);
+    BumpStatsEpoch(name);
     return &it->second;
   }
 
@@ -290,18 +326,46 @@ class Database {
     return rel->Add(t);
   }
 
-  /// Removes a relation; returns false if absent.
-  bool Erase(const std::string& name) { return relations_.erase(name) > 0; }
+  /// Removes a (local) relation; returns false if absent.
+  bool Erase(const std::string& name) {
+    if (relations_.erase(name) == 0) return false;
+    BumpStatsEpoch(name);
+    return true;
+  }
 
+  /// Locally-stored relations only; an overlay does not enumerate its base.
   const std::map<std::string, Relation>& relations() const {
     return relations_;
   }
 
   size_t size() const { return relations_.size(); }
 
+  /// Database-wide stats epoch: bumped by every mutation. Two equal
+  /// readings bracket a mutation-free window.
+  uint64_t stats_epoch() const { return stats_epoch_; }
+
+  /// Epoch of the last mutation touching `name` (0 = never mutated here).
+  /// Falls through to the base for relations not stored locally, so an
+  /// overlay reports the base's epochs for the snapshot it reads.
+  uint64_t StatsEpochOf(const std::string& name) const {
+    auto it = relation_epochs_.find(name);
+    if (it != relation_epochs_.end()) return it->second;
+    if (base_ != nullptr && relations_.count(name) == 0) {
+      return base_->StatsEpochOf(name);
+    }
+    return 0;
+  }
+
  private:
+  void BumpStatsEpoch(const std::string& name) {
+    relation_epochs_[name] = ++stats_epoch_;
+  }
+
   // std::map for deterministic iteration order.
   std::map<std::string, Relation> relations_;
+  std::map<std::string, uint64_t> relation_epochs_;
+  uint64_t stats_epoch_ = 0;
+  const Database* base_ = nullptr;
 };
 
 }  // namespace gumbo

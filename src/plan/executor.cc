@@ -6,6 +6,36 @@
 
 namespace gumbo::plan {
 
+namespace {
+
+// The paper's four metrics plus the shuffle/round counters, derived from
+// the program statistics — shared by every execution entry point.
+void FillMetrics(ExecutionResult* result) {
+  Metrics& m = result->metrics;
+  m.net_time = result->stats.net_time;
+  m.total_time = result->stats.total_time;
+  m.input_mb = result->stats.HdfsReadMb();
+  m.communication_mb =
+      result->stats.ShuffleMb() + result->stats.FilterBroadcastMb();
+  m.shuffle_mb = result->stats.ShuffleMb();
+  m.output_mb = result->stats.HdfsWriteMb();
+  m.shuffle_records = result->stats.ShuffleRecords();
+  m.shuffle_messages = result->stats.ShuffleMessages();
+  m.combined_messages = result->stats.CombinedMessages();
+  m.filtered_messages = result->stats.FilteredMessages();
+  m.filter_broadcast_mb = result->stats.FilterBroadcastMb();
+  m.wall_ms = result->stats.wall_ms;
+  m.jobs = static_cast<int>(result->stats.jobs.size());
+  m.rounds = result->stats.rounds;
+  for (const mr::RoundStats& r : result->stats.round_stats) {
+    m.max_jobs_per_round =
+        std::max(m.max_jobs_per_round, static_cast<int>(r.jobs.size()));
+  }
+  m.peak_concurrent_jobs = result->stats.MaxConcurrentJobs();
+}
+
+}  // namespace
+
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
                                     const mr::Runtime& runtime, Database* db) {
   ExecutionResult result;
@@ -13,27 +43,24 @@ Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
   for (const std::string& name : plan.intermediates) {
     db->Erase(name);
   }
-  Metrics& m = result.metrics;
-  m.net_time = result.stats.net_time;
-  m.total_time = result.stats.total_time;
-  m.input_mb = result.stats.HdfsReadMb();
-  m.communication_mb =
-      result.stats.ShuffleMb() + result.stats.FilterBroadcastMb();
-  m.shuffle_mb = result.stats.ShuffleMb();
-  m.output_mb = result.stats.HdfsWriteMb();
-  m.shuffle_records = result.stats.ShuffleRecords();
-  m.shuffle_messages = result.stats.ShuffleMessages();
-  m.combined_messages = result.stats.CombinedMessages();
-  m.filtered_messages = result.stats.FilteredMessages();
-  m.filter_broadcast_mb = result.stats.FilterBroadcastMb();
-  m.wall_ms = result.stats.wall_ms;
-  m.jobs = static_cast<int>(result.stats.jobs.size());
-  m.rounds = result.stats.rounds;
-  for (const mr::RoundStats& r : result.stats.round_stats) {
-    m.max_jobs_per_round =
-        std::max(m.max_jobs_per_round, static_cast<int>(r.jobs.size()));
+  FillMetrics(&result);
+  return result;
+}
+
+Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
+                                              const mr::Runtime& runtime,
+                                              const Database& base,
+                                              Database* outputs) {
+  // All writes (intermediates, outputs) land in the overlay; `base` is
+  // only ever read, so concurrent snapshot executions need no locking.
+  Database overlay(&base);
+  ExecutionResult result;
+  GUMBO_ASSIGN_OR_RETURN(result.stats, runtime.Execute(plan.program, &overlay));
+  for (const std::string& name : plan.outputs) {
+    GUMBO_ASSIGN_OR_RETURN(Relation * rel, overlay.GetMutable(name));
+    outputs->Put(std::move(*rel));
   }
-  m.peak_concurrent_jobs = result.stats.MaxConcurrentJobs();
+  FillMetrics(&result);
   return result;
 }
 

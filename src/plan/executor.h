@@ -38,6 +38,11 @@ struct Metrics {
   int max_jobs_per_round = 0;
   /// Observed peak of concurrently-executing jobs (runtime behavior).
   int peak_concurrent_jobs = 0;
+  // ---- Serving-layer bookkeeping (DESIGN.md §8) ----
+  // Filled by serve::QueryService; zero/false for direct ExecutePlan calls.
+  bool plan_cache_hit = false;  ///< lowered plan came from the plan cache
+  double queue_ms = 0.0;        ///< admission-queue wait before execution
+  double plan_ms = 0.0;         ///< planning wall time (0 on a cache hit)
 };
 
 struct ExecutionResult {
@@ -48,8 +53,25 @@ struct ExecutionResult {
 /// Executes `plan` against `db` (which must hold the base relations) on
 /// `runtime`. On success the produced output relations are left in `db`
 /// and all intermediate datasets are dropped.
+///
+/// A lowered QueryPlan is a reusable, immutable artifact: execution never
+/// writes into it (job factories instantiate fresh mappers/reducers per
+/// task), so one plan may be executed many times — including concurrently
+/// from multiple threads via ExecutePlanOnSnapshot — which is what makes
+/// the serve-layer plan cache sound (DESIGN.md §8).
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
                                     const mr::Runtime& runtime, Database* db);
+
+/// Executes `plan` against the immutable snapshot `base` without writing
+/// to it: intermediates and outputs materialize in a private overlay
+/// (Database overlay views, common/relation.h), and the plan's declared
+/// output relations are moved into `*outputs` on success. Many callers may
+/// run plans against the same `base` concurrently, as long as nothing
+/// mutates `base` meanwhile — the admission scheduler's contract.
+Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
+                                              const mr::Runtime& runtime,
+                                              const Database& base,
+                                              Database* outputs);
 
 /// Convenience overload: wraps `engine` in a default Runtime (jobs of the
 /// same round run concurrently on the engine's pool).

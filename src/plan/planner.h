@@ -17,6 +17,7 @@
 #ifndef GUMBO_PLAN_PLANNER_H_
 #define GUMBO_PLAN_PLANNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,10 @@ struct PlannerOptions {
   size_t opt_max_n = 10;      ///< brute-force grouping limit
 };
 
-/// A fully-lowered plan: the MR program plus dataset bookkeeping.
+/// A fully-lowered plan: the MR program plus dataset bookkeeping. Once
+/// lowered, a QueryPlan is immutable and reusable: executing it never
+/// writes into it, so one plan may serve many (concurrent) executions —
+/// the property the serve-layer plan cache relies on (DESIGN.md §8).
 struct QueryPlan {
   mr::Program program;
   /// Output dataset per subquery (dataset name == subquery output name).
@@ -62,6 +66,9 @@ struct QueryPlan {
   /// Human-readable plan summary (one line per job).
   std::string description;
 };
+
+/// Shared handle to an immutable lowered plan (plan cache currency).
+using PlanRef = std::shared_ptr<const QueryPlan>;
 
 class Planner {
  public:

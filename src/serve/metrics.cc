@@ -1,0 +1,41 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace gumbo::serve {
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  size_t b = 0;
+  // Bucket index = 1 + floor(log2(ms)) for ms >= 1, clamped to the range.
+  if (ms >= 1.0) {
+    b = static_cast<size_t>(1.0 + std::floor(std::log2(ms)));
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<uint64_t>(ms * 1e3),
+                    std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(
+      p * static_cast<double>(n)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank && seen > 0) {
+      // Geometric midpoint of [2^(b-1), 2^b); bucket 0 reports 0.5 ms.
+      if (b == 0) return 0.5;
+      const double lo = std::pow(2.0, static_cast<double>(b) - 1.0);
+      return lo * std::sqrt(2.0);
+    }
+  }
+  return std::pow(2.0, static_cast<double>(kBuckets - 1));
+}
+
+}  // namespace gumbo::serve

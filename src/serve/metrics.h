@@ -1,0 +1,78 @@
+// Serving-layer observability (DESIGN.md §8): a lock-free log-bucketed
+// latency histogram plus the aggregate counter snapshot the QueryService
+// exposes. Per-query detail (JobStats, plan::Metrics with cache/queue
+// fields) travels in each QueryResponse; this header is the cross-query
+// aggregate view.
+#ifndef GUMBO_SERVE_METRICS_H_
+#define GUMBO_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "serve/plan_cache.h"
+
+namespace gumbo::serve {
+
+/// Log2-bucketed latency histogram over milliseconds. Record is wait-free
+/// (relaxed atomics: buckets are independent counters and readers only
+/// need eventual totals); Percentile answers from bucket geometric
+/// midpoints, so quantiles carry at most one bucket (~2x) of resolution
+/// error — the right tool for "did p99 explode", not for microbenchmark
+/// deltas (bench_serve computes exact percentiles from raw samples).
+class LatencyHistogram {
+ public:
+  /// Bucket b counts latencies in [2^(b-1), 2^b) ms; bucket 0 is < 1 ms,
+  /// the last bucket is open-ended (~9 hours).
+  static constexpr size_t kBuckets = 26;
+
+  void Record(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const {
+    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e3;
+  }
+  double mean_ms() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum_ms() / static_cast<double>(n);
+  }
+  /// Approximate p-quantile (p in [0, 1]) in milliseconds.
+  double Percentile(double p) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Aggregate service counters, captured atomically enough for monitoring
+/// (individual fields are consistent; cross-field arithmetic can be off
+/// by in-flight queries).
+struct ServiceStats {
+  uint64_t submitted = 0;   ///< Submit calls accepted into a queue
+  uint64_t completed = 0;   ///< responses fulfilled with an OK status
+  uint64_t failed = 0;      ///< responses fulfilled with an error status
+  uint64_t fast_lane = 0;   ///< queries admitted through the fast lane
+  uint64_t rejected = 0;    ///< submissions refused (service shut down)
+  /// Cache misses that waited on a concurrent planning of the same key
+  /// instead of planning redundantly (single-flight coalescing).
+  uint64_t plan_coalesced = 0;
+  /// Plans actually lowered by the planner (single-flight leaders and
+  /// cache-off queries). Every successful query is exactly one of:
+  /// cache hit, coalesced wait, or plans_built.
+  uint64_t plans_built = 0;
+  int peak_inflight = 0;    ///< observed peak of concurrent executions
+  PlanCache::Counters cache;
+  // Latency quantiles (ms) over completed+failed queries, end to end
+  // (submit -> response) and per phase.
+  double total_p50_ms = 0.0;
+  double total_p95_ms = 0.0;
+  double total_p99_ms = 0.0;
+  double mean_queue_ms = 0.0;
+  double mean_plan_ms = 0.0;
+  double mean_exec_ms = 0.0;
+};
+
+}  // namespace gumbo::serve
+
+#endif  // GUMBO_SERVE_METRICS_H_

@@ -1,0 +1,92 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+
+namespace gumbo::serve {
+
+std::vector<uint64_t> PlanCache::EpochsOf(const sgf::SgfQuery& query,
+                                          const Database& db) {
+  // Every relation name the query mentions, sorted and deduplicated so
+  // the vector ordering is independent of mention order. Produced names
+  // are included too: they normally do not exist in the base database
+  // (epoch 0), but if a caller pre-populated one, its mutations must
+  // invalidate just like a base relation's.
+  std::vector<std::string> names = query.BaseRelations();
+  for (const std::string& n : query.ProducedNames()) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::vector<uint64_t> epochs;
+  epochs.reserve(names.size());
+  for (const std::string& n : names) epochs.push_back(db.StatsEpochOf(n));
+  return epochs;
+}
+
+plan::PlanRef PlanCache::Lookup(const std::string& key,
+                                const std::vector<uint64_t>& epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  if (it->second.epochs != epochs) {
+    // The data under this plan changed: drop the stale entry and make the
+    // caller re-plan (and re-sample) against the new statistics.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++counters_.invalidations;
+    ++counters_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++counters_.hits;
+  return it->second.plan;
+}
+
+plan::PlanRef PlanCache::PeekAfterMiss(const std::string& key,
+                                       const std::vector<uint64_t>& epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.epochs != epochs) {
+    return nullptr;  // quiet: this query's miss is already on the books
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++counters_.hits;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& key, std::vector<uint64_t> epochs,
+                       plan::PlanRef plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.epochs = std::move(epochs);
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key,
+                   Entry{std::move(epochs), std::move(plan), lru_.begin()});
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c = counters_;
+  c.entries = entries_.size();  // gauge, derived here rather than tracked
+  return c;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace gumbo::serve

@@ -1,0 +1,89 @@
+// The serving-layer plan cache (DESIGN.md §8): canonical query signature
+// -> lowered, immutable QueryPlan, validated against the database's
+// per-relation statistics epochs.
+//
+// An entry is keyed by serve::PlanCacheKey (alpha-renaming-invariant
+// query signature + planner-options fingerprint) and stores the stats
+// epochs of the base relations the query reads, captured at planning
+// time. A lookup whose epoch vector differs from the stored one is an
+// *invalidation*: the data under the plan changed, so the stale entry is
+// dropped and the caller re-plans (re-sampling against the new data).
+// Capacity is bounded with LRU eviction. All operations are thread-safe;
+// returned PlanRefs are shared and immutable, so hits from many threads
+// execute the same plan object concurrently.
+#ifndef GUMBO_SERVE_PLAN_CACHE_H_
+#define GUMBO_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relation.h"
+#include "plan/planner.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::serve {
+
+class PlanCache {
+ public:
+  /// Monotonic counters, readable at any time (Counters()).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;         ///< no entry for the key
+    uint64_t invalidations = 0;  ///< entry found but stats epochs moved
+    uint64_t evictions = 0;      ///< LRU capacity evictions
+    uint64_t entries = 0;        ///< current size (gauge, not a counter)
+  };
+
+  explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// The epoch vector a cached plan for `query` must match: the stats
+  /// epoch of every relation the query mentions (base relations AND
+  /// produced names — produced names shadow base relations if present),
+  /// in deterministic (sorted, deduplicated) name order.
+  static std::vector<uint64_t> EpochsOf(const sgf::SgfQuery& query,
+                                        const Database& db);
+
+  /// Returns the cached plan for `key` when present and its stored epoch
+  /// vector equals `epochs`; nullptr otherwise (counting a miss, or an
+  /// invalidation when a stale entry was dropped).
+  plan::PlanRef Lookup(const std::string& key,
+                       const std::vector<uint64_t>& epochs);
+
+  /// The single-flight re-check: like Lookup, but a second probe for a
+  /// query whose miss was already counted — finding the entry counts a
+  /// hit (the query is served from the cache after all); finding nothing
+  /// counts nothing, so the common cold path stays one miss per query.
+  plan::PlanRef PeekAfterMiss(const std::string& key,
+                              const std::vector<uint64_t>& epochs);
+
+  /// Inserts (or replaces) the plan for `key`, evicting the least
+  /// recently used entry when at capacity. A capacity of 0 disables
+  /// storage entirely.
+  void Insert(const std::string& key, std::vector<uint64_t> epochs,
+              plan::PlanRef plan);
+
+  Counters counters() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  struct Entry {
+    std::vector<uint64_t> epochs;
+    plan::PlanRef plan;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  Counters counters_;
+};
+
+}  // namespace gumbo::serve
+
+#endif  // GUMBO_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,286 @@
+#include "serve/service.h"
+
+#include <chrono>
+
+#include "serve/signature.h"
+
+namespace gumbo::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+QueryService::QueryService(const Database* db, ServiceOptions options,
+                           ThreadPool* pool)
+    : db_(db),
+      options_(std::move(options)),
+      engine_(options_.cluster, pool),
+      runtime_(&engine_, options_.runtime),
+      planner_(options_.cluster, options_.planner),
+      cache_(options_.plan_cache ? options_.plan_cache_capacity : 0) {
+  const size_t n = options_.max_inflight > 0 ? options_.max_inflight : 1;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  Shutdown();
+  for (std::thread& w : workers_) w.join();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+}
+
+size_t QueryService::AtomCount(const sgf::SgfQuery& query) {
+  size_t atoms = 0;
+  for (const sgf::BsgfQuery& q : query.subqueries()) {
+    atoms += 1 + q.num_conditional_atoms();  // guard + conditionals
+  }
+  return atoms;
+}
+
+std::future<QueryResponse> QueryService::Submit(sgf::SgfQuery query) {
+  Task task;
+  task.query = std::move(query);
+  task.submitted = Clock::now();
+  std::future<QueryResponse> future = task.promise.get_future();
+
+  const bool fast = options_.fast_lane_max_atoms > 0 &&
+                    AtomCount(task.query) <= options_.fast_lane_max_atoms;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [&] {
+      return stopping_ ||
+             fifo_.size() + fast_lane_.size() < options_.max_queued;
+    });
+    if (stopping_) {
+      ++rejected_;
+      QueryResponse resp;
+      resp.status = Status::FailedPrecondition("QueryService is shut down");
+      task.promise.set_value(std::move(resp));
+      return future;
+    }
+    ++submitted_;
+    if (fast) {
+      ++fast_lane_count_;
+      fast_lane_.push_back(std::move(task));
+    } else {
+      fifo_.push_back(std::move(task));
+    }
+  }
+  cv_work_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::Run(sgf::SgfQuery query) {
+  return Submit(std::move(query)).get();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stopping_ || !fast_lane_.empty() || !fifo_.empty();
+      });
+      if (fast_lane_.empty() && fifo_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Fast lane first: small jobs jump the FIFO — but a FIFO task is
+      // taken after every kLaneBurst consecutive fast-lane dispatches,
+      // so a sustained small-query stream cannot starve the FIFO: its
+      // head waits at most kLaneBurst fast-lane queries per dispatch.
+      constexpr size_t kLaneBurst = 3;
+      const bool take_fifo =
+          fast_lane_.empty() || (!fifo_.empty() && lane_streak_ >= kLaneBurst);
+      std::deque<Task>& q = take_fifo ? fifo_ : fast_lane_;
+      lane_streak_ = take_fifo ? 0 : lane_streak_ + 1;
+      task = std::move(q.front());
+      q.pop_front();
+    }
+    cv_space_.notify_one();
+    Execute(std::move(task));
+  }
+}
+
+Result<plan::PlanRef> QueryService::PlanSingleFlight(
+    const sgf::SgfQuery& query, const std::string& key,
+    std::vector<uint64_t> epochs, bool* coalesced) {
+  *coalesced = false;
+  if (key.empty()) {
+    // Cache off: every query plans for itself.
+    GUMBO_ASSIGN_OR_RETURN(plan::QueryPlan planned,
+                           planner_.Plan(query, *db_));
+    plans_built_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<const plan::QueryPlan>(std::move(planned));
+  }
+
+  // Single-flight: the first miss for a key becomes the leader and plans;
+  // concurrent misses for the same key wait for the leader's result
+  // instead of stampeding the planner with redundant sampling runs.
+  std::promise<Result<plan::PlanRef>> promise;
+  std::shared_future<Result<plan::PlanRef>> shared;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    auto it = planning_.find(key);
+    if (it != planning_.end()) {
+      shared = it->second;
+    } else {
+      // No planning in flight — but a leader that finished between our
+      // caller's cache miss and this point has already published its
+      // plan; re-check the cache before redundantly re-planning.
+      // (PlanCache never takes plan_mu_, so the nested lock is safe.)
+      if (plan::PlanRef cached = cache_.PeekAfterMiss(key, epochs)) {
+        return cached;
+      }
+      leader = true;
+      shared = promise.get_future().share();
+      planning_.emplace(key, shared);
+    }
+  }
+  if (!leader) {
+    *coalesced = true;
+    return shared.get();
+  }
+
+  Result<plan::PlanRef> outcome = [&]() -> Result<plan::PlanRef> {
+    GUMBO_ASSIGN_OR_RETURN(plan::QueryPlan planned,
+                           planner_.Plan(query, *db_));
+    return std::make_shared<const plan::QueryPlan>(std::move(planned));
+  }();
+  // Publish to the cache BEFORE leaving the registry: combined with the
+  // registry-miss cache re-check above, a concurrent miss always sees
+  // either the registry entry or the cached plan, never a planning gap.
+  if (outcome.ok()) {
+    plans_built_.fetch_add(1, std::memory_order_relaxed);
+    cache_.Insert(key, std::move(epochs), *outcome);
+  }
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    planning_.erase(key);
+  }
+  promise.set_value(outcome);
+  return outcome;
+}
+
+void QueryService::Execute(Task task) {
+  const int cur = inflight_.fetch_add(1) + 1;
+  int seen = peak_inflight_.load();
+  while (cur > seen && !peak_inflight_.compare_exchange_weak(seen, cur)) {
+  }
+
+  QueryResponse resp;
+  const double queue_ms = MsSince(task.submitted);
+
+  // ---- Plan: cache lookup keyed on signature + stats epochs ----
+  plan::PlanRef plan;
+  bool cache_hit = false;
+  double plan_ms = 0.0;
+  std::string key;
+  std::vector<uint64_t> epochs;
+  if (options_.plan_cache) {
+    key = PlanCacheKey(task.query, options_.planner);
+    epochs = PlanCache::EpochsOf(task.query, *db_);
+    plan = cache_.Lookup(key, epochs);
+    cache_hit = plan != nullptr;
+  }
+  if (plan == nullptr) {
+    const Clock::time_point plan_start = Clock::now();
+    bool coalesced = false;
+    Result<plan::PlanRef> planned =
+        PlanSingleFlight(task.query, key, std::move(epochs), &coalesced);
+    plan_ms = MsSince(plan_start);
+    if (coalesced) plan_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    if (!planned.ok()) {
+      resp.status = planned.status();
+    } else {
+      plan = *planned;
+    }
+  }
+
+  // ---- Execute against the shared snapshot via a private overlay ----
+  double exec_ms = 0.0;
+  if (resp.ok()) {
+    const Clock::time_point exec_start = Clock::now();
+    Result<plan::ExecutionResult> executed =
+        plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs);
+    exec_ms = MsSince(exec_start);
+    if (!executed.ok()) {
+      resp.status = executed.status();
+    } else {
+      resp.metrics = executed->metrics;
+      resp.stats = std::move(executed->stats);
+    }
+  }
+  resp.metrics.plan_cache_hit = cache_hit;
+  resp.metrics.queue_ms = queue_ms;
+  resp.metrics.plan_ms = plan_ms;
+  resp.wall_ms = MsSince(task.submitted);
+
+  // ---- Aggregate metrics, then fulfill the caller's future ----
+  total_latency_.Record(resp.wall_ms);
+  queue_us_.fetch_add(static_cast<uint64_t>(queue_ms * 1e3),
+                      std::memory_order_relaxed);
+  plan_us_.fetch_add(static_cast<uint64_t>(plan_ms * 1e3),
+                     std::memory_order_relaxed);
+  exec_us_.fetch_add(static_cast<uint64_t>(exec_ms * 1e3),
+                     std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (resp.ok()) {
+      ++completed_;
+    } else {
+      ++failed_;
+    }
+  }
+  inflight_.fetch_sub(1);
+  task.promise.set_value(std::move(resp));
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.fast_lane = fast_lane_count_;
+    s.rejected = rejected_;
+  }
+  s.peak_inflight = peak_inflight_.load();
+  s.plan_coalesced = plan_coalesced_.load(std::memory_order_relaxed);
+  s.plans_built = plans_built_.load(std::memory_order_relaxed);
+  s.cache = cache_.counters();
+  s.total_p50_ms = total_latency_.Percentile(0.50);
+  s.total_p95_ms = total_latency_.Percentile(0.95);
+  s.total_p99_ms = total_latency_.Percentile(0.99);
+  const double n =
+      static_cast<double>(s.completed + s.failed > 0 ? s.completed + s.failed
+                                                     : 1);
+  s.mean_queue_ms =
+      static_cast<double>(queue_us_.load(std::memory_order_relaxed)) / 1e3 / n;
+  s.mean_plan_ms =
+      static_cast<double>(plan_us_.load(std::memory_order_relaxed)) / 1e3 / n;
+  s.mean_exec_ms =
+      static_cast<double>(exec_us_.load(std::memory_order_relaxed)) / 1e3 / n;
+  return s;
+}
+
+}  // namespace gumbo::serve

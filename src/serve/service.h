@@ -1,0 +1,182 @@
+// QueryService: the concurrent serving layer over the round-parallel
+// runtime (DESIGN.md §8).
+//
+// Many callers submit SGF queries concurrently; the service runs them
+// through
+//   (a) an admission scheduler — a bounded-backlog FIFO with a small-job
+//       fast lane, drained by max_inflight worker threads that execute
+//       admitted queries simultaneously on the shared engine ThreadPool;
+//   (b) a plan cache — canonicalized query signature + database stats
+//       epochs -> lowered immutable QueryPlan, so a repeated (or
+//       alpha-renamed) query skips planning, sampling, and grouping
+//       entirely (serve/plan_cache.h). Concurrent misses for the same
+//       key are coalesced (single-flight): one worker plans, the rest
+//       wait for its result instead of stampeding the planner with
+//       redundant sampling runs.
+//
+// Every query executes against the same immutable base Database snapshot
+// through a private overlay (plan::ExecutePlanOnSnapshot), so results are
+// byte-identical to a solo run regardless of admission order, pool
+// contention, or cache hits: the engine's determinism is per-query, and
+// queries share nothing mutable. The base database must not be mutated
+// while queries are in flight; mutate it between quiesced periods and the
+// stats epochs take care of cache invalidation.
+#ifndef GUMBO_SERVE_SERVICE_H_
+#define GUMBO_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/thread_pool.h"
+#include "cost/constants.h"
+#include "mr/engine.h"
+#include "mr/runtime.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "serve/metrics.h"
+#include "serve/plan_cache.h"
+
+namespace gumbo::serve {
+
+struct ServiceOptions {
+  /// Concurrent query executions (admission worker threads). 1 =
+  /// serialized admission (the pre-serve behavior, used as the bench
+  /// baseline).
+  size_t max_inflight = 4;
+  /// Bounded backlog: Submit blocks once this many queries are queued
+  /// (closed-loop callers self-throttle; open-loop callers feel
+  /// backpressure instead of growing an unbounded queue).
+  size_t max_queued = 1024;
+  /// Queries whose total atom count (guard + conditionals, summed over
+  /// subqueries) is <= this threshold are admitted through the fast lane:
+  /// workers prefer it over the FIFO, so cheap interactive queries are
+  /// not stuck behind analytical monsters. 0 disables the fast lane.
+  /// Starvation-proof: after every few consecutive fast-lane dispatches
+  /// a FIFO task is taken regardless (see WorkerLoop), so the FIFO head
+  /// waits a bounded number of small queries even under a sustained
+  /// fast-lane stream.
+  size_t fast_lane_max_atoms = 4;
+  /// Plan cache switch + capacity (entries).
+  bool plan_cache = true;
+  size_t plan_cache_capacity = 64;
+  plan::PlannerOptions planner;
+  cost::ClusterConfig cluster;
+  mr::RuntimeOptions runtime;
+};
+
+/// The outcome of one query: produced relations plus per-query metrics.
+struct QueryResponse {
+  Status status = Status::Ok();
+  bool ok() const { return status.ok(); }
+  /// The query's output relations (subquery output names), moved out of
+  /// the per-query overlay. Base relations are not included.
+  Database outputs;
+  /// Paper metrics + serving fields (plan_cache_hit, queue_ms, plan_ms).
+  plan::Metrics metrics;
+  /// Per-job statistics of the execution (empty on failure).
+  mr::ProgramStats stats;
+  /// End-to-end submit -> response wall time.
+  double wall_ms = 0.0;
+};
+
+class QueryService {
+ public:
+  /// `db` is the base snapshot every query reads; it must outlive the
+  /// service and stay unmutated while queries are in flight. `pool`
+  /// supplies map/reduce parallelism (nullptr = ThreadPool::Global()),
+  /// shared by all in-flight queries.
+  QueryService(const Database* db, ServiceOptions options,
+               ThreadPool* pool = nullptr);
+  /// Drains the backlog (every accepted query is answered), then joins.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `query` and returns the future response. Blocks while the
+  /// backlog is full; after Shutdown the returned future holds a
+  /// FailedPrecondition response immediately.
+  std::future<QueryResponse> Submit(sgf::SgfQuery query);
+
+  /// Submit + wait: the blocking convenience for closed-loop callers.
+  QueryResponse Run(sgf::SgfQuery query);
+
+  /// Stops accepting new queries; already-accepted ones still complete.
+  void Shutdown();
+
+  /// Aggregate counters + latency quantiles (serve/metrics.h).
+  ServiceStats Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+  const PlanCache& plan_cache() const { return cache_; }
+
+ private:
+  struct Task {
+    sgf::SgfQuery query;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  void Execute(Task task);
+  static size_t AtomCount(const sgf::SgfQuery& query);
+
+  /// Plans `query` (or waits for a concurrent planning of the same key —
+  /// single-flight). `key`/`epochs` are non-empty iff the cache is on.
+  Result<plan::PlanRef> PlanSingleFlight(const sgf::SgfQuery& query,
+                                         const std::string& key,
+                                         std::vector<uint64_t> epochs,
+                                         bool* coalesced);
+
+  const Database* db_;
+  ServiceOptions options_;
+  mr::Engine engine_;
+  mr::Runtime runtime_;
+  plan::Planner planner_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers wait for backlog items
+  std::condition_variable cv_space_;  ///< submitters wait for backlog room
+  std::deque<Task> fifo_;
+  std::deque<Task> fast_lane_;
+  /// Consecutive fast-lane dispatches since the last FIFO dispatch
+  /// (anti-starvation bookkeeping, see WorkerLoop).
+  size_t lane_streak_ = 0;
+  bool stopping_ = false;
+
+  // Single-flight planning registry: key -> the shared outcome of the
+  // one in-progress planning for that key.
+  std::mutex plan_mu_;
+  std::map<std::string, std::shared_future<Result<plan::PlanRef>>> planning_;
+
+  // Aggregate metrics; counters under mu_, histograms lock-free.
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t fast_lane_count_ = 0;
+  uint64_t rejected_ = 0;
+  std::atomic<uint64_t> plan_coalesced_{0};
+  std::atomic<uint64_t> plans_built_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<int> peak_inflight_{0};
+  LatencyHistogram total_latency_;
+  std::atomic<uint64_t> queue_us_{0};
+  std::atomic<uint64_t> plan_us_{0};
+  std::atomic<uint64_t> exec_us_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gumbo::serve
+
+#endif  // GUMBO_SERVE_SERVICE_H_

@@ -1,0 +1,479 @@
+// Tests for the serving layer (DESIGN.md §8): canonical signatures,
+// database stats epochs, snapshot execution, the plan cache
+// (hit / miss / alpha-renaming / invalidation / eviction), and the
+// QueryService's admission scheduler — including the central determinism
+// claim: N-thread concurrent submission produces results byte-identical
+// to sequential solo execution.
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "mr/engine.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "serve/plan_cache.h"
+#include "serve/service.h"
+#include "serve/signature.h"
+#include "test_util.h"
+
+namespace gumbo {
+namespace {
+
+using ::gumbo::testing::ParseSgfOrDie;
+
+// A small generated database serving every query in this file: 4-ary
+// guard R, unary conditionals S, T, U, V.
+Database MakeTestDb(size_t tuples = 600) {
+  data::GeneratorConfig cfg;
+  cfg.tuples = tuples;
+  cfg.representation_scale = 1.0;
+  data::Generator gen(cfg);
+  Database db;
+  db.Put(gen.Guard("R", 4));
+  for (const char* c : {"S", "T", "U", "V"}) {
+    db.Put(gen.Conditional(c, 1));
+  }
+  return db;
+}
+
+const char* kQueryA1 =
+    "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) "
+    "WHERE S(x) AND T(y) AND U(z) AND V(w);";
+const char* kQueryA3 =
+    "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) "
+    "WHERE S(x) AND T(x) AND U(x) AND V(x);";
+// kQueryA1 with every variable consistently renamed.
+const char* kQueryA1Renamed =
+    "Z := SELECT (a, b, c, d) FROM R(a, b, c, d) "
+    "WHERE S(a) AND T(b) AND U(c) AND V(d);";
+const char* kQuerySmall = "Z := SELECT x FROM R(x, y, z, w) WHERE S(x);";
+const char* kQueryNested =
+    "Z1 := SELECT x FROM R(x, y, z, w) WHERE S(x) AND T(y);\n"
+    "Z2 := SELECT x FROM R(x, y, z, w) WHERE Z1(x) OR NOT U(y);";
+
+// ---- Signatures -------------------------------------------------------------
+
+TEST(SignatureTest, AlphaRenamedQueriesShareSignature) {
+  EXPECT_EQ(serve::CanonicalQuerySignature(ParseSgfOrDie(kQueryA1)),
+            serve::CanonicalQuerySignature(ParseSgfOrDie(kQueryA1Renamed)));
+}
+
+TEST(SignatureTest, StructureIsSignificant) {
+  const std::string a1 = serve::CanonicalQuerySignature(ParseSgfOrDie(kQueryA1));
+  // Same relations, different join structure (all atoms keyed on x).
+  EXPECT_NE(a1, serve::CanonicalQuerySignature(ParseSgfOrDie(kQueryA3)));
+  // Different output name.
+  EXPECT_NE(a1, serve::CanonicalQuerySignature(ParseSgfOrDie(
+                    "W := SELECT (x, y, z, w) FROM R(x, y, z, w) "
+                    "WHERE S(x) AND T(y) AND U(z) AND V(w);")));
+  // Different condition over the same atoms.
+  EXPECT_NE(a1, serve::CanonicalQuerySignature(ParseSgfOrDie(
+                    "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) "
+                    "WHERE S(x) AND T(y) AND U(z) OR V(w);")));
+}
+
+TEST(SignatureTest, PlannerOptionsChangeTheCacheKey) {
+  const sgf::SgfQuery q = ParseSgfOrDie(kQueryA1);
+  plan::PlannerOptions greedy;
+  greedy.strategy = plan::Strategy::kGreedy;
+  plan::PlannerOptions par;
+  par.strategy = plan::Strategy::kPar;
+  EXPECT_NE(serve::PlanCacheKey(q, greedy), serve::PlanCacheKey(q, par));
+  EXPECT_EQ(serve::PlanCacheKey(q, greedy),
+            serve::PlanCacheKey(ParseSgfOrDie(kQueryA1Renamed), greedy));
+}
+
+// ---- Stats epochs -----------------------------------------------------------
+
+TEST(DatabaseEpochTest, MutationsBumpReadsDoNot) {
+  Database db = MakeTestDb(50);
+  const uint64_t e0 = db.stats_epoch();
+  const uint64_t r0 = db.StatsEpochOf("R");
+
+  ASSERT_OK(db.Get("R"));
+  EXPECT_TRUE(db.Contains("S"));
+  EXPECT_EQ(db.stats_epoch(), e0);
+  EXPECT_EQ(db.StatsEpochOf("R"), r0);
+
+  Tuple t;
+  for (int i = 0; i < 4; ++i) t.PushBack(Value::Int(i));
+  ASSERT_OK(db.AddFact("R", t));
+  EXPECT_GT(db.stats_epoch(), e0);
+  EXPECT_GT(db.StatsEpochOf("R"), r0);
+
+  const uint64_t s0 = db.StatsEpochOf("S");
+  ASSERT_OK(db.GetMutable("S"));  // a mutation handle is a (potential) write
+  EXPECT_GT(db.StatsEpochOf("S"), s0);
+
+  const uint64_t e1 = db.stats_epoch();
+  EXPECT_TRUE(db.Erase("V"));
+  EXPECT_GT(db.StatsEpochOf("V"), e1);
+
+  ASSERT_OK(db.Create("W", 2));
+  EXPECT_GT(db.StatsEpochOf("W"), 0u);
+}
+
+// ---- Overlays + snapshot execution ------------------------------------------
+
+TEST(OverlayTest, OverlayReadsBaseWritesLocally) {
+  Database base = MakeTestDb(50);
+  const uint64_t base_epoch = base.stats_epoch();
+
+  Database overlay(&base);
+  ASSERT_OK(overlay.Get("R"));
+  EXPECT_TRUE(overlay.Contains("S"));
+  EXPECT_EQ(overlay.size(), 0u);  // enumeration is local-only
+
+  // Writes shadow, never touch the base.
+  Relation mine("R", 2);
+  overlay.Put(std::move(mine));
+  EXPECT_EQ(overlay.Get("R").value()->arity(), 2u);
+  EXPECT_EQ(base.Get("R").value()->arity(), 4u);
+  EXPECT_EQ(base.stats_epoch(), base_epoch);
+
+  // Create refuses to shadow an existing base relation.
+  EXPECT_FALSE(overlay.Create("S", 3).ok());
+  // GetMutable never reaches into the base.
+  EXPECT_FALSE(overlay.GetMutable("S").ok());
+  // Epochs of untouched base relations are visible through the overlay.
+  EXPECT_EQ(overlay.StatsEpochOf("S"), base.StatsEpochOf("S"));
+}
+
+TEST(OverlayTest, SnapshotExecutionLeavesBaseUntouched) {
+  Database base = MakeTestDb();
+  const uint64_t base_epoch = base.stats_epoch();
+  const size_t base_size = base.size();
+
+  cost::ClusterConfig cluster;
+  plan::Planner planner(cluster, plan::PlannerOptions{});
+  const sgf::SgfQuery query = ParseSgfOrDie(kQueryA1);
+  auto plan = planner.Plan(query, base);
+  ASSERT_OK(plan);
+
+  mr::Engine engine(cluster);
+  Database outputs;
+  auto result =
+      plan::ExecutePlanOnSnapshot(*plan, mr::Runtime(&engine), base, &outputs);
+  ASSERT_OK(result);
+  EXPECT_EQ(base.size(), base_size);
+  EXPECT_EQ(base.stats_epoch(), base_epoch);
+  ASSERT_OK(outputs.Get("Z"));
+
+  // Identical to the classic committing execution path, byte for byte.
+  Database committed = base;
+  auto direct = plan::ExecutePlan(*plan, &engine, &committed);
+  ASSERT_OK(direct);
+  EXPECT_TRUE(outputs.Get("Z").value()->words() ==
+              committed.Get("Z").value()->words());
+}
+
+// ---- Plan cache -------------------------------------------------------------
+
+TEST(PlanCacheTest, HitOnIdenticalAndAlphaRenamedQueries) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  serve::QueryResponse first = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(first.status);
+  EXPECT_FALSE(first.metrics.plan_cache_hit);
+  EXPECT_GT(first.metrics.plan_ms, 0.0);
+
+  serve::QueryResponse second = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(second.status);
+  EXPECT_TRUE(second.metrics.plan_cache_hit);
+  EXPECT_EQ(second.metrics.plan_ms, 0.0);
+
+  serve::QueryResponse renamed = service.Run(ParseSgfOrDie(kQueryA1Renamed));
+  ASSERT_OK(renamed.status);
+  EXPECT_TRUE(renamed.metrics.plan_cache_hit);
+
+  serve::QueryResponse other = service.Run(ParseSgfOrDie(kQueryA3));
+  ASSERT_OK(other.status);
+  EXPECT_FALSE(other.metrics.plan_cache_hit);
+
+  const serve::PlanCache::Counters c = service.plan_cache().counters();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.invalidations, 0u);
+  EXPECT_EQ(c.entries, 2u);
+
+  // Cached plans return the same results as freshly planned ones.
+  EXPECT_TRUE(first.outputs.Get("Z").value()->words() ==
+              second.outputs.Get("Z").value()->words());
+  EXPECT_TRUE(first.outputs.Get("Z").value()->words() ==
+              renamed.outputs.Get("Z").value()->words());
+}
+
+TEST(PlanCacheTest, InvalidationOnStatsEpochBump) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+  ASSERT_TRUE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
+
+  // Mutating a relation the query reads bumps its stats epoch; the next
+  // submission must re-plan (no in-flight queries while we mutate).
+  Tuple t;
+  for (int i = 0; i < 4; ++i) t.PushBack(Value::Int(1));
+  ASSERT_OK(db.AddFact("R", t));
+
+  serve::QueryResponse after = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(after.status);
+  EXPECT_FALSE(after.metrics.plan_cache_hit);
+  EXPECT_EQ(service.plan_cache().counters().invalidations, 1u);
+
+  // The re-planned entry serves hits again.
+  EXPECT_TRUE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
+}
+
+TEST(PlanCacheTest, MutatingUnrelatedRelationDoesNotInvalidate) {
+  Database db = MakeTestDb();
+  ASSERT_OK(db.Create("Unrelated", 1));
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+  Tuple t;
+  t.PushBack(Value::Int(7));
+  ASSERT_OK(db.AddFact("Unrelated", t));
+  EXPECT_TRUE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
+  EXPECT_EQ(service.plan_cache().counters().invalidations, 0u);
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  opts.plan_cache_capacity = 2;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);    // {A1}
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA3)).status);    // {A1, A3}
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQuerySmall)).status); // evicts A1
+  EXPECT_EQ(service.plan_cache().counters().evictions, 1u);
+  EXPECT_FALSE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverHits) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  opts.plan_cache = false;
+  serve::QueryService service(&db, opts);
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+  EXPECT_FALSE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
+  EXPECT_EQ(service.plan_cache().counters().hits, 0u);
+}
+
+// ---- QueryService: admission scheduling + determinism -----------------------
+
+TEST(ServiceTest, FailedQueryReportsErrorAndCountsIt) {
+  Database db = MakeTestDb(50);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 2;
+  serve::QueryService service(&db, opts);
+  serve::QueryResponse resp = service.Run(
+      ParseSgfOrDie("Z := SELECT x FROM Nope(x, y) WHERE S(x);"));
+  EXPECT_FALSE(resp.ok());
+  serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownIsRejected) {
+  Database db = MakeTestDb(50);
+  serve::QueryService service(&db, serve::ServiceOptions{});
+  service.Shutdown();
+  serve::QueryResponse resp = service.Run(ParseSgfOrDie(kQuerySmall));
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(service.Stats().rejected, 1u);
+}
+
+TEST(ServiceTest, FastLaneRoutesSmallQueries) {
+  Database db = MakeTestDb(50);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  opts.fast_lane_max_atoms = 2;
+  serve::QueryService service(&db, opts);
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQuerySmall)).status);  // 2 atoms
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);     // 5 atoms
+  EXPECT_EQ(service.Stats().fast_lane, 1u);
+  EXPECT_EQ(service.Stats().submitted, 2u);
+}
+
+TEST(ServiceTest, ConcurrentSubmissionByteIdenticalToSequential) {
+  Database db = MakeTestDb(800);
+  // Parse up front, on this thread only: Dictionary::Global() interning
+  // is single-threaded by contract; the service takes parsed queries.
+  std::vector<sgf::SgfQuery> queries;
+  for (const char* text : {kQueryA1, kQueryA3, kQuerySmall, kQueryNested}) {
+    queries.push_back(ParseSgfOrDie(text));
+  }
+
+  // Sequential solo references: the classic plan + execute path, one
+  // query at a time against a pristine copy.
+  cost::ClusterConfig cluster;
+  plan::Planner planner(cluster, plan::PlannerOptions{});
+  mr::Engine ref_engine(cluster);
+  std::vector<Database> refs;
+  for (const sgf::SgfQuery& q : queries) {
+    Database copy = db;
+    auto plan = planner.Plan(q, copy);
+    ASSERT_OK(plan);
+    ASSERT_OK(plan::ExecutePlan(*plan, &ref_engine, &copy));
+    Database outputs;
+    for (const auto& sub : q.subqueries()) {
+      outputs.Put(*copy.Get(sub.output()).value());
+    }
+    refs.push_back(std::move(outputs));
+  }
+
+  // Concurrent submission: 4 client threads x 3 rounds x all queries,
+  // through a 3-wide admission scheduler on an explicit 4-thread pool
+  // (Global() may have 1 worker on 1-core CI).
+  ThreadPool pool(4);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 3;
+  serve::QueryService service(&db, opts, &pool);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::vector<Status> client_status(kClients, Status::Ok());
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          // Stagger the mix per client so distinct queries overlap.
+          const size_t pick = (qi + static_cast<size_t>(c)) % queries.size();
+          serve::QueryResponse resp = service.Run(queries[pick]);
+          if (!resp.ok()) {
+            client_status[c] = resp.status;
+            return;
+          }
+          if (resp.outputs.size() != refs[pick].size()) {
+            client_status[c] = Status::Internal(
+                "concurrent response holds extra/missing relations");
+            return;
+          }
+          for (const auto& [name, ref] : refs[pick].relations()) {
+            const auto got = resp.outputs.Get(name);
+            if (!got.ok() || !(got.value()->words() == ref.words()) ||
+                !(got.value()->fingerprints() == ref.fingerprints())) {
+              client_status[c] = Status::Internal(
+                  "concurrent result for " + name +
+                  " diverged from sequential reference");
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const Status& s : client_status) EXPECT_OK(s);
+
+  serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed,
+            static_cast<uint64_t>(kClients * kRounds) * queries.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_LE(stats.peak_inflight, 3);
+  // Repeats hit the cache (first occurrence of each query misses).
+  EXPECT_GE(stats.cache.hits, 1u);
+}
+
+TEST(ServiceTest, FastLaneCannotStarveTheFifo) {
+  // One worker; a slow-planning FIFO query, 8 fast-lane queries, and a
+  // second FIFO query all enqueued back to back. Workers take a FIFO
+  // task after every 3 consecutive fast-lane dispatches, so the second
+  // FIFO query is dispatched ahead of the fast-lane tail: at least one
+  // (in practice 2-5, depending on which task the worker grabs first)
+  // small query completes after it. Without the anti-starvation rule the
+  // worker drains the entire lane first and exactly zero small queries
+  // finish after the FIFO one — completion order is read off wall_ms
+  // (near-identical submit instants, single worker).
+  Database db = MakeTestDb(200);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  opts.fast_lane_max_atoms = 2;
+  serve::QueryService service(&db, opts);
+
+  // 17 atoms -> FIFO; its GREEDY grouping plans for tens of ms, so the
+  // whole batch below is enqueued long before the worker drains it.
+  std::string big_cond;
+  for (const char* r : {"S", "T", "U", "V"}) {
+    for (const char* v : {"x", "y", "z", "w"}) {
+      if (!big_cond.empty()) big_cond += " AND ";
+      big_cond += std::string(r) + "(" + v + ")";
+    }
+  }
+  const sgf::SgfQuery blocker = ParseSgfOrDie(
+      "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE " + big_cond + ";");
+  const sgf::SgfQuery small = ParseSgfOrDie(kQuerySmall);  // 2 atoms -> lane
+
+  auto blocker_future = service.Submit(blocker);
+  std::vector<std::future<serve::QueryResponse>> lane;
+  for (int i = 0; i < 8; ++i) lane.push_back(service.Submit(small));
+  auto fifo_future = service.Submit(blocker);  // queued FIFO task
+
+  ASSERT_OK(blocker_future.get().status);
+  const serve::QueryResponse fifo_resp = fifo_future.get();
+  ASSERT_OK(fifo_resp.status);
+  size_t finished_after_fifo = 0;
+  for (auto& f : lane) {
+    serve::QueryResponse resp = f.get();
+    ASSERT_OK(resp.status);
+    if (resp.wall_ms > fifo_resp.wall_ms) ++finished_after_fifo;
+  }
+  EXPECT_GE(finished_after_fifo, 1u);
+}
+
+TEST(ServiceTest, ColdCacheStampedeAccounting) {
+  // Many concurrent submissions of the same never-seen query: exactly one
+  // of {cache hit, coalesced wait, plan built} happens per query, and at
+  // least one plan is built. Single-flight makes plans_built < N the
+  // common case, but the invariant below is scheduling-independent.
+  Database db = MakeTestDb(200);
+  const sgf::SgfQuery query = ParseSgfOrDie(kQueryA1);
+  ThreadPool pool(4);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 6;
+  serve::QueryService service(&db, opts, &pool);
+
+  constexpr uint64_t kN = 12;
+  std::vector<std::future<serve::QueryResponse>> futures;
+  for (uint64_t i = 0; i < kN; ++i) futures.push_back(service.Submit(query));
+  for (auto& f : futures) ASSERT_OK(f.get().status);
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, kN);
+  EXPECT_GE(stats.plans_built, 1u);
+  EXPECT_EQ(stats.cache.hits + stats.plan_coalesced + stats.plans_built, kN);
+}
+
+TEST(ServiceTest, DrainsBacklogOnDestruction) {
+  Database db = MakeTestDb(50);
+  std::vector<std::future<serve::QueryResponse>> futures;
+  {
+    serve::ServiceOptions opts;
+    opts.max_inflight = 1;
+    serve::QueryService service(&db, opts);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(service.Submit(ParseSgfOrDie(kQuerySmall)));
+    }
+    // Destructor drains: every accepted query gets an answer.
+  }
+  for (auto& f : futures) {
+    EXPECT_OK(f.get().status);
+  }
+}
+
+}  // namespace
+}  // namespace gumbo
