@@ -45,7 +45,7 @@
 
 #include "bench_harness.h"
 #include "common/str_util.h"
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "data/generator.h"
 #include "mr/engine.h"
 #include "ops/msj.h"
@@ -248,10 +248,10 @@ int main(int argc, char** argv) {
     });
     // Parallel flat dedupe (informational; the gate stays sequential so
     // shared CI runners do not flake it).
-    ThreadPool pool(8);
+    Scheduler sched(8);
     std::vector<Relation> par_copies(reps, flat);
     const double par_dedupe_s = SecondsOfBestRep(reps, [&, r = 0]() mutable {
-      par_copies[r++].SortAndDedupe(&pool);
+      par_copies[r++].SortAndDedupe(&sched);
     });
     if (!(par_copies[0].words() == flat_copies[0].words())) {
       std::fprintf(stderr, "FAIL %s: parallel dedupe diverges\n", shape.name);
@@ -325,8 +325,8 @@ int main(int argc, char** argv) {
         const double r0 = Now();
         auto run = warm.RunDetached(*job, w->db);
         round_s = Now() - r0;
-        ThreadPool pool1(1);
-        mr::Engine e1(options.cluster, &pool1);
+        Scheduler sched1(1);
+        mr::Engine e1(options.cluster, &sched1);
         auto run1 = e1.RunDetached(*job, w->db);
         if (!warm_run.ok() || !run.ok() || !run1.ok()) {
           std::fprintf(stderr, "FAIL e2e: round execution failed\n");

@@ -4,7 +4,7 @@
 #include <cstring>
 #include <numeric>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 
 namespace gumbo {
 
@@ -24,15 +24,17 @@ inline bool RowEquals(const uint64_t* a, const uint64_t* b, uint32_t arity) {
          std::memcmp(a, b, arity * sizeof(uint64_t)) == 0;
 }
 
-/// Sorts `idx` by the comparator, in parallel when a pool is given:
-/// power-of-two chunked sorts followed by pairwise in-place merge rounds.
-/// The result is a plain sorted permutation, so it is byte-identical for
-/// any pool (including nullptr).
+/// Sorts `idx` by the comparator, in parallel when a scheduler is given:
+/// power-of-two chunked sorts followed by pairwise in-place merge rounds,
+/// each chunk/pair one morsel at the context's priority. The result is a
+/// plain sorted permutation, so it is byte-identical for any scheduler
+/// (including nullptr).
 template <class T, class Less>
-void SortIndices(std::vector<T>* idx, ThreadPool* pool, Less less) {
+void SortIndices(std::vector<T>* idx, Scheduler* scheduler,
+                 const SchedContext& ctx, Less less) {
   const size_t n = idx->size();
   constexpr size_t kParallelMin = 1 << 14;  // below this, one sort wins
-  if (pool == nullptr || n < kParallelMin) {
+  if (scheduler == nullptr || n < kParallelMin) {
     std::sort(idx->begin(), idx->end(), less);
     return;
   }
@@ -43,18 +45,24 @@ void SortIndices(std::vector<T>* idx, ThreadPool* pool, Less less) {
     return;
   }
   auto bound = [&](size_t c) { return n * c / chunks; };
-  pool->ParallelFor(chunks, [&](size_t c) {
-    std::sort(idx->begin() + bound(c), idx->begin() + bound(c + 1), less);
-  });
+  scheduler->ParallelFor(
+      chunks,
+      [&](size_t c) {
+        std::sort(idx->begin() + bound(c), idx->begin() + bound(c + 1), less);
+      },
+      ctx);
   for (size_t width = 1; width < chunks; width *= 2) {
     const size_t pairs = chunks / (width * 2);
-    pool->ParallelFor(pairs, [&](size_t p) {
-      const size_t lo = bound(p * width * 2);
-      const size_t mid = bound(p * width * 2 + width);
-      const size_t hi = bound((p + 1) * width * 2);
-      std::inplace_merge(idx->begin() + lo, idx->begin() + mid,
-                         idx->begin() + hi, less);
-    });
+    scheduler->ParallelFor(
+        pairs,
+        [&](size_t p) {
+          const size_t lo = bound(p * width * 2);
+          const size_t mid = bound(p * width * 2 + width);
+          const size_t hi = bound((p + 1) * width * 2);
+          std::inplace_merge(idx->begin() + lo, idx->begin() + mid,
+                             idx->begin() + hi, less);
+        },
+        ctx);
   }
 }
 
@@ -83,7 +91,7 @@ std::vector<Tuple> Relation::ToTuples() const {
   return out;
 }
 
-void Relation::SortAndDedupe(ThreadPool* pool) {
+void Relation::SortAndDedupe(Scheduler* scheduler, const SchedContext* ctx) {
   const size_t n = size();
   if (n <= 1) return;
   if (arity_ == 0) {
@@ -118,7 +126,7 @@ void Relation::SortAndDedupe(ThreadPool* pool) {
     }
     return false;
   };
-  SortIndices(&refs, pool, less);
+  SortIndices(&refs, scheduler, ctx != nullptr ? *ctx : SchedContext{}, less);
   // Rebuild the arenas in sorted order, skipping duplicates (adjacent
   // after the sort; equal rows have equal words by definition). Stored
   // fingerprints are permuted along — a row is hashed once in its

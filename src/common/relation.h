@@ -28,7 +28,8 @@
 
 namespace gumbo {
 
-class ThreadPool;
+class Scheduler;
+struct SchedContext;
 
 /// One stored row: a zero-copy TupleView plus the relation's precomputed
 /// fingerprint, so scan consumers (mappers, filter builders) never hash a
@@ -207,9 +208,11 @@ class Relation {
   /// relation canonical set semantics. Operates on the flat words (Value
   /// order is raw-word order, so the result is byte-identical to sorting
   /// decoded Tuples); stored fingerprints are permuted, never recomputed.
-  /// `pool` parallelizes the sort (chunked sort + pairwise merges);
-  /// results are identical for any pool, including nullptr. Deterministic.
-  void SortAndDedupe(ThreadPool* pool = nullptr);
+  /// `scheduler` parallelizes the sort (chunked sort + pairwise merges)
+  /// at `ctx`'s priority; results are identical for any scheduler,
+  /// including nullptr (sequential). Deterministic.
+  void SortAndDedupe(Scheduler* scheduler = nullptr,
+                     const SchedContext* ctx = nullptr);
 
   /// Whether two relations hold the same set of tuples. Fingerprint-
   /// bucketed: rows are ordered by (fingerprint, words) — word memcmp only

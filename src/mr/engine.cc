@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cost/model.h"
@@ -48,7 +50,18 @@ class BuilderReduceEmitter : public ReduceEmitter {
 }  // namespace
 
 Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
-                                              const Database& db) const {
+                                              const Database& db,
+                                              const SchedContext& ctx) const {
+  // Resolve the scheduling context once: every phase of this job runs on
+  // the engine's scheduler, at the caller's priority, with the caller's
+  // metrics sink; a zero morsel size means the engine default.
+  SchedContext sched_ctx = ctx;
+  sched_ctx.scheduler = &scheduler();
+  if (sched_ctx.morsel_rows == 0) {
+    sched_ctx.morsel_rows = sched_options_.morsel_rows;
+  }
+  const size_t morsel_rows = std::max<size_t>(1, sched_ctx.morsel_rows);
+
   if (!job.mapper_factory || !job.reducer_factory) {
     return Status::InvalidArgument("job " + job.name +
                                    ": missing mapper or reducer factory");
@@ -135,30 +148,57 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   };
   std::vector<TaskAccounting> task_io(tasks.size());
 
-  pool().ParallelFor(tasks.size(), [&](size_t ti) {
-    const MapTaskSpec& t = tasks[ti];
-    const Relation* rel = inputs[t.input_index];
-    auto mapper = job.mapper_factory();
-    if (filters != nullptr) mapper->AttachFilters(filters.get());
-    auto combiner =
-        job.combiner_factory ? job.combiner_factory() : nullptr;
-    // Emissions go straight into the flat map-output buffer; the shuffle
-    // adopts its arenas wholesale (DESIGN.md §3).
-    MapOutputBuffer emitter;
-    for (size_t j = t.begin; j < t.end; ++j) {
-      // Zero-copy scan: the mapper sees the stored flat row with its
-      // precomputed fingerprint (DESIGN.md §7).
-      mapper->Map(t.input_index, rel->view(j), static_cast<uint64_t>(j),
-                  &emitter);
+  // Each map task runs as a *chain* of row-range morsels (DESIGN.md §9):
+  // the chain shares one mapper + emission buffer, and each morsel
+  // resubmits the next one, so the task's emission order — and therefore
+  // its combined/packed wire bytes and every downstream byte — is
+  // exactly the sequential order, while the scheduler is free to
+  // interleave other queries' morsels between any two of ours.
+  {
+    struct MapChain {
+      size_t ti = 0;
+      size_t next_row = 0;
+      std::unique_ptr<Mapper> mapper;
+      std::unique_ptr<Combiner> combiner;
+      MapOutputBuffer emitter;
+    };
+    std::vector<MapChain> chains(tasks.size());
+    Scheduler::TaskGroup group(sched_ctx);
+    std::function<void(size_t)> step = [&](size_t ti) {
+      MapChain& c = chains[ti];
+      const MapTaskSpec& t = tasks[ti];
+      const Relation* rel = inputs[t.input_index];
+      const size_t stop = std::min(t.end, c.next_row + morsel_rows);
+      for (size_t j = c.next_row; j < stop; ++j) {
+        // Zero-copy scan: the mapper sees the stored flat row with its
+        // precomputed fingerprint (DESIGN.md §7).
+        c.mapper->Map(t.input_index, rel->view(j), static_cast<uint64_t>(j),
+                      &c.emitter);
+      }
+      c.next_row = stop;
+      if (stop < t.end) {
+        group.Submit([&step, ti] { step(ti); });
+        return;
+      }
+      ShuffleTaskIo io =
+          shuffle.AddTaskOutput(ti, std::move(c.emitter), c.combiner.get());
+      task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
+      task_io[ti].metadata_mb =
+          static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
+      task_io[ti].io = io;
+      task_io[ti].filtered = c.mapper->SuppressedEmissions();
+    };
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      MapChain& c = chains[ti];
+      c.ti = ti;
+      c.next_row = tasks[ti].begin;
+      c.mapper = job.mapper_factory();
+      if (filters != nullptr) c.mapper->AttachFilters(filters.get());
+      if (job.combiner_factory) c.combiner = job.combiner_factory();
+      group.Submit([&step, ti] { step(ti); });
     }
-    ShuffleTaskIo io =
-        shuffle.AddTaskOutput(ti, std::move(emitter), combiner.get());
-    task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
-    task_io[ti].metadata_mb =
-        static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
-    task_io[ti].io = io;
-    task_io[ti].filtered = mapper->SuppressedEmissions();
-  });
+    group.Wait();
+  }
 
   // Per-input aggregates and per-task map costs.
   double total_intermediate_mb = 0.0;
@@ -216,7 +256,7 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   stats.num_reducers = r;
 
   // ---- Partition + reduce phase -------------------------------------------
-  shuffle.Partition(r, &pool());
+  shuffle.Partition(r, sched_ctx.scheduler, sched_ctx);
 
   struct ReduceTaskOut {
     std::vector<RelationBuilder> outputs;  // [output_index] -> flat rows
@@ -225,25 +265,48 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   };
   std::vector<ReduceTaskOut> red(static_cast<size_t>(r));
 
-  pool().ParallelFor(static_cast<size_t>(r), [&](size_t rj) {
-    auto reducer = job.reducer_factory();
-    BuilderReduceEmitter emitter(job.outputs);
-    shuffle.ForEachGroup(
-        rj, [&](TupleView key, const MessageGroup& values) {
-          reducer->Reduce(key, values, &emitter);
-        });
-    ReduceTaskOut& out = red[rj];
-    out.shuffle_mb =
-        shuffle.PartitionWireBytes(rj) * overhead * scale * kMbPerByte;
-    out.outputs = std::move(emitter.builders());
-    for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
-      const JobOutput& spec = job.outputs[oi];
-      double bpt = spec.bytes_per_tuple > 0.0 ? spec.bytes_per_tuple
-                                              : 10.0 * spec.arity;
-      out.output_mb += static_cast<double>(out.outputs[oi].size()) * scale *
-                       bpt * kMbPerByte;
+  // Reduce tasks chain like map tasks: one reducer + emitter per
+  // partition, each morsel consuming a bounded budget of whole key groups
+  // via the shuffle's resumable cursor, so key order and per-partition
+  // output order are exactly the sequential walk's.
+  {
+    struct ReduceChain {
+      std::unique_ptr<Reducer> reducer;
+      std::unique_ptr<BuilderReduceEmitter> emitter;
+      Shuffle::GroupCursor cursor;
+    };
+    std::vector<ReduceChain> chains(static_cast<size_t>(r));
+    Scheduler::TaskGroup group(sched_ctx);
+    std::function<void(size_t)> step = [&](size_t rj) {
+      ReduceChain& c = chains[rj];
+      const bool more = shuffle.ForEachGroupChunk(
+          rj, &c.cursor, morsel_rows,
+          [&](TupleView key, const MessageGroup& values) {
+            c.reducer->Reduce(key, values, c.emitter.get());
+          });
+      if (more) {
+        group.Submit([&step, rj] { step(rj); });
+        return;
+      }
+      ReduceTaskOut& out = red[rj];
+      out.shuffle_mb =
+          shuffle.PartitionWireBytes(rj) * overhead * scale * kMbPerByte;
+      out.outputs = std::move(c.emitter->builders());
+      for (size_t oi = 0; oi < job.outputs.size(); ++oi) {
+        const JobOutput& spec = job.outputs[oi];
+        double bpt = spec.bytes_per_tuple > 0.0 ? spec.bytes_per_tuple
+                                                : 10.0 * spec.arity;
+        out.output_mb += static_cast<double>(out.outputs[oi].size()) * scale *
+                         bpt * kMbPerByte;
+      }
+    };
+    for (size_t rj = 0; rj < static_cast<size_t>(r); ++rj) {
+      chains[rj].reducer = job.reducer_factory();
+      chains[rj].emitter = std::make_unique<BuilderReduceEmitter>(job.outputs);
+      group.Submit([&step, rj] { step(rj); });
     }
-  });
+    group.Wait();
+  }
 
   stats.reduce_task_costs.resize(static_cast<size_t>(r));
   double total_output_mb = 0.0;
@@ -290,15 +353,16 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
       // of the first arena (reserving earlier would defeat the move).
       if (first_move) out.Reserve(total - out.size());
     }
-    if (spec.dedupe) out.SortAndDedupe(&pool());
+    if (spec.dedupe) out.SortAndDedupe(sched_ctx.scheduler, &sched_ctx);
     result.outputs.push_back(std::move(out));
   }
 
   return result;
 }
 
-Result<JobStats> Engine::Run(const JobSpec& job, Database* db) const {
-  GUMBO_ASSIGN_OR_RETURN(JobResult result, RunDetached(job, *db));
+Result<JobStats> Engine::Run(const JobSpec& job, Database* db,
+                             const SchedContext& ctx) const {
+  GUMBO_ASSIGN_OR_RETURN(JobResult result, RunDetached(job, *db, ctx));
   for (Relation& out : result.outputs) {
     db->Put(std::move(out));
   }

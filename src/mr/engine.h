@@ -5,12 +5,15 @@
 // Execution pipeline per job:
 //   1. each input relation is split into map tasks of split_mb represented
 //      megabytes (splits never span relations, matching HDFS);
-//   2. map tasks run on a thread pool; emitted key/values are handed to
-//      the shuffle subsystem (mr/shuffle.h), which packs them per task;
+//   2. map tasks run as *morsel chains* on the work-stealing scheduler
+//      (DESIGN.md §9): each task's scan is a sequence of fixed-size row
+//      ranges sharing one mapper + emission buffer, so a task yields the
+//      worker between morsels without changing what it emits; emitted
+//      key/values are handed to the shuffle subsystem (mr/shuffle.h);
 //   3. the reducer count is chosen per the job's allocation policy;
 //      the shuffle hash-partitions the records;
-//   4. reduce tasks run on the thread pool, keys in sorted order, and
-//      produce the output relations.
+//   4. reduce tasks run as morsel chains over whole key groups, keys in
+//      sorted order, and produce the output relations.
 //
 // RunDetached executes a job against a read-only database view and returns
 // the outputs without committing them; the round runtime (mr/runtime.h)
@@ -18,8 +21,10 @@
 // deterministic job order. Run is the single-job convenience wrapper that
 // commits immediately.
 //
-// Results are deterministic: outputs are collected per task index and
-// concatenated in task order, independent of pool size and scheduling.
+// Results are deterministic: a morsel chain preserves its task's emission
+// order exactly (morsels of one chain never run concurrently), outputs
+// are collected per task index and concatenated in task order — both
+// independent of worker count, stealing, and priority (DESIGN.md §9).
 #ifndef GUMBO_MR_ENGINE_H_
 #define GUMBO_MR_ENGINE_H_
 
@@ -27,7 +32,7 @@
 
 #include "common/relation.h"
 #include "common/result.h"
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "cost/constants.h"
 #include "mr/job.h"
 #include "mr/stats.h"
@@ -36,15 +41,20 @@ namespace gumbo::mr {
 
 class Engine {
  public:
-  /// `pool`: worker pool for map/reduce tasks and concurrent jobs
-  /// (nullptr = the process-wide ThreadPool::Global()).
-  explicit Engine(cost::ClusterConfig config, ThreadPool* pool = nullptr)
-      : config_(std::move(config)), pool_(pool) {}
+  /// `scheduler`: morsel scheduler for map/reduce work and concurrent
+  /// jobs (nullptr = the process-wide Scheduler::Global()). `options`
+  /// carries the default morsel size (GUMBO_MORSEL_ROWS).
+  explicit Engine(cost::ClusterConfig config, Scheduler* scheduler = nullptr,
+                  SchedOptions options = SchedOptions::FromEnv())
+      : config_(std::move(config)),
+        scheduler_(scheduler),
+        sched_options_(options) {}
 
   const cost::ClusterConfig& config() const { return config_; }
-  ThreadPool& pool() const {
-    return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  Scheduler& scheduler() const {
+    return scheduler_ != nullptr ? *scheduler_ : Scheduler::Global();
   }
+  const SchedOptions& sched_options() const { return sched_options_; }
 
   /// A detached job execution: statistics plus the produced output
   /// relations, in JobSpec::outputs order, not yet visible in any database.
@@ -56,15 +66,20 @@ class Engine {
   /// Executes `job` against `db` without modifying it; the caller decides
   /// when (and where) to commit the outputs. Safe to call concurrently
   /// from multiple threads as long as nothing mutates `db` meanwhile.
-  Result<JobResult> RunDetached(const JobSpec& job, const Database& db) const;
+  /// `ctx` sets the priority class / morsel size / metrics sink for this
+  /// job's morsels; its scheduler field is ignored (the engine's wins).
+  Result<JobResult> RunDetached(const JobSpec& job, const Database& db,
+                                const SchedContext& ctx = {}) const;
 
   /// Runs `job` against `db`: reads the input relations, writes (replaces)
   /// the output relations, and returns the job's statistics.
-  Result<JobStats> Run(const JobSpec& job, Database* db) const;
+  Result<JobStats> Run(const JobSpec& job, Database* db,
+                       const SchedContext& ctx = {}) const;
 
  private:
   cost::ClusterConfig config_;
-  ThreadPool* pool_;
+  Scheduler* scheduler_;
+  SchedOptions sched_options_;
 };
 
 }  // namespace gumbo::mr

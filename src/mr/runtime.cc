@@ -26,8 +26,8 @@ std::vector<std::vector<size_t>> Runtime::JobRounds(const Program& program) {
   return rounds;
 }
 
-Result<ProgramStats> Runtime::Execute(const Program& program,
-                                      Database* db) const {
+Result<ProgramStats> Runtime::Execute(const Program& program, Database* db,
+                                      const SchedContext& ctx) const {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point program_start = Clock::now();
   auto ms_since = [](Clock::time_point t0) {
@@ -56,11 +56,14 @@ Result<ProgramStats> Runtime::Execute(const Program& program,
       int seen = peak.load();
       while (cur > seen && !peak.compare_exchange_weak(seen, cur)) {
       }
-      results[k] = engine_->RunDetached(program.job(round[k]), *db);
+      results[k] = engine_->RunDetached(program.job(round[k]), *db, ctx);
       in_flight.fetch_sub(1);
     };
     if (options_.concurrent_jobs) {
-      engine_->pool().ParallelFor(round.size(), run_one);
+      // One ticket per job at the query's priority; each job then chains
+      // its own map/reduce morsels (nested groups — the waiter helps, so
+      // this nests without deadlock on any worker count).
+      engine_->scheduler().ParallelFor(round.size(), run_one, ctx);
     } else {
       for (size_t k = 0; k < round.size(); ++k) run_one(k);
     }

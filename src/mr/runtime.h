@@ -6,11 +6,12 @@
 //
 //   1. jobs are grouped into rounds by dependency depth (every dependency
 //      of a round-k job completed in a round < k);
-//   2. all jobs of a round execute concurrently on the engine's thread
-//      pool via Engine::RunDetached, reading a frozen database snapshot;
+//   2. all jobs of a round execute concurrently on the engine's morsel
+//      scheduler via Engine::RunDetached, reading a frozen database
+//      snapshot;
 //   3. after the round barrier, outputs are committed to the database in
 //      job-index order, so results are byte-identical to a sequential run
-//      regardless of pool size or scheduling;
+//      regardless of worker count or scheduling;
 //   4. per-round metrics (job set, modeled max/sum cost, observed peak
 //      concurrency, wall clock) are aggregated into ProgramStats.
 //
@@ -53,8 +54,11 @@ class Runtime {
   /// Executes every job of `program` against `db` round by round and
   /// returns the aggregated statistics. On success all job outputs are
   /// committed to `db`; on failure `db` holds the outputs of completed
-  /// rounds only (the failing round commits nothing).
-  Result<ProgramStats> Execute(const Program& program, Database* db) const;
+  /// rounds only (the failing round commits nothing). `ctx` carries the
+  /// query's priority class and metrics sink down to every morsel the
+  /// program schedules (DESIGN.md §9).
+  Result<ProgramStats> Execute(const Program& program, Database* db,
+                               const SchedContext& ctx = {}) const;
 
  private:
   Engine* engine_;

@@ -159,7 +159,8 @@ bool Shuffle::KeyEquals(const RecordRef& a, const RecordRef& b) const {
                      ea.key_arity * sizeof(uint64_t)) == 0;
 }
 
-void Shuffle::Partition(int num_partitions, ThreadPool* pool) {
+void Shuffle::Partition(int num_partitions, Scheduler* scheduler,
+                        const SchedContext& ctx) {
   assert(num_partitions > 0);
   assert(partitions_.empty() && "Partition called twice");
   num_partitions_ = num_partitions;
@@ -229,11 +230,14 @@ void Shuffle::Partition(int num_partitions, ThreadPool* pool) {
       partition_wire_bytes_[p] = wire;
     }
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(tasks, count_task);
+  if (scheduler != nullptr) {
+    // Each task slice / partition sort is one morsel: counts, scatter
+    // slots, and sorted arrays are indexed by task/partition, so the
+    // result is position-committed and independent of execution order.
+    scheduler->ParallelFor(tasks, count_task, ctx);
     size_partitions();
-    pool->ParallelFor(tasks, scatter_task);
-    pool->ParallelFor(r, sort_partition);
+    scheduler->ParallelFor(tasks, scatter_task, ctx);
+    scheduler->ParallelFor(r, sort_partition, ctx);
   } else {
     for (size_t ti = 0; ti < tasks; ++ti) count_task(ti);
     size_partitions();
@@ -250,12 +254,28 @@ double Shuffle::PartitionWireBytes(size_t p) const {
 void Shuffle::ForEachGroup(
     size_t p,
     const std::function<void(TupleView, const MessageGroup&)>& fn) const {
+  GroupCursor cursor;
+  ForEachGroupChunk(p, &cursor, static_cast<size_t>(-1), fn);
+}
+
+bool Shuffle::ForEachGroupChunk(
+    size_t p, GroupCursor* cursor, size_t max_records,
+    const std::function<void(TupleView, const MessageGroup&)>& fn) const {
   assert(p < partitions_.size());
   const std::vector<RecordRef>& refs = partitions_[p];
-  // Reused scratch: the only per-key allocation-ish state, and it
-  // stabilizes at the maximum segment count after a few keys.
-  std::vector<MessageGroup::Segment> segments;
-  for (size_t i = 0; i < refs.size();) {
+  // Reused scratch (lives in the cursor so it survives across the chunks
+  // of a reduce morsel chain): the only per-key allocation-ish state,
+  // and it stabilizes at the maximum segment count after a few keys.
+  std::vector<MessageGroup::Segment>& segments = cursor->segments;
+  const size_t budget_end =
+      max_records >= refs.size() - std::min(cursor->next_record, refs.size())
+          ? refs.size()
+          : cursor->next_record + max_records;
+  for (size_t i = cursor->next_record; i < refs.size();) {
+    if (i >= budget_end) {
+      cursor->next_record = i;
+      return true;
+    }
     size_t j = i + 1;
     while (j < refs.size() && KeyEquals(refs[i], refs[j])) ++j;
     segments.clear();
@@ -283,6 +303,8 @@ void Shuffle::ForEachGroup(
        MessageGroup(segments.data(), segments.size(), total));
     i = j;
   }
+  cursor->next_record = refs.size();
+  return false;
 }
 
 }  // namespace gumbo::mr

@@ -35,7 +35,7 @@
 #include <functional>
 #include <vector>
 
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "common/tuple.h"
 #include "mr/job.h"
 #include "mr/map_output.h"
@@ -74,9 +74,10 @@ class Shuffle {
   /// Hash-partitions every ingested record by fingerprint into
   /// `num_partitions` reduce partitions and sorts each partition's index
   /// array once by key. Must be called once, after all AddTaskOutput
-  /// calls. `pool` parallelizes bucketing and sorting (nullptr =
-  /// sequential).
-  void Partition(int num_partitions, ThreadPool* pool = nullptr);
+  /// calls. `scheduler` parallelizes bucketing and sorting (nullptr =
+  /// sequential); `ctx` sets the priority/metrics of those morsels.
+  void Partition(int num_partitions, Scheduler* scheduler = nullptr,
+                 const SchedContext& ctx = {});
 
   int num_partitions() const { return num_partitions_; }
 
@@ -91,6 +92,25 @@ class Shuffle {
   /// concurrently for distinct `p` after Partition.
   void ForEachGroup(
       size_t p,
+      const std::function<void(TupleView, const MessageGroup&)>& fn) const;
+
+  /// Resumable position in one partition's group walk, so a reduce task
+  /// can process its partition as a chain of bounded morsels (DESIGN.md
+  /// §9). Also owns the reused per-key segment scratch, which therefore
+  /// persists across the chain instead of re-growing every morsel.
+  struct GroupCursor {
+    size_t next_record = 0;
+    std::vector<MessageGroup::Segment> segments;
+  };
+
+  /// Runs `fn` over whole key groups of partition `p` starting at
+  /// `cursor`, stopping once at least `max_records` records have been
+  /// consumed (a group is never split, so the chunk sequence yields
+  /// exactly the groups ForEachGroup would, in the same order). Returns
+  /// true while groups remain. Distinct cursors may walk distinct
+  /// partitions concurrently.
+  bool ForEachGroupChunk(
+      size_t p, GroupCursor* cursor, size_t max_records,
       const std::function<void(TupleView, const MessageGroup&)>& fn) const;
 
  private:

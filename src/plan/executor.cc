@@ -37,9 +37,10 @@ void FillMetrics(ExecutionResult* result) {
 }  // namespace
 
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
-                                    const mr::Runtime& runtime, Database* db) {
+                                    const mr::Runtime& runtime, Database* db,
+                                    const SchedContext& ctx) {
   ExecutionResult result;
-  GUMBO_ASSIGN_OR_RETURN(result.stats, runtime.Execute(plan.program, db));
+  GUMBO_ASSIGN_OR_RETURN(result.stats, runtime.Execute(plan.program, db, ctx));
   for (const std::string& name : plan.intermediates) {
     db->Erase(name);
   }
@@ -50,12 +51,14 @@ Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
 Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
                                               const mr::Runtime& runtime,
                                               const Database& base,
-                                              Database* outputs) {
+                                              Database* outputs,
+                                              const SchedContext& ctx) {
   // All writes (intermediates, outputs) land in the overlay; `base` is
   // only ever read, so concurrent snapshot executions need no locking.
   Database overlay(&base);
   ExecutionResult result;
-  GUMBO_ASSIGN_OR_RETURN(result.stats, runtime.Execute(plan.program, &overlay));
+  GUMBO_ASSIGN_OR_RETURN(result.stats,
+                         runtime.Execute(plan.program, &overlay, ctx));
   for (const std::string& name : plan.outputs) {
     GUMBO_ASSIGN_OR_RETURN(Relation * rel, overlay.GetMutable(name));
     outputs->Put(std::move(*rel));

@@ -43,6 +43,14 @@ struct Metrics {
   bool plan_cache_hit = false;  ///< lowered plan came from the plan cache
   double queue_ms = 0.0;        ///< admission-queue wait before execution
   double plan_ms = 0.0;         ///< planning wall time (0 on a cache hit)
+  // ---- Morsel-scheduling attribution (DESIGN.md §9) ----
+  /// Wall time this query's morsels were runnable but unserved (its task
+  /// groups had queued work and nothing running — "stolen-from" time).
+  /// Summed over the query's groups, so concurrent stalls can exceed the
+  /// enclosing wall span; exec_ms excludes this, so an inflated p95
+  /// splits into "our work got slower" vs "our work waited its turn".
+  double sched_wait_ms = 0.0;
+  uint64_t sched_morsels = 0;  ///< morsels this query's groups executed
 };
 
 struct ExecutionResult {
@@ -60,7 +68,8 @@ struct ExecutionResult {
 /// from multiple threads via ExecutePlanOnSnapshot — which is what makes
 /// the serve-layer plan cache sound (DESIGN.md §8).
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
-                                    const mr::Runtime& runtime, Database* db);
+                                    const mr::Runtime& runtime, Database* db,
+                                    const SchedContext& ctx = {});
 
 /// Executes `plan` against the immutable snapshot `base` without writing
 /// to it: intermediates and outputs materialize in a private overlay
@@ -71,10 +80,11 @@ Result<ExecutionResult> ExecutePlan(const QueryPlan& plan,
 Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
                                               const mr::Runtime& runtime,
                                               const Database& base,
-                                              Database* outputs);
+                                              Database* outputs,
+                                              const SchedContext& ctx = {});
 
 /// Convenience overload: wraps `engine` in a default Runtime (jobs of the
-/// same round run concurrently on the engine's pool).
+/// same round run concurrently on the engine's scheduler).
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
                                     Database* db);
 

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/scheduler.h"
 #include "serve/plan_cache.h"
 
 namespace gumbo::serve {
@@ -70,7 +71,15 @@ struct ServiceStats {
   double total_p99_ms = 0.0;
   double mean_queue_ms = 0.0;
   double mean_plan_ms = 0.0;
+  /// Execution net of scheduler stalls; the stall share is
+  /// mean_sched_wait_ms (DESIGN.md §9 attribution fix), so "queries got
+  /// slower" and "queries waited their turn" are separate signals.
   double mean_exec_ms = 0.0;
+  double mean_sched_wait_ms = 0.0;
+  /// Morsel-scheduler counters of the engine's scheduler (steals, local
+  /// hits, morsels, priority inversions avoided, ...). Process-wide when
+  /// the service runs on Scheduler::Global().
+  SchedulerStats scheduler;
 };
 
 }  // namespace gumbo::serve

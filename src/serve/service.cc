@@ -17,10 +17,10 @@ double MsSince(Clock::time_point t0) {
 }  // namespace
 
 QueryService::QueryService(const Database* db, ServiceOptions options,
-                           ThreadPool* pool)
+                           Scheduler* scheduler)
     : db_(db),
       options_(std::move(options)),
-      engine_(options_.cluster, pool),
+      engine_(options_.cluster, scheduler),
       runtime_(&engine_, options_.runtime),
       planner_(options_.cluster, options_.planner),
       cache_(options_.plan_cache ? options_.plan_cache_capacity : 0) {
@@ -61,6 +61,7 @@ std::future<QueryResponse> QueryService::Submit(sgf::SgfQuery query) {
 
   const bool fast = options_.fast_lane_max_atoms > 0 &&
                     AtomCount(task.query) <= options_.fast_lane_max_atoms;
+  task.fast = fast;
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_space_.wait(lock, [&] {
@@ -121,19 +122,16 @@ void QueryService::WorkerLoop() {
 
 Result<plan::PlanRef> QueryService::PlanSingleFlight(
     const sgf::SgfQuery& query, const std::string& key,
-    std::vector<uint64_t> epochs, bool* coalesced) {
+    std::vector<uint64_t> epochs, bool use_cache, bool* coalesced) {
   *coalesced = false;
-  if (key.empty()) {
-    // Cache off: every query plans for itself.
-    GUMBO_ASSIGN_OR_RETURN(plan::QueryPlan planned,
-                           planner_.Plan(query, *db_));
-    plans_built_.fetch_add(1, std::memory_order_relaxed);
-    return std::make_shared<const plan::QueryPlan>(std::move(planned));
-  }
 
   // Single-flight: the first miss for a key becomes the leader and plans;
   // concurrent misses for the same key wait for the leader's result
   // instead of stampeding the planner with redundant sampling runs.
+  // Independent of the cache switch: with the cache off nothing is
+  // stored, but in-flight identical queries still share one planning run
+  // — a lowered plan is immutable and reusable, so sharing it changes no
+  // byte of any response (see executor.h).
   std::promise<Result<plan::PlanRef>> promise;
   std::shared_future<Result<plan::PlanRef>> shared;
   bool leader = false;
@@ -147,8 +145,10 @@ Result<plan::PlanRef> QueryService::PlanSingleFlight(
       // caller's cache miss and this point has already published its
       // plan; re-check the cache before redundantly re-planning.
       // (PlanCache never takes plan_mu_, so the nested lock is safe.)
-      if (plan::PlanRef cached = cache_.PeekAfterMiss(key, epochs)) {
-        return cached;
+      if (use_cache) {
+        if (plan::PlanRef cached = cache_.PeekAfterMiss(key, epochs)) {
+          return cached;
+        }
       }
       leader = true;
       shared = promise.get_future().share();
@@ -170,7 +170,7 @@ Result<plan::PlanRef> QueryService::PlanSingleFlight(
   // either the registry entry or the cached plan, never a planning gap.
   if (outcome.ok()) {
     plans_built_.fetch_add(1, std::memory_order_relaxed);
-    cache_.Insert(key, std::move(epochs), *outcome);
+    if (use_cache) cache_.Insert(key, std::move(epochs), *outcome);
   }
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
@@ -190,13 +190,14 @@ void QueryService::Execute(Task task) {
   const double queue_ms = MsSince(task.submitted);
 
   // ---- Plan: cache lookup keyed on signature + stats epochs ----
+  // The key is computed even with the cache off: single-flight planning
+  // coalesces identical in-flight queries either way.
   plan::PlanRef plan;
   bool cache_hit = false;
   double plan_ms = 0.0;
-  std::string key;
+  const std::string key = PlanCacheKey(task.query, options_.planner);
   std::vector<uint64_t> epochs;
   if (options_.plan_cache) {
-    key = PlanCacheKey(task.query, options_.planner);
     epochs = PlanCache::EpochsOf(task.query, *db_);
     plan = cache_.Lookup(key, epochs);
     cache_hit = plan != nullptr;
@@ -205,7 +206,8 @@ void QueryService::Execute(Task task) {
     const Clock::time_point plan_start = Clock::now();
     bool coalesced = false;
     Result<plan::PlanRef> planned =
-        PlanSingleFlight(task.query, key, std::move(epochs), &coalesced);
+        PlanSingleFlight(task.query, key, std::move(epochs),
+                         options_.plan_cache, &coalesced);
     plan_ms = MsSince(plan_start);
     if (coalesced) plan_coalesced_.fetch_add(1, std::memory_order_relaxed);
     if (!planned.ok()) {
@@ -216,17 +218,37 @@ void QueryService::Execute(Task task) {
   }
 
   // ---- Execute against the shared snapshot via a private overlay ----
+  // Admission lane -> morsel priority (DESIGN.md §9): fast-lane queries
+  // execute at kHigh, so their morsels overtake normal-priority backlogs
+  // inside the shared scheduler, not just the admission queue.
   double exec_ms = 0.0;
+  double sched_wait_ms = 0.0;
   if (resp.ok()) {
+    SchedGroupMetrics sched_metrics;
+    SchedContext ctx;
+    ctx.priority =
+        task.fast ? SchedPriority::kHigh : SchedPriority::kNormal;
+    ctx.metrics = &sched_metrics;
     const Clock::time_point exec_start = Clock::now();
     Result<plan::ExecutionResult> executed =
-        plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs);
-    exec_ms = MsSince(exec_start);
+        plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs, ctx);
+    const double exec_wall_ms = MsSince(exec_start);
+    // Attribution fix: time our morsels sat runnable-but-unserved is the
+    // scheduler's doing, not the query's — report it as sched_wait so an
+    // inflated p95 is diagnosable (DESIGN.md §9).
+    sched_wait_ms =
+        static_cast<double>(
+            sched_metrics.stall_us.load(std::memory_order_relaxed)) /
+        1e3;
+    exec_ms = std::max(0.0, exec_wall_ms - sched_wait_ms);
     if (!executed.ok()) {
       resp.status = executed.status();
     } else {
       resp.metrics = executed->metrics;
       resp.stats = std::move(executed->stats);
+      resp.metrics.sched_wait_ms = sched_wait_ms;
+      resp.metrics.sched_morsels =
+          sched_metrics.morsels.load(std::memory_order_relaxed);
     }
   }
   resp.metrics.plan_cache_hit = cache_hit;
@@ -242,6 +264,8 @@ void QueryService::Execute(Task task) {
                      std::memory_order_relaxed);
   exec_us_.fetch_add(static_cast<uint64_t>(exec_ms * 1e3),
                      std::memory_order_relaxed);
+  sched_wait_us_.fetch_add(static_cast<uint64_t>(sched_wait_ms * 1e3),
+                           std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (resp.ok()) {
@@ -280,6 +304,10 @@ ServiceStats QueryService::Stats() const {
       static_cast<double>(plan_us_.load(std::memory_order_relaxed)) / 1e3 / n;
   s.mean_exec_ms =
       static_cast<double>(exec_us_.load(std::memory_order_relaxed)) / 1e3 / n;
+  s.mean_sched_wait_ms =
+      static_cast<double>(sched_wait_us_.load(std::memory_order_relaxed)) /
+      1e3 / n;
+  s.scheduler = engine_.scheduler().stats();
   return s;
 }
 

@@ -5,14 +5,21 @@
 // through
 //   (a) an admission scheduler — a bounded-backlog FIFO with a small-job
 //       fast lane, drained by max_inflight worker threads that execute
-//       admitted queries simultaneously on the shared engine ThreadPool;
+//       admitted queries simultaneously on the shared morsel scheduler.
+//       The admission lanes map onto scheduler priority classes
+//       (DESIGN.md §9): fast-lane queries run their morsels at kHigh, so
+//       a small query's morsels preempt — at morsel granularity — the
+//       backlog of a running analytical monster instead of queueing
+//       behind whole phases of it;
 //   (b) a plan cache — canonicalized query signature + database stats
 //       epochs -> lowered immutable QueryPlan, so a repeated (or
 //       alpha-renamed) query skips planning, sampling, and grouping
 //       entirely (serve/plan_cache.h). Concurrent misses for the same
 //       key are coalesced (single-flight): one worker plans, the rest
 //       wait for its result instead of stampeding the planner with
-//       redundant sampling runs.
+//       redundant sampling runs. Coalescing applies with the cache off
+//       too — identical in-flight queries share one planning run even
+//       when nothing is ever stored.
 //
 // Every query executes against the same immutable base Database snapshot
 // through a private overlay (plan::ExecutePlanOnSnapshot), so results are
@@ -36,7 +43,7 @@
 #include <vector>
 
 #include "common/relation.h"
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "cost/constants.h"
 #include "mr/engine.h"
 #include "mr/runtime.h"
@@ -91,11 +98,11 @@ struct QueryResponse {
 class QueryService {
  public:
   /// `db` is the base snapshot every query reads; it must outlive the
-  /// service and stay unmutated while queries are in flight. `pool`
-  /// supplies map/reduce parallelism (nullptr = ThreadPool::Global()),
-  /// shared by all in-flight queries.
+  /// service and stay unmutated while queries are in flight. `scheduler`
+  /// supplies morsel-level map/reduce parallelism (nullptr =
+  /// Scheduler::Global()), shared by all in-flight queries.
   QueryService(const Database* db, ServiceOptions options,
-               ThreadPool* pool = nullptr);
+               Scheduler* scheduler = nullptr);
   /// Drains the backlog (every accepted query is answered), then joins.
   ~QueryService();
 
@@ -124,6 +131,8 @@ class QueryService {
     sgf::SgfQuery query;
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Admitted through the fast lane -> morsels run at kHigh priority.
+    bool fast = false;
   };
 
   void WorkerLoop();
@@ -131,11 +140,13 @@ class QueryService {
   static size_t AtomCount(const sgf::SgfQuery& query);
 
   /// Plans `query` (or waits for a concurrent planning of the same key —
-  /// single-flight). `key`/`epochs` are non-empty iff the cache is on.
+  /// single-flight). `use_cache` additionally publishes the result to /
+  /// re-checks the plan cache; coalescing itself only needs the key, so
+  /// identical concurrent queries share one planning run either way.
   Result<plan::PlanRef> PlanSingleFlight(const sgf::SgfQuery& query,
                                          const std::string& key,
                                          std::vector<uint64_t> epochs,
-                                         bool* coalesced);
+                                         bool use_cache, bool* coalesced);
 
   const Database* db_;
   ServiceOptions options_;
@@ -172,7 +183,11 @@ class QueryService {
   LatencyHistogram total_latency_;
   std::atomic<uint64_t> queue_us_{0};
   std::atomic<uint64_t> plan_us_{0};
+  /// Execution time net of scheduler stalls; the stall share lands in
+  /// sched_wait_us_ instead, so a p95 regression is attributable
+  /// (DESIGN.md §9).
   std::atomic<uint64_t> exec_us_{0};
+  std::atomic<uint64_t> sched_wait_us_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -12,7 +12,6 @@
 #include "common/status.h"
 #include "common/str_util.h"
 #include "common/table_printer.h"
-#include "common/thread_pool.h"
 #include "common/tuple.h"
 #include "test_util.h"
 
@@ -243,56 +242,9 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(out.find("| ccc | d    |"), std::string::npos) << out;
 }
 
-// ---- ThreadPool ------------------------------------------------------------
-
-TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
-  ThreadPool pool(4);
-  std::vector<std::atomic<int>> hits(1000);
-  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
-  for (auto& h : hits) {
-    EXPECT_EQ(h.load(), 1);
-  }
-}
-
-TEST(ThreadPoolTest, HandlesZeroAndOne) {
-  ThreadPool pool(2);
-  int count = 0;
-  pool.ParallelFor(0, [&](size_t) { ++count; });
-  EXPECT_EQ(count, 0);
-  pool.ParallelFor(1, [&](size_t) { ++count; });
-  EXPECT_EQ(count, 1);
-}
-
-TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
-  // The round runtime nests job-level ParallelFor around task-level ones
-  // on the same pool; every level must drain even when all workers are
-  // busy. A 1-thread pool is the worst case: the caller has to finish
-  // each loop single-handedly.
-  for (size_t threads : {1u, 2u, 8u}) {
-    ThreadPool pool(threads);
-    std::atomic<int> hits{0};
-    pool.ParallelFor(4, [&](size_t) {
-      pool.ParallelFor(4, [&](size_t) {
-        pool.ParallelFor(4, [&](size_t) { hits++; });
-      });
-    });
-    EXPECT_EQ(hits.load(), 64) << threads << " threads";
-  }
-}
-
-TEST(ThreadPoolTest, ConcurrentParallelForsCompleteIndependently) {
-  ThreadPool pool(4);
-  std::atomic<int> total{0};
-  std::vector<std::thread> callers;
-  callers.reserve(4);
-  for (int t = 0; t < 4; ++t) {
-    callers.emplace_back([&] {
-      pool.ParallelFor(100, [&](size_t) { total++; });
-    });
-  }
-  for (auto& c : callers) c.join();
-  EXPECT_EQ(total.load(), 400);
-}
+// The morsel scheduler (the ThreadPool successor) is covered in
+// tests/scheduler_test.cc: ParallelFor coverage, nested groups, lost
+// tasks, priority ordering, anti-starvation, and shutdown drain.
 
 }  // namespace
 }  // namespace gumbo

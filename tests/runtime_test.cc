@@ -1,5 +1,6 @@
 // Tests for the round runtime: round structure, concurrent execution of
-// independent jobs, and determinism across thread-pool sizes.
+// independent jobs, and determinism across scheduler worker counts and
+// morsel sizes (DESIGN.md §9).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -130,8 +131,8 @@ TEST(RuntimeTest, IndependentJobsOfARoundRunConcurrently) {
   program.AddJob(GateJob("In", "OutA", &started, 2));
   program.AddJob(GateJob("In", "OutB", &started, 2));
 
-  ThreadPool pool(4);
-  Engine engine(cost::ClusterConfig{}, &pool);
+  Scheduler scheduler(4);
+  Engine engine(cost::ClusterConfig{}, &scheduler);
   Runtime runtime(&engine);
   auto stats = runtime.Execute(program, &db);
   ASSERT_OK(stats);
@@ -153,8 +154,8 @@ TEST(RuntimeTest, SequentialOptionStillCorrect) {
   program.AddJob(GateJob("In", "OutA", &started, 1));
   program.AddJob(GateJob("In", "OutB", &started, 1));
 
-  ThreadPool pool(4);
-  Engine engine(cost::ClusterConfig{}, &pool);
+  Scheduler scheduler(4);
+  Engine engine(cost::ClusterConfig{}, &scheduler);
   RuntimeOptions options;
   options.concurrent_jobs = false;
   Runtime runtime(&engine, options);
@@ -205,8 +206,10 @@ TEST(RuntimeTest, ParPlanHasMultiJobFirstRound) {
 
 // ---- Determinism across pool sizes ------------------------------------------
 
-// Executes workload `w` under `strategy` with a dedicated pool of
+// Executes workload `w` under `strategy` with a dedicated scheduler of
 // `threads` workers; returns the output relations and metrics.
+// `morsel_rows` != 0 shrinks the morsel size (1 = every row its own
+// morsel — maximal interleaving and steal opportunity).
 struct RunOutput {
   std::vector<std::vector<Tuple>> outputs;  // per subquery, tuple order
   plan::Metrics metrics;
@@ -214,15 +217,18 @@ struct RunOutput {
 
 RunOutput RunWithThreads(const data::Workload& w, plan::Strategy strategy,
                          size_t threads, bool concurrent_jobs = true,
-                         ops::OpOptions op = ops::OpOptions{}) {
+                         ops::OpOptions op = ops::OpOptions{},
+                         size_t morsel_rows = 0) {
   plan::PlannerOptions opts;
   opts.strategy = strategy;
   opts.sample_size = 64;
   opts.op = op;
   cost::ClusterConfig config = TestCluster();
   plan::Planner planner(config, opts);
-  ThreadPool pool(threads);
-  Engine engine(config, &pool);
+  Scheduler scheduler(threads);
+  SchedOptions sched_options = SchedOptions::FromEnv();
+  if (morsel_rows != 0) sched_options.morsel_rows = morsel_rows;
+  Engine engine(config, &scheduler, sched_options);
   RuntimeOptions roptions;
   roptions.concurrent_jobs = concurrent_jobs;
   Runtime runtime(&engine, roptions);
@@ -281,6 +287,63 @@ TEST(RuntimeTest, ByteIdenticalAcrossPoolSizesForAllShuffleModes) {
       EXPECT_EQ(one.metrics.communication_mb, eight.metrics.communication_mb)
           << "pack=" << pack << " combine=" << combine;
       EXPECT_EQ(one.metrics.net_time, eight.metrics.net_time)
+          << "pack=" << pack << " combine=" << combine;
+    }
+  }
+}
+
+// ---- Morsel-path byte-identity (DESIGN.md §9) -------------------------------
+
+// Tiny morsels (every row its own morsel) at 1/2/8 workers: maximal
+// chaining, interleaving, and steal opportunity (stealing is on by
+// default; with one-row morsels and concurrent jobs every worker's deque
+// is a constant steal target). All runs must be byte-identical to the
+// default-morsel sequential reference: the scheduler only decides *when*
+// morsels run — results commit by task index, and a chain preserves its
+// task's emission order.
+TEST(RuntimeTest, ByteIdenticalWithTinyMorselsAcrossWorkerCounts) {
+  for (plan::Strategy strategy :
+       {plan::Strategy::kPar, plan::Strategy::kGreedy}) {
+    auto w = data::MakeA(1, SmallData());
+    ASSERT_OK(w);
+    RunOutput reference = RunWithThreads(*w, strategy, 1);
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+      RunOutput tiny =
+          RunWithThreads(*w, strategy, workers, /*concurrent_jobs=*/true,
+                         ops::OpOptions{}, /*morsel_rows=*/1);
+      EXPECT_EQ(reference.outputs, tiny.outputs) << "workers=" << workers;
+      EXPECT_EQ(reference.metrics.communication_mb,
+                tiny.metrics.communication_mb)
+          << "workers=" << workers;
+      EXPECT_EQ(reference.metrics.net_time, tiny.metrics.net_time)
+          << "workers=" << workers;
+      EXPECT_EQ(reference.metrics.total_time, tiny.metrics.total_time)
+          << "workers=" << workers;
+    }
+  }
+}
+
+// The packing/combining matrix again, this time on the tiny-morsel path:
+// per-task combining and packing happen inside a chain, so the wire
+// bytes must not depend on how finely the scan was chopped.
+TEST(RuntimeTest, ByteIdenticalWithTinyMorselsForAllShuffleModes) {
+  auto w = data::MakeA(1, SmallData());
+  ASSERT_OK(w);
+  for (bool pack : {true, false}) {
+    for (bool combine : {true, false}) {
+      ops::OpOptions op;
+      op.pack_messages = pack;
+      op.combiners = combine;
+      RunOutput coarse = RunWithThreads(*w, plan::Strategy::kGreedy, 1,
+                                        /*concurrent_jobs=*/true, op);
+      RunOutput tiny =
+          RunWithThreads(*w, plan::Strategy::kGreedy, 8,
+                         /*concurrent_jobs=*/true, op, /*morsel_rows=*/1);
+      EXPECT_EQ(coarse.outputs, tiny.outputs)
+          << "pack=" << pack << " combine=" << combine;
+      EXPECT_EQ(coarse.metrics.communication_mb, tiny.metrics.communication_mb)
+          << "pack=" << pack << " combine=" << combine;
+      EXPECT_EQ(coarse.metrics.net_time, tiny.metrics.net_time)
           << "pack=" << pack << " combine=" << combine;
     }
   }

@@ -336,12 +336,12 @@ TEST(ServiceTest, ConcurrentSubmissionByteIdenticalToSequential) {
   }
 
   // Concurrent submission: 4 client threads x 3 rounds x all queries,
-  // through a 3-wide admission scheduler on an explicit 4-thread pool
-  // (Global() may have 1 worker on 1-core CI).
-  ThreadPool pool(4);
+  // through a 3-wide admission scheduler on an explicit 4-worker morsel
+  // scheduler (Global() may have 1 worker on 1-core CI).
+  Scheduler scheduler(4);
   serve::ServiceOptions opts;
   opts.max_inflight = 3;
-  serve::QueryService service(&db, opts, &pool);
+  serve::QueryService service(&db, opts, &scheduler);
 
   constexpr int kClients = 4;
   constexpr int kRounds = 3;
@@ -442,10 +442,10 @@ TEST(ServiceTest, ColdCacheStampedeAccounting) {
   // common case, but the invariant below is scheduling-independent.
   Database db = MakeTestDb(200);
   const sgf::SgfQuery query = ParseSgfOrDie(kQueryA1);
-  ThreadPool pool(4);
+  Scheduler scheduler(4);
   serve::ServiceOptions opts;
   opts.max_inflight = 6;
-  serve::QueryService service(&db, opts, &pool);
+  serve::QueryService service(&db, opts, &scheduler);
 
   constexpr uint64_t kN = 12;
   std::vector<std::future<serve::QueryResponse>> futures;

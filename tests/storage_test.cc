@@ -13,7 +13,7 @@
 #include "common/dictionary.h"
 #include "common/relation.h"
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "common/scheduler.h"
 #include "test_util.h"
 
 namespace gumbo {
@@ -154,10 +154,10 @@ TEST(FlatStorageTest, ParallelDedupeThreadCountIndependent) {
     Relation par1 = seq;
     Relation par8 = seq;
     seq.SortAndDedupe(nullptr);
-    ThreadPool pool1(1);
-    par1.SortAndDedupe(&pool1);
-    ThreadPool pool8(8);
-    par8.SortAndDedupe(&pool8);
+    Scheduler sched1(1);
+    par1.SortAndDedupe(&sched1);
+    Scheduler sched8(8);
+    par8.SortAndDedupe(&sched8);
     EXPECT_EQ(par1.words(), seq.words());
     EXPECT_EQ(par8.words(), seq.words());
     EXPECT_EQ(par1.fingerprints(), seq.fingerprints());
