@@ -1,0 +1,28 @@
+// Standalone differential soak driver (DESIGN.md §10): random SGF
+// queries over random skewed/correlated databases through every planner
+// strategy and both serve paths, each result checked byte-identical
+// against the naive reference evaluator. Exits nonzero on any
+// divergence, printing a minimized reproduction (seed + query).
+//
+// Environment knobs:
+//   GUMBO_SOAK_SEED    — base seed (default 7); iteration i uses seed+i
+//   GUMBO_SOAK_ITERS   — (query, database) pairs to run (default 200)
+//   GUMBO_SOAK_TUPLES  — materialized tuples per relation (default 240)
+#include <cstdio>
+
+#include "soak/soak.h"
+
+int main() {
+  gumbo::soak::SoakConfig config = gumbo::soak::SoakConfig::FromEnv();
+  std::printf("gumbo differential soak: seed=%llu iters=%zu tuples=%zu\n",
+              static_cast<unsigned long long>(config.seed),
+              config.iterations, config.tuples);
+  const gumbo::soak::SoakReport report = gumbo::soak::RunSoak(config);
+  std::printf("%s\n", report.Summary().c_str());
+  if (!report.ok()) return 1;
+  if (report.checks == 0) {
+    std::printf("soak ran zero checks — configuration error\n");
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@ Result<RelationStats> CostEstimator::StatsOf(const std::string& name) const {
     RelationStats stats;
     stats.tuples = rel->RepresentedRecords();
     stats.bytes_per_tuple = rel->bytes_per_tuple();
+    stats.regime = ClassifyKeySkew(*rel);
     return stats;
   }
   if (catalog_ == nullptr) {
@@ -30,16 +31,21 @@ Result<RelationStats> CostEstimator::StatsOf(const std::string& name) const {
 }
 
 Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
-                                                  size_t input_index) const {
+                                                  size_t input_index,
+                                                  InputEstimateTag* tag) const {
   const mr::JobInput& input = job.inputs[input_index];
   MapPartition p;
+  tag->dataset = input.dataset;
 
   // Materialized input: sample the real map function (Gumbo §5.1 opt (3)).
   if (db_ != nullptr && db_->Contains(input.dataset)) {
     const Relation* rel = db_->Get(input.dataset).value();
+    tag->channel = Channel::kSampledOutput;
+    tag->regime = ClassifyKeySkew(*rel);
     p.input_mb = rel->SizeMb();
     p.num_mappers = std::max(
         1, static_cast<int>(std::ceil(p.input_mb / config_.split_mb)));
+    tag->input_mb = p.input_mb;
     size_t n = rel->size();
     if (n == 0 || !job.mapper_factory) return p;
     size_t s = std::min(sample_size_, n);
@@ -59,19 +65,24 @@ Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
     double blowup = static_cast<double>(n) / static_cast<double>(s) *
                     rel->representation_scale();
     p.output_mb = wire_bytes * blowup * job.intermediate_overhead_factor *
-                  kMbPerByte;
+                  kMbPerByte * Factor(Channel::kSampledOutput, tag->regime);
     p.metadata_mb = records * blowup *
                     config_.costs.metadata_bytes_per_record * kMbPerByte;
+    tag->output_mb = p.output_mb;
     return p;
   }
 
   // Catalog fallback: structural upper bound via the job-input hints.
+  // This is where regime-dependent estimation error lives (the bound is
+  // tight only on uniform data), so both N and M take learned factors.
   if (catalog_ == nullptr) {
     return Status::NotFound("input " + input.dataset +
                             " unmaterialized and no stats catalog");
   }
   GUMBO_ASSIGN_OR_RETURN(RelationStats stats, catalog_->Get(input.dataset));
-  p.input_mb = stats.SizeMb();
+  tag->channel = Channel::kCatalogOutput;
+  tag->regime = stats.regime;
+  p.input_mb = stats.SizeMb() * Factor(Channel::kCatalogInput, stats.regime);
   p.num_mappers =
       std::max(1, static_cast<int>(std::ceil(p.input_mb / config_.split_mb)));
   double bytes_per_msg = input.hint_bytes_per_message >= 0.0
@@ -79,9 +90,11 @@ Result<MapPartition> CostEstimator::EstimateInput(const mr::JobSpec& job,
                              : stats.bytes_per_tuple;
   double messages = stats.tuples * input.hint_messages_per_tuple;
   p.output_mb = messages * bytes_per_msg * job.intermediate_overhead_factor *
-                kMbPerByte;
+                kMbPerByte * Factor(Channel::kCatalogOutput, stats.regime);
   p.metadata_mb =
       messages * config_.costs.metadata_bytes_per_record * kMbPerByte;
+  tag->input_mb = p.input_mb;
+  tag->output_mb = p.output_mb;
   return p;
 }
 
@@ -89,16 +102,24 @@ Result<JobEstimate> CostEstimator::EstimateJob(
     const mr::JobSpec& job, double output_mb_upper_bound) const {
   JobEstimate est;
   est.partitions.reserve(job.inputs.size());
+  est.input_tags.reserve(job.inputs.size());
   double intermediate_mb = 0.0;
   double input_mb = 0.0;
   for (size_t i = 0; i < job.inputs.size(); ++i) {
-    GUMBO_ASSIGN_OR_RETURN(MapPartition p, EstimateInput(job, i));
+    InputEstimateTag tag;
+    GUMBO_ASSIGN_OR_RETURN(MapPartition p, EstimateInput(job, i, &tag));
     intermediate_mb += p.output_mb;
     input_mb += p.input_mb;
+    // The job's bound regime is its most skewed input's regime.
+    if (tag.regime > est.bound_regime) est.bound_regime = tag.regime;
     est.partitions.push_back(p);
+    est.input_tags.push_back(std::move(tag));
   }
-  est.output_mb = output_mb_upper_bound >= 0.0 ? output_mb_upper_bound
-                                               : input_mb;  // paper's bound
+  est.bound_defaulted = output_mb_upper_bound < 0.0;
+  est.output_mb = est.bound_defaulted
+                      ? input_mb * Factor(Channel::kOutputBound,
+                                          est.bound_regime)  // paper's bound
+                      : output_mb_upper_bound;
   switch (job.reducer_allocation) {
     case mr::ReducerAllocation::kByIntermediateSize:
       est.num_reducers = std::max(

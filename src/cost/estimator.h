@@ -20,6 +20,7 @@
 
 #include "common/relation.h"
 #include "common/result.h"
+#include "cost/calibration.h"
 #include "cost/constants.h"
 #include "cost/model.h"
 #include "mr/job.h"
@@ -30,6 +31,10 @@ namespace gumbo::cost {
 struct RelationStats {
   double tuples = 0.0;          ///< represented tuple count
   double bytes_per_tuple = 0.0;
+  /// Key-skew regime of the relation (materialized: classified by
+  /// sampling; catalog entries inherit their upstream guard's regime).
+  /// Selects which calibration factors apply (DESIGN.md §10).
+  SkewRegime regime = SkewRegime::kUniform;
   double SizeMb() const {
     return tuples * bytes_per_tuple / (1024.0 * 1024.0);
   }
@@ -54,12 +59,28 @@ class StatsCatalog {
   std::map<std::string, RelationStats> stats_;
 };
 
+/// Where one input's estimate came from plus the values the planner
+/// believed — recorded so observed execution stats can be matched back to
+/// the exact estimate they correct (plan::CalibrateFromExecution).
+struct InputEstimateTag {
+  std::string dataset;
+  Channel channel = Channel::kSampledOutput;
+  SkewRegime regime = SkewRegime::kUniform;
+  double input_mb = 0.0;   ///< estimated N_i, after calibration
+  double output_mb = 0.0;  ///< estimated M_i, after calibration
+};
+
 /// Estimated job profile: the cost-model inputs plus the derived cost.
 struct JobEstimate {
   std::vector<MapPartition> partitions;  // one per input
   double output_mb = 0.0;                // K (upper bound)
   int num_reducers = 1;
   double cost = 0.0;
+  /// Parallel to `partitions`: provenance of each input's estimate.
+  std::vector<InputEstimateTag> input_tags;
+  /// Regime + provenance of the K bound (kOutputBound calibration).
+  SkewRegime bound_regime = SkewRegime::kUniform;
+  bool bound_defaulted = false;  ///< K defaulted to summed input sizes
 };
 
 class CostEstimator {
@@ -67,14 +88,19 @@ class CostEstimator {
   /// `db` supplies materialized relations for sampling; `catalog` supplies
   /// declared stats for everything else. Both pointers must outlive the
   /// estimator. `sample_size` caps the tuples sampled per input.
+  /// `calibration` (optional, must outlive the estimator) scales estimates
+  /// by learned observed/estimated factors per channel and skew regime; a
+  /// null or empty store reproduces uncalibrated estimates exactly.
   CostEstimator(const ClusterConfig& config, CostModelVariant variant,
                 const Database* db, const StatsCatalog* catalog,
-                size_t sample_size = 1024)
+                size_t sample_size = 1024,
+                const CalibrationStore* calibration = nullptr)
       : config_(config),
         variant_(variant),
         db_(db),
         catalog_(catalog),
-        sample_size_(sample_size) {}
+        sample_size_(sample_size),
+        calibration_(calibration) {}
 
   CostModelVariant variant() const { return variant_; }
   const ClusterConfig& config() const { return config_; }
@@ -90,15 +116,22 @@ class CostEstimator {
 
  private:
   /// Per-input (N, M, Mhat, mappers) via map-function sampling or catalog
-  /// fallback.
+  /// fallback. Fills `tag` with the estimate's provenance.
   Result<MapPartition> EstimateInput(const mr::JobSpec& job,
-                                     size_t input_index) const;
+                                     size_t input_index,
+                                     InputEstimateTag* tag) const;
+
+  double Factor(Channel channel, SkewRegime regime) const {
+    return calibration_ != nullptr ? calibration_->Factor(channel, regime)
+                                   : 1.0;
+  }
 
   const ClusterConfig& config_;
   CostModelVariant variant_;
   const Database* db_;
   const StatsCatalog* catalog_;
   size_t sample_size_;
+  const CalibrationStore* calibration_;
 };
 
 }  // namespace gumbo::cost

@@ -1,8 +1,33 @@
 #include "data/generator.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.h"
 
 namespace gumbo::data {
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) : theta_(theta) {
+  cdf_.resize(n > 0 ? n : 1);
+  double total = 0.0;
+  for (size_t r = 0; r < cdf_.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta_);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint64_t ZipfDistribution::Sample(Xoshiro256& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Mass(uint64_t r) const {
+  if (r >= cdf_.size()) return 0.0;
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
 
 namespace {
 
@@ -74,6 +99,91 @@ Relation Generator::Conditional(const std::string& name, uint32_t arity,
     rel.AddWords(row.data());
   }
   return rel;
+}
+
+Relation Generator::ZipfGuard(const std::string& name, uint32_t arity,
+                              double theta) const {
+  Relation rel(name, arity);
+  rel.set_bytes_per_tuple(10.0 * arity);
+  rel.set_representation_scale(config_.representation_scale);
+  Xoshiro256 rng(config_.seed ^ NameSalt(name) ^ 0x21bfULL);
+  const ZipfDistribution zipf(config_.Domain(), theta);
+  rel.Reserve(config_.tuples);
+  std::vector<uint64_t> row(arity);
+  for (size_t i = 0; i < config_.tuples; ++i) {
+    for (uint32_t a = 0; a < arity; ++a) {
+      row[a] = Value::Int(static_cast<int64_t>(zipf.Sample(rng))).raw();
+    }
+    rel.AddWords(row.data());
+  }
+  return rel;
+}
+
+Relation Generator::CorrelatedGuard(const std::string& name, uint32_t arity,
+                                    double correlation, double theta) const {
+  Relation rel(name, arity);
+  rel.set_bytes_per_tuple(10.0 * arity);
+  rel.set_representation_scale(config_.representation_scale);
+  Xoshiro256 rng(config_.seed ^ NameSalt(name) ^ 0xc0deULL);
+  const ZipfDistribution zipf(config_.Domain(), theta);
+  rel.Reserve(config_.tuples);
+  std::vector<uint64_t> row(arity);
+  for (size_t i = 0; i < config_.tuples; ++i) {
+    const uint64_t key = zipf.Sample(rng);
+    row[0] = Value::Int(static_cast<int64_t>(key)).raw();
+    for (uint32_t a = 1; a < arity; ++a) {
+      const uint64_t v = rng.Bernoulli(correlation) ? key : zipf.Sample(rng);
+      row[a] = Value::Int(static_cast<int64_t>(v)).raw();
+    }
+    rel.AddWords(row.data());
+  }
+  return rel;
+}
+
+Relation Generator::SkewConditional(const std::string& name, uint32_t arity,
+                                    double selectivity, bool hot) const {
+  if (selectivity < 0.0) selectivity = config_.selectivity;
+  Relation rel(name, arity);
+  rel.set_bytes_per_tuple(10.0 * arity);
+  rel.set_representation_scale(config_.representation_scale);
+  Xoshiro256 rng(config_.seed ^ NameSalt(name) ^ (hot ? 0x407ULL : 0xc01dULL));
+  const uint64_t domain = config_.Domain();
+  // Matching values are a rank-contiguous slice: the hottest (smallest
+  // ranks) or coldest (largest ranks) `selectivity` fraction of the domain.
+  const uint64_t matched = static_cast<uint64_t>(
+      selectivity * static_cast<double>(domain) + 0.5);
+  const uint64_t lo = hot ? 0 : domain - std::min(domain, matched);
+  const uint64_t hi = hot ? matched : domain;
+  rel.Reserve(config_.tuples);
+  std::vector<uint64_t> row(arity);
+  for (uint64_t v = lo; v < hi && rel.size() < config_.tuples; ++v) {
+    row[0] = Value::Int(static_cast<int64_t>(v)).raw();
+    for (uint32_t a = 1; a < arity; ++a) {
+      row[a] = Value::Int(static_cast<int64_t>(rng.Uniform(domain))).raw();
+    }
+    rel.AddWords(row.data());
+  }
+  // Pad with non-matching values (>= domain), as Conditional does.
+  while (rel.size() < config_.tuples) {
+    row[0] =
+        Value::Int(static_cast<int64_t>(domain + rng.Uniform(domain) + 1))
+            .raw();
+    for (uint32_t a = 1; a < arity; ++a) {
+      row[a] = Value::Int(static_cast<int64_t>(rng.Uniform(domain))).raw();
+    }
+    rel.AddWords(row.data());
+  }
+  return rel;
+}
+
+Relation Generator::HotConditional(const std::string& name, uint32_t arity,
+                                   double selectivity) const {
+  return SkewConditional(name, arity, selectivity, /*hot=*/true);
+}
+
+Relation Generator::ColdConditional(const std::string& name, uint32_t arity,
+                                    double selectivity) const {
+  return SkewConditional(name, arity, selectivity, /*hot=*/false);
 }
 
 }  // namespace gumbo::data

@@ -17,10 +17,36 @@
 #define GUMBO_DATA_GENERATOR_H_
 
 #include <string>
+#include <vector>
 
 #include "common/relation.h"
+#include "common/rng.h"
 
 namespace gumbo::data {
+
+/// Zipf(theta) rank sampler over [0, n): P(rank r) proportional to
+/// 1/(r+1)^theta, so rank 0 is the hottest value. theta = 0 degenerates to
+/// uniform. The CDF is precomputed once (O(n)); Sample is a binary search.
+/// Rank r maps directly to domain value r, so "hot" values are the small
+/// ones — a fixed, documented convention the skew-aware conditional
+/// generators and the calibration regime classifier both rely on.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws a rank in [0, n) using randomness from `rng`.
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  /// Probability mass of rank r.
+  double Mass(uint64_t r) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;
+};
 
 struct GeneratorConfig {
   uint64_t seed = 42;
@@ -59,7 +85,42 @@ class Generator {
   Relation Conditional(const std::string& name, uint32_t arity = 1,
                        double selectivity = -1.0) const;
 
+  /// A Zipf-skewed guard: every attribute is drawn Zipf(theta) over the
+  /// domain (rank r -> value r, so value 0 is the hottest). Same density
+  /// and representation scale as Guard. Deterministic in (seed, name).
+  Relation ZipfGuard(const std::string& name, uint32_t arity = 4,
+                     double theta = 1.0) const;
+
+  /// A correlated-key guard: attribute 0 is drawn from Zipf(theta)
+  /// (theta = 0 -> uniform); each further attribute repeats attribute 0
+  /// with probability `correlation`, else draws fresh from the same
+  /// distribution. correlation = 1 makes every row a constant tuple of one
+  /// key; 0 recovers independent attributes.
+  Relation CorrelatedGuard(const std::string& name, uint32_t arity = 4,
+                           double correlation = 0.5,
+                           double theta = 0.0) const;
+
+  /// A conditional relation whose matching values are the `selectivity`
+  /// *hottest* fraction of the domain (ranks [0, sel*domain)). Under a
+  /// uniform guard this matches `selectivity` of guard tuples; under a
+  /// ZipfGuard it matches far MORE (the hot mass concentrates there) —
+  /// the regime where the uniform-calibrated cost model overestimates
+  /// how much a semi-join chain shrinks.
+  Relation HotConditional(const std::string& name, uint32_t arity = 1,
+                          double selectivity = -1.0) const;
+
+  /// The mirror image: matching values are the `selectivity` *coldest*
+  /// fraction (ranks [domain - sel*domain, domain)). Under a ZipfGuard it
+  /// matches far FEWER guard tuples than `selectivity` — the regime where
+  /// the uniform model underestimates shrink and mis-plans multi-round
+  /// strategies as too expensive.
+  Relation ColdConditional(const std::string& name, uint32_t arity = 1,
+                           double selectivity = -1.0) const;
+
  private:
+  Relation SkewConditional(const std::string& name, uint32_t arity,
+                           double selectivity, bool hot) const;
+
   GeneratorConfig config_;
 };
 

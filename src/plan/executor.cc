@@ -11,6 +11,12 @@ namespace {
 // The paper's four metrics plus the shuffle/round counters, derived from
 // the program statistics — shared by every execution entry point.
 void FillMetrics(ExecutionResult* result) {
+  // Full reset first: Metrics also carries serving fields (plan_cache_hit,
+  // queue_ms, sched_wait_ms) that this derivation does not touch, and
+  // max_jobs_per_round folds via std::max — a reused ExecutionResult must
+  // not leak a previous execution's values into this one
+  // (tests/serve_test.cc pins this).
+  result->metrics = Metrics{};
   Metrics& m = result->metrics;
   m.net_time = result->stats.net_time;
   m.total_time = result->stats.total_time;
@@ -101,6 +107,54 @@ Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,
                                          const Planner& planner,
                                          mr::Engine* engine, Database* db) {
   return ExecuteAndVerify(query, planner, mr::Runtime(engine), db);
+}
+
+void CalibrateFromExecution(const QueryPlan& plan,
+                            const mr::ProgramStats& stats,
+                            cost::CalibrationStore* store) {
+  if (store == nullptr) return;
+  const size_t jobs = std::min(plan.job_estimates.size(), stats.jobs.size());
+  for (size_t j = 0; j < jobs; ++j) {
+    const JobEstimateRecord& rec = plan.job_estimates[j];
+    const mr::JobStats& js = stats.jobs[j];
+    const size_t inputs = std::min(rec.inputs.size(), js.inputs.size());
+    for (size_t i = 0; i < inputs; ++i) {
+      const cost::InputEstimateTag& tag = rec.inputs[i];
+      const mr::InputStats& obs = js.inputs[i];
+      if (!obs.dataset.empty() && obs.dataset != tag.dataset) continue;
+      store->Observe(tag.channel, tag.regime, tag.output_mb, obs.output_mb);
+      if (tag.channel == cost::Channel::kCatalogOutput) {
+        store->Observe(cost::Channel::kCatalogInput, tag.regime, tag.input_mb,
+                       obs.input_mb);
+      }
+    }
+    if (rec.bound_defaulted) {
+      store->Observe(cost::Channel::kOutputBound, rec.bound_regime,
+                     rec.output_mb, js.hdfs_write_mb);
+    }
+    // Yields are meaningful only when the knob was actually on for this
+    // job — otherwise a zero yield would just record the knob's absence.
+    if (j < plan.program.size()) {
+      const mr::JobSpec& spec = plan.program.job(j);
+      const double shuffled = static_cast<double>(js.shuffle_messages);
+      if (spec.combiner_factory) {
+        const double combined = static_cast<double>(js.combined_messages);
+        if (shuffled + combined > 0.0) {
+          store->Observe(cost::Channel::kCombinerYield, rec.bound_regime, 1.0,
+                         combined / (shuffled + combined));
+        }
+      }
+      if (spec.filter_builder) {
+        const double filtered = static_cast<double>(js.filtered_messages);
+        const double emitted =
+            shuffled + static_cast<double>(js.combined_messages) + filtered;
+        if (emitted > 0.0) {
+          store->Observe(cost::Channel::kFilterYield, rec.bound_regime, 1.0,
+                         filtered / emitted);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace gumbo::plan

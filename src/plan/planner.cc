@@ -95,24 +95,32 @@ struct PlanContext {
 
 // Upper-bound stats for every produced dataset: the (transitive) base
 // guard's tuple count, at the output's own tuple density (paper §4.1: K is
-// bounded by the guard size).
+// bounded by the guard size). Each produced dataset inherits its guard's
+// key-skew regime — a semi-join output is a subset of the guard, so its
+// skew is the guard's (DESIGN.md §10).
 Status RegisterProducedStats(const sgf::SgfQuery& query, const Database& db,
                              cost::StatsCatalog* catalog) {
   std::map<std::string, double> tuple_bound;
+  std::map<std::string, cost::SkewRegime> regime_of;
   for (const auto& q : query.subqueries()) {
     double guard_tuples = 0.0;
+    cost::SkewRegime regime = cost::SkewRegime::kUniform;
     const std::string& g = q.guard().relation();
     auto it = tuple_bound.find(g);
     if (it != tuple_bound.end()) {
       guard_tuples = it->second;
+      regime = regime_of[g];
     } else {
       GUMBO_ASSIGN_OR_RETURN(const Relation* rel, db.Get(g));
       guard_tuples = rel->RepresentedRecords();
+      regime = cost::ClassifyKeySkew(*rel);
     }
     tuple_bound[q.output()] = guard_tuples;
+    regime_of[q.output()] = regime;
     cost::RelationStats stats;
     stats.tuples = guard_tuples;
     stats.bytes_per_tuple = 10.0 * static_cast<double>(q.OutputArity());
+    stats.regime = regime;
     catalog->Put(q.output(), stats);
   }
   return Status::Ok();
@@ -193,8 +201,10 @@ Status PlanBatchPartitioned(const std::vector<size_t>& batch,
     } else {
       cost::CostEstimator estimator(*ctx->config, ctx->options->cost_variant,
                                     ctx->db, &ctx->catalog,
-                                    ctx->options->sample_size);
-      // Register X_i stats (upper bound: guard size at payload density).
+                                    ctx->options->sample_size,
+                                    ctx->options->calibration);
+      // Register X_i stats (upper bound: guard size at payload density;
+      // regime inherited from the guard — X_i is a guard subset).
       for (const auto& eq : eqs) {
         GUMBO_ASSIGN_OR_RETURN(cost::RelationStats gs,
                                estimator.StatsOf(eq.guard_dataset));
@@ -204,6 +214,7 @@ Status PlanBatchPartitioned(const std::vector<size_t>& batch,
             ctx->options->op.tuple_id_refs
                 ? 8.0
                 : 10.0 * static_cast<double>(eq.guard.arity());
+        xs.regime = gs.regime;
         ctx->catalog.Put(eq.output, xs);
       }
       if (strategy == Strategy::kOpt) {
@@ -420,7 +431,8 @@ Result<double> EstimateSortCost(const Batches& batches, PlanContext* ctx) {
   double total = 0.0;
   cost::CostEstimator estimator(*ctx->config, ctx->options->cost_variant,
                                 ctx->db, &ctx->catalog,
-                                ctx->options->sample_size);
+                                ctx->options->sample_size,
+                                ctx->options->calibration);
   for (const auto& batch : batches) {
     std::vector<ops::SemiJoinEquation> eqs;
     size_t fresh = 0;
@@ -455,6 +467,63 @@ Result<double> EstimateSortCost(const Batches& batches, PlanContext* ctx) {
                  eval_input_mb;
   }
   return total;
+}
+
+// Post-pass over a lowered plan: estimate every job's §5.3 cost and record
+// the per-input provenance tags (JobEstimateRecord). Walks jobs in program
+// order (which is dependency order: AddJob only references earlier ids),
+// registering catalog stats for each job's outputs as it goes, so inputs
+// produced by strategies that don't register intermediates themselves
+// (SEQ chain steps, PAR X_i) still estimate. These records make estimated
+// totals comparable across strategies (ChoosePlan) and give the
+// calibration feedback loop its "estimated" side (DESIGN.md §10).
+Status EstimatePlanJobs(PlanContext* ctx) {
+  cost::CostEstimator estimator(*ctx->config, ctx->options->cost_variant,
+                                ctx->db, &ctx->catalog,
+                                ctx->options->sample_size,
+                                ctx->options->calibration);
+  QueryPlan& plan = ctx->plan;
+  plan.job_estimates.clear();
+  plan.estimated_cost = 0.0;
+  plan.job_estimates.reserve(plan.program.size());
+  for (size_t j = 0; j < plan.program.size(); ++j) {
+    const mr::JobSpec& job = plan.program.job(j);
+    // Upper bound for this job's outputs: the summed tuple bounds of its
+    // inputs (a union can reach the sum; a semi-join stays below it).
+    double input_tuple_bound = 0.0;
+    cost::SkewRegime input_regime = cost::SkewRegime::kUniform;
+    for (const mr::JobInput& input : job.inputs) {
+      Result<cost::RelationStats> stats = estimator.StatsOf(input.dataset);
+      if (stats.ok()) {
+        input_tuple_bound += stats->tuples;
+        if (stats->regime > input_regime) input_regime = stats->regime;
+      }
+    }
+    GUMBO_ASSIGN_OR_RETURN(cost::JobEstimate est, estimator.EstimateJob(job));
+    JobEstimateRecord rec;
+    rec.job_name = job.name;
+    rec.cost = est.cost;
+    rec.output_mb = est.output_mb;
+    rec.bound_regime = est.bound_regime;
+    rec.bound_defaulted = est.bound_defaulted;
+    rec.inputs = std::move(est.input_tags);
+    plan.estimated_cost += est.cost;
+    plan.job_estimates.push_back(std::move(rec));
+    // Register stats for datasets this job produces (skip ones already
+    // bounded by RegisterProducedStats or the grouping path).
+    for (const mr::JobOutput& out : job.outputs) {
+      if (ctx->catalog.Contains(out.dataset)) continue;
+      if (ctx->db != nullptr && ctx->db->Contains(out.dataset)) continue;
+      cost::RelationStats stats;
+      stats.tuples = input_tuple_bound;
+      stats.bytes_per_tuple = out.bytes_per_tuple > 0.0
+                                  ? out.bytes_per_tuple
+                                  : 10.0 * static_cast<double>(out.arity);
+      stats.regime = input_regime;
+      ctx->catalog.Put(out.dataset, stats);
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -547,7 +616,74 @@ Result<QueryPlan> Planner::Plan(const sgf::SgfQuery& query,
     for (size_t j : rounds[r]) line += " [" + std::to_string(j) + "]";
     ctx.Describe(line);
   }
+  GUMBO_RETURN_IF_ERROR(EstimatePlanJobs(&ctx));
   return std::move(ctx.plan);
+}
+
+cost::SkewRegime QueryRegime(const sgf::SgfQuery& query, const Database& db) {
+  cost::SkewRegime regime = cost::SkewRegime::kUniform;
+  for (const sgf::BsgfQuery& q : query.subqueries()) {
+    const std::string& g = q.guard().relation();
+    if (!db.Contains(g)) continue;  // intermediate: inherits a base guard
+    const cost::SkewRegime r = cost::ClassifyKeySkew(*db.Get(g).value());
+    if (r > regime) regime = r;
+  }
+  return regime;
+}
+
+ops::OpOptions TuneOpOptions(const ops::OpOptions& base,
+                             cost::SkewRegime regime,
+                             const cost::CalibrationStore& store,
+                             double min_yield) {
+  ops::OpOptions tuned = base;
+  if (tuned.combiners &&
+      store.Observations(cost::Channel::kCombinerYield, regime) > 0 &&
+      store.Factor(cost::Channel::kCombinerYield, regime) < min_yield) {
+    tuned.combiners = false;
+  }
+  if (tuned.bloom_filters &&
+      store.Observations(cost::Channel::kFilterYield, regime) > 0 &&
+      store.Factor(cost::Channel::kFilterYield, regime) < min_yield) {
+    tuned.bloom_filters = false;
+  }
+  return tuned;
+}
+
+Result<StrategyChoice> ChoosePlan(const sgf::SgfQuery& query,
+                                  const Database& db,
+                                  const cost::ClusterConfig& config,
+                                  const PlannerOptions& base,
+                                  std::vector<Strategy> candidates) {
+  if (candidates.empty()) {
+    candidates = {Strategy::kOneRound, Strategy::kSeq, Strategy::kPar,
+                  Strategy::kGreedy};
+  }
+  StrategyChoice choice;
+  bool have = false;
+  Status last_error = Status::Ok();
+  for (Strategy s : candidates) {
+    PlannerOptions options = base;
+    options.strategy = s;
+    Planner planner(config, options);
+    Result<QueryPlan> planned = planner.Plan(query, db);
+    if (!planned.ok()) {
+      // Inapplicable strategies (1-ROUND on a non-qualifying query) are
+      // skipped; real failures surface if no candidate plans at all.
+      last_error = planned.status();
+      continue;
+    }
+    choice.candidates.push_back({s, planned->estimated_cost});
+    if (!have || planned->estimated_cost < choice.plan.estimated_cost) {
+      have = true;
+      choice.strategy = s;
+      choice.plan = std::move(*planned);
+    }
+  }
+  if (!have) {
+    return Status(last_error.code(),
+                  "no candidate strategy planned: " + last_error.message());
+  }
+  return choice;
 }
 
 }  // namespace gumbo::plan

@@ -51,6 +51,23 @@ struct PlannerOptions {
   cost::CostModelVariant cost_variant = cost::CostModelVariant::kGumbo;
   size_t sample_size = 1024;  ///< map-sampling size for cost estimation
   size_t opt_max_n = 10;      ///< brute-force grouping limit
+  /// Optional learned observed/estimated correction factors (DESIGN.md
+  /// §10). Non-owning; must outlive the planner. Null or empty store =
+  /// the uncalibrated paper model, byte for byte.
+  const cost::CalibrationStore* calibration = nullptr;
+};
+
+/// Plan-time estimate of one job, recorded parallel to the program's jobs
+/// so observed execution stats can be fed back into a CalibrationStore
+/// (CalibrateFromExecution, DESIGN.md §10).
+struct JobEstimateRecord {
+  std::string job_name;
+  double cost = 0.0;           ///< modeled §5.3 job cost
+  double output_mb = 0.0;      ///< K bound the estimate used
+  cost::SkewRegime bound_regime = cost::SkewRegime::kUniform;
+  bool bound_defaulted = false;
+  /// One per job input, in JobSpec::inputs order.
+  std::vector<cost::InputEstimateTag> inputs;
 };
 
 /// A fully-lowered plan: the MR program plus dataset bookkeeping. Once
@@ -65,6 +82,13 @@ struct QueryPlan {
   std::vector<std::string> intermediates;
   /// Human-readable plan summary (one line per job).
   std::string description;
+  /// Plan-time cost estimates, parallel to program jobs (the calibration
+  /// feedback loop's "estimated" side). Every strategy gets them, so
+  /// estimated totals are comparable across strategies.
+  std::vector<JobEstimateRecord> job_estimates;
+  /// Summed estimated job cost of the whole plan (the §5.3 total-time
+  /// analogue used to rank strategies in ChoosePlan).
+  double estimated_cost = 0.0;
 };
 
 /// Shared handle to an immutable lowered plan (plan cache currency).
@@ -85,6 +109,47 @@ class Planner {
   cost::ClusterConfig config_;
   PlannerOptions options_;
 };
+
+/// The dominant key-skew regime of a query against `db`: the most skewed
+/// regime among the base guard relations it reads.
+cost::SkewRegime QueryRegime(const sgf::SgfQuery& query, const Database& db);
+
+/// Per-regime combiner/filter knob tuning from observed yields: a knob is
+/// switched off when the store has seen this regime deliver a negligible
+/// yield (< `min_yield` of messages combined away / suppressed), and left
+/// at its `base` setting otherwise — including when the store has no
+/// observations for the regime yet.
+ops::OpOptions TuneOpOptions(const ops::OpOptions& base,
+                             cost::SkewRegime regime,
+                             const cost::CalibrationStore& store,
+                             double min_yield = 0.02);
+
+/// One candidate strategy's estimated outcome (ChoosePlan).
+struct StrategyCost {
+  Strategy strategy = Strategy::kGreedy;
+  double estimated_cost = 0.0;
+};
+
+/// The plan ChoosePlan selected, plus the ranking that selected it.
+struct StrategyChoice {
+  Strategy strategy = Strategy::kGreedy;
+  QueryPlan plan;  ///< the winning strategy's plan
+  /// Every candidate that planned successfully, with its estimated cost
+  /// (ranking input; inapplicable candidates, e.g. 1-ROUND on a
+  /// non-qualifying query, are simply absent).
+  std::vector<StrategyCost> candidates;
+};
+
+/// Plans `query` under each candidate strategy and picks the one with the
+/// lowest estimated plan cost under `base.calibration` (the self-
+/// calibrating optimizer's strategy re-pick, DESIGN.md §10). `candidates`
+/// defaults to {1-ROUND, SEQ, PAR, GREEDY}; candidates whose planning
+/// fails with FailedPrecondition are skipped. base.strategy is ignored.
+Result<StrategyChoice> ChoosePlan(const sgf::SgfQuery& query,
+                                  const Database& db,
+                                  const cost::ClusterConfig& config,
+                                  const PlannerOptions& base,
+                                  std::vector<Strategy> candidates = {});
 
 }  // namespace gumbo::plan
 

@@ -14,12 +14,22 @@ double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+// A service-level calibration store doubles as the planner's unless the
+// caller wired a different one into planner.calibration explicitly.
+ServiceOptions InstallCalibration(ServiceOptions options) {
+  if (options.calibration != nullptr &&
+      options.planner.calibration == nullptr) {
+    options.planner.calibration = options.calibration;
+  }
+  return options;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Database* db, ServiceOptions options,
                            Scheduler* scheduler)
     : db_(db),
-      options_(std::move(options)),
+      options_(InstallCalibration(std::move(options))),
       engine_(options_.cluster, scheduler),
       runtime_(&engine_, options_.runtime),
       planner_(options_.cluster, options_.planner),
@@ -249,6 +259,10 @@ void QueryService::Execute(Task task) {
       resp.metrics.sched_wait_ms = sched_wait_ms;
       resp.metrics.sched_morsels =
           sched_metrics.morsels.load(std::memory_order_relaxed);
+      // Close the calibration loop (DESIGN.md §10): observed stats of this
+      // execution refine the shared store so later plannings estimate
+      // better. Thread-safe; results are unaffected (estimates only).
+      plan::CalibrateFromExecution(*plan, resp.stats, options_.calibration);
     }
   }
   resp.metrics.plan_cache_hit = cache_hit;

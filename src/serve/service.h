@@ -78,6 +78,13 @@ struct ServiceOptions {
   plan::PlannerOptions planner;
   cost::ClusterConfig cluster;
   mr::RuntimeOptions runtime;
+  /// Optional calibration feedback loop (DESIGN.md §10): when set, every
+  /// successful execution's observed stats are fed back through
+  /// plan::CalibrateFromExecution, and the planner estimates through the
+  /// store (it is installed as planner.calibration if that is unset).
+  /// Non-owning; must outlive the service. The store is thread-safe, so
+  /// concurrent workers may feed it simultaneously.
+  cost::CalibrationStore* calibration = nullptr;
 };
 
 /// The outcome of one query: produced relations plus per-query metrics.

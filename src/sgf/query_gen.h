@@ -1,0 +1,73 @@
+// Random SGF query generation for the differential soak harness
+// (DESIGN.md §10). Where tests/property_test.cc samples small random BSGF
+// queries, this generator produces the *shapes* the planner's cost model
+// actually has to discriminate between: wide fan-out (>= 8 conditional
+// atoms on one guard), deep semi-join chains (Z1 -> Z2 -> ... -> Zk), and
+// anti-join-heavy conditions, plus a mixed mode combining them.
+//
+// Queries are generated as TEXT and then parsed through sgf::ParseSgf, so
+// every generated query is by construction one the parser+validator
+// accept, and a failing soak iteration can be reproduced from the printed
+// text alone. Generation is deterministic in the seed.
+#ifndef GUMBO_SGF_QUERY_GEN_H_
+#define GUMBO_SGF_QUERY_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sgf/parser.h"
+#include "sgf/sgf.h"
+
+namespace gumbo::sgf {
+
+enum class QueryShape { kWideFanout, kDeepChain, kAntiJoinHeavy, kMixed };
+
+const char* QueryShapeName(QueryShape shape);
+
+struct QueryGenConfig {
+  QueryShape shape = QueryShape::kMixed;
+  /// Minimum conditional atoms on the guard for kWideFanout (the paper's
+  /// Table 3 study stops at 3 conditionals; the soak goes to >= 8).
+  size_t fanout = 8;
+  /// Subqueries in a kDeepChain query: Z1 := ... FROM G; Zi := ... FROM
+  /// Z_{i-1}.
+  size_t chain_depth = 4;
+  /// Constants in atoms are drawn from [0, max_constant); keep this below
+  /// the generator domain so constant atoms can actually match.
+  size_t max_constant = 50;
+};
+
+/// One generated query plus everything needed to (a) build a matching
+/// database and (b) reproduce or shrink a failure from text.
+struct GeneratedQuery {
+  /// One statement per subquery, dependency-ordered; the full query text
+  /// is their concatenation, and any *prefix* is itself a valid SGF query
+  /// (later subqueries only mention earlier outputs) — the property the
+  /// soak minimizer relies on.
+  std::vector<std::string> statements;
+  SgfQuery query;
+  /// Base relation name -> arity for every base relation the query reads.
+  std::map<std::string, uint32_t> base_relations;
+  QueryShape shape = QueryShape::kMixed;
+
+  std::string Text() const;
+};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(QueryGenConfig config = {}) : config_(config) {}
+
+  const QueryGenConfig& config() const { return config_; }
+
+  /// Deterministic: the same (config, seed) always yields the same query.
+  GeneratedQuery Generate(uint64_t seed) const;
+
+ private:
+  QueryGenConfig config_;
+};
+
+}  // namespace gumbo::sgf
+
+#endif  // GUMBO_SGF_QUERY_GEN_H_

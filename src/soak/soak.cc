@@ -1,0 +1,427 @@
+#include "soak/soak.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/dictionary.h"
+#include "cost/calibration.h"
+#include "data/generator.h"
+#include "mr/engine.h"
+#include "mr/runtime.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "serve/service.h"
+#include "sgf/naive_eval.h"
+#include "sgf/parser.h"
+
+namespace gumbo::soak {
+
+namespace {
+
+constexpr plan::Strategy kStrategies[] = {
+    plan::Strategy::kSeq,       plan::Strategy::kPar,
+    plan::Strategy::kGreedy,    plan::Strategy::kOpt,
+    plan::Strategy::kOneRound,  plan::Strategy::kSeqUnit,
+    plan::Strategy::kParUnit,   plan::Strategy::kGreedySgf,
+    plan::Strategy::kOptSgf,
+};
+
+constexpr DataRegime kRegimes[] = {
+    DataRegime::kUniform, DataRegime::kZipf,    DataRegime::kZipfHeavy,
+    DataRegime::kCorrelated, DataRegime::kHotCold,
+};
+
+constexpr sgf::QueryShape kShapes[] = {
+    sgf::QueryShape::kWideFanout,
+    sgf::QueryShape::kDeepChain,
+    sgf::QueryShape::kAntiJoinHeavy,
+    sgf::QueryShape::kMixed,
+};
+
+// A tiny simulated cluster so the generated relations split into several
+// map tasks / reducers (same sizing as tests/property_test.cc).
+cost::ClusterConfig SoakCluster() {
+  cost::ClusterConfig config;
+  config.split_mb = 0.002;
+  config.mb_per_reducer = 0.002;
+  return config;
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::vector<std::string> OutputNames(const sgf::SgfQuery& query) {
+  std::vector<std::string> names;
+  names.reserve(query.size());
+  for (const sgf::BsgfQuery& q : query.subqueries()) {
+    names.push_back(q.output());
+  }
+  return names;
+}
+
+// Byte-identity check: both relations canonicalized (SortAndDedupe), then
+// the flat word arenas AND the per-row fingerprints must match exactly.
+// Returns an empty string on identity, a description otherwise.
+std::string DiffRelation(const Relation& want_in, const Relation& got_in) {
+  Relation want = want_in;
+  Relation got = got_in;
+  want.SortAndDedupe();
+  got.SortAndDedupe();
+  if (want.size() != got.size()) {
+    return "size " + std::to_string(got.size()) + " != reference " +
+           std::to_string(want.size());
+  }
+  if (want.words() != got.words()) return "word arenas differ";
+  if (want.fingerprints() != got.fingerprints()) {
+    return "row fingerprints differ (words identical)";
+  }
+  return "";
+}
+
+std::string DiffOutputs(const Database& expected, const Database& got,
+                        const std::vector<std::string>& outputs) {
+  for (const std::string& name : outputs) {
+    Result<const Relation*> want = expected.Get(name);
+    if (!want.ok()) return name + ": missing from reference";
+    Result<const Relation*> have = got.Get(name);
+    if (!have.ok()) return name + ": missing from result";
+    std::string diff = DiffRelation(**want, **have);
+    if (!diff.empty()) return name + ": " + diff;
+  }
+  return "";
+}
+
+enum class Outcome { kOk, kSkip, kFail };
+
+// One strategy against the naive reference. `calibration` (may be null)
+// feeds the planner's estimates; `feed` (may be null) receives this
+// execution's observed stats afterwards — the full loop under soak.
+Outcome CheckStrategy(const sgf::SgfQuery& query, const Database& db,
+                      const Database& expected,
+                      const std::vector<std::string>& outputs,
+                      plan::Strategy strategy,
+                      const cost::CalibrationStore* calibration,
+                      cost::CalibrationStore* feed, std::string* detail) {
+  detail->clear();
+  const cost::ClusterConfig config = SoakCluster();
+  plan::PlannerOptions opts;
+  opts.strategy = strategy;
+  opts.sample_size = 32;
+  opts.calibration = calibration;
+  plan::Planner planner(config, opts);
+  Result<plan::QueryPlan> plan = planner.Plan(query, db);
+  if (!plan.ok()) {
+    // Inapplicable strategy (1-ROUND precondition, OPT size limit, ...).
+    *detail = plan.status().ToString();
+    return Outcome::kSkip;
+  }
+  mr::Engine engine(config);
+  mr::Runtime runtime(&engine);
+  Database out;
+  Result<plan::ExecutionResult> executed =
+      plan::ExecutePlanOnSnapshot(*plan, runtime, db, &out);
+  if (!executed.ok()) {
+    *detail = "execution failed: " + executed.status().ToString();
+    return Outcome::kFail;
+  }
+  if (feed != nullptr) {
+    plan::CalibrateFromExecution(*plan, executed->stats, feed);
+  }
+  *detail = DiffOutputs(expected, out, outputs);
+  return detail->empty() ? Outcome::kOk : Outcome::kFail;
+}
+
+// The serve paths: with the plan cache on, the query is submitted twice —
+// the second response must come from the cached plan AND stay identical;
+// with it off, once. `store` may be null (uncalibrated service).
+Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
+                   const Database& expected,
+                   const std::vector<std::string>& outputs, bool cache,
+                   cost::CalibrationStore* store, std::string* detail) {
+  detail->clear();
+  serve::ServiceOptions so;
+  so.max_inflight = 2;
+  so.plan_cache = cache;
+  so.cluster = SoakCluster();
+  so.planner.sample_size = 32;
+  so.calibration = store;
+  serve::QueryService service(&db, so);
+  const int runs = cache ? 2 : 1;
+  for (int r = 0; r < runs; ++r) {
+    serve::QueryResponse resp = service.Run(query);
+    if (!resp.ok()) {
+      *detail = "serve execution failed: " + resp.status.ToString();
+      return Outcome::kFail;
+    }
+    if (cache && r == 1 && !resp.metrics.plan_cache_hit) {
+      *detail = "second submission missed the plan cache";
+      return Outcome::kFail;
+    }
+    std::string diff = DiffOutputs(expected, resp.outputs, outputs);
+    if (!diff.empty()) {
+      *detail = (r == 0 ? "cold run: " : "cached-plan run: ") + diff;
+      return Outcome::kFail;
+    }
+  }
+  return Outcome::kOk;
+}
+
+// Dispatches a path by name — the minimizer's re-check hook. Paths are
+// strategy names plus "serve-cache" / "serve-nocache".
+Outcome CheckPath(const std::string& path, const sgf::SgfQuery& query,
+                  const Database& db, const Database& expected,
+                  const std::vector<std::string>& outputs,
+                  std::string* detail) {
+  if (path == "serve-cache" || path == "serve-nocache") {
+    return CheckServe(query, db, expected, outputs, path == "serve-cache",
+                      nullptr, detail);
+  }
+  Result<plan::Strategy> strategy = plan::StrategyFromName(path);
+  if (!strategy.ok()) {
+    *detail = "unknown path " + path;
+    return Outcome::kSkip;
+  }
+  return CheckStrategy(query, db, expected, outputs, *strategy, nullptr,
+                       nullptr, detail);
+}
+
+// Whether `path` still diverges on (query_text, db(seed, tuples)).
+// Conservative: anything that fails to parse or naive-evaluate counts as
+// "no divergence", so the minimizer never shrinks past reproducibility.
+bool Diverges(const std::string& query_text,
+              const std::map<std::string, uint32_t>& base, DataRegime regime,
+              uint64_t seed, size_t tuples, double selectivity,
+              const std::string& path, std::string* detail) {
+  Result<sgf::SgfQuery> query =
+      sgf::ParseSgf(query_text, &Dictionary::Global());
+  if (!query.ok()) return false;
+  Database db = BuildDatabase(base, regime, seed, tuples, selectivity);
+  Result<Database> expected = sgf::NaiveEvalSgf(*query, db);
+  if (!expected.ok()) return false;
+  return CheckPath(path, *query, db, *expected, OutputNames(*query),
+                   detail) == Outcome::kFail;
+}
+
+std::string JoinStatements(const std::vector<std::string>& statements,
+                           size_t count) {
+  std::string text;
+  for (size_t i = 0; i < count && i < statements.size(); ++i) {
+    if (!text.empty()) text += "\n";
+    text += statements[i];
+  }
+  return text;
+}
+
+// Shrinks a diverging case: shortest diverging statement prefix first
+// (prefixes are valid SGF by construction, sgf/query_gen.h), then halve
+// the database while the divergence persists. Re-checks run uncalibrated;
+// a result divergence must not depend on estimates, so if shrinking loses
+// the repro the original (seed, full query, full size) is kept.
+SoakFailure Minimize(const sgf::GeneratedQuery& generated, DataRegime regime,
+                     uint64_t seed, const SoakConfig& config,
+                     const std::string& path, std::string detail) {
+  SoakFailure failure;
+  failure.seed = seed;
+  failure.regime = regime;
+  failure.path = path;
+  failure.query_text = generated.Text();
+  failure.tuples = config.tuples;
+  failure.detail = std::move(detail);
+
+  std::string shrunk_detail;
+  size_t keep = generated.statements.size();
+  for (size_t k = 1; k < generated.statements.size(); ++k) {
+    if (Diverges(JoinStatements(generated.statements, k),
+                 generated.base_relations, regime, seed, config.tuples,
+                 config.selectivity, path, &shrunk_detail)) {
+      keep = k;
+      break;
+    }
+  }
+  std::string text = JoinStatements(generated.statements, keep);
+  size_t tuples = config.tuples;
+  if (keep < generated.statements.size() ||
+      Diverges(text, generated.base_relations, regime, seed, tuples,
+               config.selectivity, path, &shrunk_detail)) {
+    failure.query_text = text;
+    if (!shrunk_detail.empty()) failure.detail = shrunk_detail;
+    while (tuples / 2 >= 16 &&
+           Diverges(text, generated.base_relations, regime, seed, tuples / 2,
+                    config.selectivity, path, &shrunk_detail)) {
+      tuples /= 2;
+      failure.detail = shrunk_detail;
+    }
+    failure.tuples = tuples;
+  }
+  return failure;
+}
+
+}  // namespace
+
+const char* DataRegimeName(DataRegime regime) {
+  switch (regime) {
+    case DataRegime::kUniform:
+      return "uniform";
+    case DataRegime::kZipf:
+      return "zipf";
+    case DataRegime::kZipfHeavy:
+      return "zipf-heavy";
+    case DataRegime::kCorrelated:
+      return "correlated";
+    case DataRegime::kHotCold:
+      return "hot-cold";
+  }
+  return "?";
+}
+
+SoakConfig SoakConfig::FromEnv() {
+  SoakConfig config;
+  config.seed = EnvU64("GUMBO_SOAK_SEED", config.seed);
+  config.iterations =
+      static_cast<size_t>(EnvU64("GUMBO_SOAK_ITERS", config.iterations));
+  config.tuples =
+      static_cast<size_t>(EnvU64("GUMBO_SOAK_TUPLES", config.tuples));
+  return config;
+}
+
+std::string SoakFailure::Repro() const {
+  std::string s;
+  s += "soak divergence: path=" + path + " regime=" +
+       std::string(DataRegimeName(regime)) + "\n";
+  s += "  detail: " + detail + "\n";
+  s += "  repro: GUMBO_SOAK_SEED=" + std::to_string(seed) +
+       " GUMBO_SOAK_ITERS=1 GUMBO_SOAK_TUPLES=" + std::to_string(tuples) +
+       " bench_soak\n";
+  s += "  minimized query:\n" + query_text + "\n";
+  return s;
+}
+
+std::string SoakReport::Summary() const {
+  std::string s = "soak: " + std::to_string(iterations) + " iterations, " +
+                  std::to_string(checks) + " checks, " +
+                  std::to_string(skipped) + " skipped, " +
+                  std::to_string(failures.size()) + " failures";
+  for (const SoakFailure& f : failures) {
+    s += "\n" + f.Repro();
+  }
+  return s;
+}
+
+Database BuildDatabase(const std::map<std::string, uint32_t>& base,
+                       DataRegime regime, uint64_t seed, size_t tuples,
+                       double selectivity) {
+  data::GeneratorConfig g;
+  g.seed = seed;
+  g.tuples = tuples;
+  g.representation_scale = 1.0;
+  g.selectivity = selectivity;
+  data::Generator gen(g);
+  Database db;
+  // Alternate hot/cold deterministically by name in the kHotCold regime
+  // (the conditional pool is S/T/U/V -> hot, cold, hot, cold).
+  for (const auto& [name, arity] : base) {
+    const bool guard = arity >= 3;
+    switch (regime) {
+      case DataRegime::kUniform:
+        db.Put(guard ? gen.Guard(name, arity) : gen.Conditional(name, arity));
+        break;
+      case DataRegime::kZipf:
+        db.Put(guard ? gen.ZipfGuard(name, arity, 0.8)
+                     : gen.Conditional(name, arity));
+        break;
+      case DataRegime::kZipfHeavy:
+        db.Put(guard ? gen.ZipfGuard(name, arity, 1.2)
+                     : gen.Conditional(name, arity));
+        break;
+      case DataRegime::kCorrelated:
+        db.Put(guard ? gen.CorrelatedGuard(name, arity, 0.6, 0.8)
+                     : gen.Conditional(name, arity));
+        break;
+      case DataRegime::kHotCold: {
+        const bool hot = !name.empty() && ((name[0] - 'A') % 2 == 0);
+        db.Put(guard ? gen.ZipfGuard(name, arity, 1.0)
+                     : (hot ? gen.HotConditional(name, arity)
+                            : gen.ColdConditional(name, arity)));
+        break;
+      }
+    }
+  }
+  return db;
+}
+
+SoakReport RunSoak(const SoakConfig& config) {
+  SoakReport report;
+  cost::CalibrationStore store;
+  for (size_t i = 0; i < config.iterations; ++i) {
+    const uint64_t seed = config.seed + i;
+    Xoshiro256 rng(SplitMix64::Mix(seed ^ 0x50a7ULL));
+    const DataRegime regime =
+        kRegimes[rng.Uniform(sizeof(kRegimes) / sizeof(kRegimes[0]))];
+    sgf::QueryGenConfig qc;
+    qc.shape = kShapes[rng.Uniform(sizeof(kShapes) / sizeof(kShapes[0]))];
+    const sgf::GeneratedQuery generated =
+        sgf::QueryGenerator(qc).Generate(seed);
+    Database db = BuildDatabase(generated.base_relations, regime, seed,
+                                config.tuples, config.selectivity);
+    Result<Database> expected = sgf::NaiveEvalSgf(generated.query, db);
+    ++report.iterations;
+    if (!expected.ok()) {
+      SoakFailure f;
+      f.seed = seed;
+      f.regime = regime;
+      f.path = "naive-reference";
+      f.query_text = generated.Text();
+      f.tuples = config.tuples;
+      f.detail = expected.status().ToString();
+      report.failures.push_back(std::move(f));
+      if (report.failures.size() >= config.max_failures) break;
+      continue;
+    }
+    const std::vector<std::string> outputs = OutputNames(generated.query);
+
+    std::string detail;
+    for (plan::Strategy strategy : kStrategies) {
+      // The shared store both drives estimates (all strategies) and is
+      // fed back from GREEDY executions — calibration must never change
+      // a result byte, and the soak holds it to that.
+      const Outcome outcome = CheckStrategy(
+          generated.query, db, *expected, outputs, strategy,
+          config.calibrate ? &store : nullptr,
+          (config.calibrate && strategy == plan::Strategy::kGreedy) ? &store
+                                                                    : nullptr,
+          &detail);
+      if (outcome == Outcome::kSkip) {
+        ++report.skipped;
+        continue;
+      }
+      ++report.checks;
+      if (outcome == Outcome::kFail) {
+        report.failures.push_back(Minimize(generated, regime, seed, config,
+                                           plan::StrategyName(strategy),
+                                           detail));
+      }
+    }
+    if (config.serve_paths) {
+      for (const bool cache : {true, false}) {
+        const Outcome outcome = CheckServe(
+            generated.query, db, *expected, outputs, cache,
+            config.calibrate ? &store : nullptr, &detail);
+        ++report.checks;
+        if (outcome == Outcome::kFail) {
+          report.failures.push_back(
+              Minimize(generated, regime, seed, config,
+                       cache ? "serve-cache" : "serve-nocache", detail));
+        }
+      }
+    }
+    if (report.failures.size() >= config.max_failures) break;
+  }
+  return report;
+}
+
+}  // namespace gumbo::soak

@@ -1,0 +1,96 @@
+// Differential soak harness (DESIGN.md §10): random SGF queries over
+// random skewed/correlated databases, evaluated through every planner
+// strategy and both serve::QueryService paths (plan cache on and off),
+// with every result checked byte-identical — flat words AND row
+// fingerprints — against the naive reference evaluator.
+//
+// Everything is deterministic in one seed: iteration i of a soak with
+// base seed S behaves exactly like a one-iteration soak with seed S + i,
+// so a failure is reproducible from the printed seed alone. On
+// divergence the harness additionally *minimizes* the failing case —
+// dropping trailing subquery statements and halving the database — and
+// reports the smallest (query, database) pair that still diverges.
+#ifndef GUMBO_SOAK_SOAK_H_
+#define GUMBO_SOAK_SOAK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/relation.h"
+#include "sgf/query_gen.h"
+
+namespace gumbo::soak {
+
+/// The database regimes the soak cycles through — the generator
+/// configurations the calibrated cost model has to discriminate
+/// (data/generator.h).
+enum class DataRegime {
+  kUniform,     ///< Guard + Conditional: the paper's uniform data
+  kZipf,        ///< ZipfGuard(theta=0.8) + uniform conditionals
+  kZipfHeavy,   ///< ZipfGuard(theta=1.2): heavy-skew regime
+  kCorrelated,  ///< CorrelatedGuard(corr=0.6, theta=0.8)
+  kHotCold,     ///< ZipfGuard(1.0) + alternating Hot/ColdConditional
+};
+
+const char* DataRegimeName(DataRegime regime);
+
+struct SoakConfig {
+  /// Base seed; iteration i uses seed + i. Env: GUMBO_SOAK_SEED.
+  uint64_t seed = 7;
+  /// Random (query, database) pairs to run. Env: GUMBO_SOAK_ITERS.
+  size_t iterations = 200;
+  /// Materialized tuples per generated relation. Env: GUMBO_SOAK_TUPLES.
+  size_t tuples = 240;
+  /// Conditional-relation selectivity (data/generator.h).
+  double selectivity = 0.4;
+  /// Also run each query through serve::QueryService: cache-on submitted
+  /// twice (second hit exercises the cached-plan path) plus cache-off.
+  bool serve_paths = true;
+  /// Thread a shared CalibrationStore through the whole soak: planners
+  /// estimate through it and executions feed it, so the soak also pins
+  /// the invariant that calibration changes estimates, never results.
+  bool calibrate = true;
+  /// Stop after this many (minimized) failures.
+  size_t max_failures = 1;
+
+  /// Reads GUMBO_SOAK_{SEED,ITERS,TUPLES} over the defaults above.
+  static SoakConfig FromEnv();
+};
+
+/// One minimized divergence: everything needed to reproduce it.
+struct SoakFailure {
+  uint64_t seed = 0;       ///< exact iteration seed (generators + query)
+  DataRegime regime = DataRegime::kUniform;
+  std::string path;        ///< strategy name, "serve-cache", "serve-nocache"
+  std::string query_text;  ///< minimized query
+  size_t tuples = 0;       ///< minimized database size
+  std::string detail;      ///< what differed
+  /// Multi-line human-readable reproduction recipe.
+  std::string Repro() const;
+};
+
+struct SoakReport {
+  size_t iterations = 0;  ///< (query, database) pairs actually run
+  size_t checks = 0;      ///< individual path-vs-naive comparisons
+  size_t skipped = 0;     ///< inapplicable paths (e.g. 1-ROUND refusals)
+  std::vector<SoakFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the soak. Deterministic in `config`.
+SoakReport RunSoak(const SoakConfig& config);
+
+/// Builds the iteration database for `base` relations (name -> arity)
+/// under `regime`. Relations of arity >= 3 are guards, the rest
+/// conditionals. Exposed for tests and the failure minimizer.
+Database BuildDatabase(const std::map<std::string, uint32_t>& base,
+                       DataRegime regime, uint64_t seed, size_t tuples,
+                       double selectivity);
+
+}  // namespace gumbo::soak
+
+#endif  // GUMBO_SOAK_SOAK_H_

@@ -205,5 +205,137 @@ TEST(EstimatorTest, ConstantFilterDetectedBySampling) {
   EXPECT_DOUBLE_EQ(e->partitions[1].output_mb, 0.0);
 }
 
+// ---- Skew classification + calibration (DESIGN.md §10) ----------------------
+
+TEST(CalibrationTest, ClassifyKeySkewPerGeneratorRegime) {
+  data::GeneratorConfig g;
+  g.tuples = 5000;
+  g.representation_scale = 1.0;
+  data::Generator gen(g);
+  EXPECT_EQ(ClassifyKeySkew(gen.Guard("R", 1)), SkewRegime::kUniform);
+  EXPECT_EQ(ClassifyKeySkew(gen.ZipfGuard("Z", 1, 1.0)),
+            SkewRegime::kModerate);
+  EXPECT_EQ(ClassifyKeySkew(gen.ZipfGuard("H", 1, 1.5)), SkewRegime::kHeavy);
+  // Correlation skews later attributes, not the key column: with theta=0
+  // the first attribute stays uniform.
+  EXPECT_EQ(ClassifyKeySkew(gen.CorrelatedGuard("C", 3, 0.9, 0.0)),
+            SkewRegime::kUniform);
+  EXPECT_EQ(ClassifyKeySkew(Relation("E", 2)), SkewRegime::kUniform);
+}
+
+TEST(CalibrationTest, EmptyStoreIsTheIdentity) {
+  CalibrationStore store;
+  EXPECT_EQ(store.TotalObservations(), 0u);
+  for (size_t c = 0; c < kNumChannels; ++c) {
+    for (size_t r = 0; r < kNumRegimes; ++r) {
+      EXPECT_DOUBLE_EQ(store.Factor(static_cast<Channel>(c),
+                                    static_cast<SkewRegime>(r)),
+                       1.0);
+    }
+  }
+}
+
+TEST(CalibrationTest, FactorIsTheClampedGeometricMean) {
+  CalibrationStore store;
+  store.Observe(Channel::kOutputBound, SkewRegime::kHeavy, 1.0, 4.0);
+  store.Observe(Channel::kOutputBound, SkewRegime::kHeavy, 2.0, 2.0);
+  // Geometric mean of {4, 1} = 2.
+  EXPECT_NEAR(store.Factor(Channel::kOutputBound, SkewRegime::kHeavy), 2.0,
+              1e-12);
+  // Other cells untouched.
+  EXPECT_DOUBLE_EQ(store.Factor(Channel::kOutputBound, SkewRegime::kUniform),
+                   1.0);
+  // A pathological ratio is clamped to 64 before entering the mean.
+  CalibrationStore wild;
+  wild.Observe(Channel::kCatalogOutput, SkewRegime::kUniform, 1.0, 1e12);
+  EXPECT_DOUBLE_EQ(wild.Factor(Channel::kCatalogOutput, SkewRegime::kUniform),
+                   64.0);
+  // Invalid observations are ignored.
+  CalibrationStore noop;
+  noop.Observe(Channel::kCatalogOutput, SkewRegime::kUniform, 0.0, 5.0);
+  noop.Observe(Channel::kCatalogOutput, SkewRegime::kUniform, 1.0, -1.0);
+  EXPECT_EQ(noop.TotalObservations(), 0u);
+}
+
+TEST(CalibrationTest, SerializeRoundTripsEveryCell) {
+  CalibrationStore store;
+  store.Observe(Channel::kSampledOutput, SkewRegime::kUniform, 2.0, 1.0);
+  store.Observe(Channel::kCatalogInput, SkewRegime::kModerate, 1.0, 0.25);
+  store.Observe(Channel::kOutputBound, SkewRegime::kHeavy, 10.0, 0.5);
+  store.Observe(Channel::kCombinerYield, SkewRegime::kHeavy, 1.0, 0.7);
+
+  CalibrationStore loaded;
+  ASSERT_OK(loaded.Deserialize(store.Serialize()));
+  for (size_t c = 0; c < kNumChannels; ++c) {
+    for (size_t r = 0; r < kNumRegimes; ++r) {
+      const Channel ch = static_cast<Channel>(c);
+      const SkewRegime rg = static_cast<SkewRegime>(r);
+      EXPECT_EQ(loaded.Observations(ch, rg), store.Observations(ch, rg));
+      EXPECT_DOUBLE_EQ(loaded.Factor(ch, rg), store.Factor(ch, rg));
+    }
+  }
+  // Unknown lines are skipped; garbage headers are rejected.
+  ASSERT_OK(loaded.Deserialize(
+      "gumbo-calibration v1\nfuture-field 12\ncell catalog-input moderate 1 "
+      "-1.0\n"));
+  EXPECT_FALSE(loaded.Deserialize("not a calibration file").ok());
+}
+
+// ---- Estimator sampling accuracy per skew regime -----------------------------
+
+TEST(EstimatorTest, SampledEstimateErrorBoundedOnSkewedInputs) {
+  // The sampled channel must stay accurate whatever the key regime: a
+  // 256-row stride sample's M_i estimate lands within 25% of the
+  // exhaustive-sample estimate on uniform, Zipf, and hot/cold data.
+  data::GeneratorConfig g;
+  g.tuples = 4000;
+  g.representation_scale = 1.0;
+  g.selectivity = 0.3;
+  data::Generator gen(g);
+  struct Case {
+    const char* name;
+    Relation guard;
+    Relation cond;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform", gen.Guard("R", 2), gen.Conditional("S", 1)});
+  cases.push_back(
+      {"zipf", gen.ZipfGuard("R", 2, 1.2), gen.Conditional("S", 1)});
+  cases.push_back(
+      {"hot", gen.ZipfGuard("R", 2, 1.2), gen.HotConditional("S", 1)});
+  cases.push_back(
+      {"cold", gen.ZipfGuard("R", 2, 1.2), gen.ColdConditional("S", 1)});
+  for (Case& c : cases) {
+    Database db;
+    db.Put(std::move(c.guard));
+    db.Put(std::move(c.cond));
+    ops::SemiJoinEquation eq;
+    eq.output = "X";
+    eq.guard = sgf::Atom::Vars("R", {"x", "y"});
+    eq.guard_dataset = "R";
+    eq.conditional = sgf::Atom::Vars("S", {"x"});
+    eq.conditional_dataset = "S";
+    auto job = ops::BuildMsjJob({eq}, ops::OpOptions{}, "j");
+    ASSERT_OK(job);
+    ClusterConfig config;
+    StatsCatalog catalog;
+    CostEstimator sampled(config, CostModelVariant::kGumbo, &db, &catalog,
+                          256);
+    CostEstimator exhaustive(config, CostModelVariant::kGumbo, &db, &catalog,
+                             g.tuples);
+    auto es = sampled.EstimateJob(*job);
+    auto ee = exhaustive.EstimateJob(*job);
+    ASSERT_OK(es);
+    ASSERT_OK(ee);
+    ASSERT_EQ(es->partitions.size(), ee->partitions.size());
+    for (size_t p = 0; p < es->partitions.size(); ++p) {
+      const double got = es->partitions[p].output_mb;
+      const double want = ee->partitions[p].output_mb;
+      EXPECT_NEAR(got, want, 0.25 * want + 1e-9)
+          << c.name << " partition " << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gumbo::cost

@@ -334,6 +334,171 @@ TEST(PlannerTest, StrategyNamesRoundTrip) {
 
 // ---- Baselines ----------------------------------------------------------------
 
+// ---- Self-calibrating planner (DESIGN.md §10) -------------------------------
+
+Database SkewDb(double theta, bool cold) {
+  data::GeneratorConfig g = SmallData();
+  g.selectivity = 0.3;
+  data::Generator gen(g);
+  Database db;
+  db.Put(gen.ZipfGuard("G", 3, theta));
+  for (const char* c : {"S", "T", "U"}) {
+    db.Put(cold ? gen.ColdConditional(c, 1) : gen.HotConditional(c, 1));
+  }
+  return db;
+}
+
+const char* kSkewQuery =
+    "Z := SELECT (x, y, z) FROM G(x, y, z) WHERE S(x) AND T(y) AND U(z);";
+
+TEST(CalibrationPlanTest, EveryPlanCarriesJobEstimates) {
+  const sgf::SgfQuery query = ParseSgfOrDie(kSkewQuery);
+  // 1-ROUND refuses kSkewQuery (conjunction over distinct join keys), so
+  // it gets a single-key query that qualifies.
+  const sgf::SgfQuery one_key = ParseSgfOrDie(
+      "Z := SELECT (x, y, z) FROM G(x, y, z) WHERE S(x) AND T(x);");
+  const Database db = SkewDb(1.2, true);
+  for (Strategy s : {Strategy::kSeq, Strategy::kPar, Strategy::kGreedy,
+                     Strategy::kOneRound}) {
+    PlannerOptions opts;
+    opts.strategy = s;
+    Planner planner(TestCluster(), opts);
+    auto plan =
+        planner.Plan(s == Strategy::kOneRound ? one_key : query, db);
+    ASSERT_OK(plan);
+    // One estimate record per program job, in job order, with positive
+    // total cost — the feedback loop's "estimated" side.
+    EXPECT_EQ(plan->job_estimates.size(), plan->program.size())
+        << StrategyName(s);
+    EXPECT_GT(plan->estimated_cost, 0.0);
+    for (const JobEstimateRecord& rec : plan->job_estimates) {
+      EXPECT_FALSE(rec.inputs.empty());
+      EXPECT_GE(rec.cost, 0.0);
+    }
+  }
+}
+
+TEST(CalibrationPlanTest, QueryRegimeFollowsTheGuard) {
+  const sgf::SgfQuery query = ParseSgfOrDie(kSkewQuery);
+  data::GeneratorConfig g = SmallData();
+  g.tuples = 4000;  // enough rows for a stable skew classification
+  data::Generator gen(g);
+  Database uniform;
+  uniform.Put(gen.Guard("G", 3));
+  for (const char* c : {"S", "T", "U"}) uniform.Put(gen.Conditional(c, 1));
+  EXPECT_EQ(QueryRegime(query, uniform), cost::SkewRegime::kUniform);
+  Database heavy;
+  heavy.Put(gen.ZipfGuard("G", 3, 1.5));
+  for (const char* c : {"S", "T", "U"}) heavy.Put(gen.Conditional(c, 1));
+  EXPECT_EQ(QueryRegime(query, heavy), cost::SkewRegime::kHeavy);
+}
+
+TEST(CalibrationPlanTest, TuneOpOptionsDisablesLowYieldKnobs) {
+  cost::CalibrationStore store;
+  ops::OpOptions base;
+  base.combiners = true;
+  base.bloom_filters = true;
+  // No observations: base passes through untouched.
+  ops::OpOptions same =
+      TuneOpOptions(base, cost::SkewRegime::kHeavy, store);
+  EXPECT_TRUE(same.combiners);
+  EXPECT_TRUE(same.bloom_filters);
+  // Observed negligible combiner yield in the heavy regime -> knob off
+  // there, untouched elsewhere.
+  store.Observe(cost::Channel::kCombinerYield, cost::SkewRegime::kHeavy, 1.0,
+                0.001);
+  store.Observe(cost::Channel::kFilterYield, cost::SkewRegime::kHeavy, 1.0,
+                0.5);
+  ops::OpOptions tuned =
+      TuneOpOptions(base, cost::SkewRegime::kHeavy, store);
+  EXPECT_FALSE(tuned.combiners);
+  EXPECT_TRUE(tuned.bloom_filters);
+  ops::OpOptions uniform =
+      TuneOpOptions(base, cost::SkewRegime::kUniform, store);
+  EXPECT_TRUE(uniform.combiners);
+}
+
+TEST(CalibrationPlanTest, CalibrateFromExecutionFillsTheStore) {
+  const sgf::SgfQuery query = ParseSgfOrDie(kSkewQuery);
+  const Database db = SkewDb(1.2, true);
+  PlannerOptions opts;
+  opts.strategy = Strategy::kSeq;
+  Planner planner(TestCluster(), opts);
+  auto plan = planner.Plan(query, db);
+  ASSERT_OK(plan);
+  mr::Engine engine(TestCluster());
+  mr::Runtime runtime(&engine);
+  Database out;
+  auto run = ExecutePlanOnSnapshot(*plan, runtime, db, &out);
+  ASSERT_OK(run);
+  cost::CalibrationStore store;
+  CalibrateFromExecution(*plan, run->stats, &store);
+  EXPECT_GT(store.TotalObservations(), 0u);
+  // A null store is a no-op, not a crash.
+  CalibrateFromExecution(*plan, run->stats, nullptr);
+}
+
+TEST(CalibrationPlanTest, SavedStoreReloadsToIdenticalPlans) {
+  const sgf::SgfQuery query = ParseSgfOrDie(kSkewQuery);
+  const Database db = SkewDb(1.2, true);
+  // Train a store from real executions of two strategies.
+  cost::CalibrationStore store;
+  for (Strategy s : {Strategy::kSeq, Strategy::kGreedy}) {
+    PlannerOptions opts;
+    opts.strategy = s;
+    Planner planner(TestCluster(), opts);
+    auto plan = planner.Plan(query, db);
+    ASSERT_OK(plan);
+    mr::Engine engine(TestCluster());
+    mr::Runtime runtime(&engine);
+    Database out;
+    auto run = ExecutePlanOnSnapshot(*plan, runtime, db, &out);
+    ASSERT_OK(run);
+    CalibrateFromExecution(*plan, run->stats, &store);
+  }
+  ASSERT_GT(store.TotalObservations(), 0u);
+
+  const std::string path = ::testing::TempDir() + "gumbo_calibration.txt";
+  ASSERT_OK(store.Save(path));
+  cost::CalibrationStore reloaded;
+  ASSERT_OK(reloaded.Load(path));
+
+  // The round-tripped store plans byte-identically: same description,
+  // same estimated costs, same chosen strategy.
+  PlannerOptions a;
+  a.calibration = &store;
+  PlannerOptions b;
+  b.calibration = &reloaded;
+  auto choice_a = ChoosePlan(query, db, TestCluster(), a);
+  auto choice_b = ChoosePlan(query, db, TestCluster(), b);
+  ASSERT_OK(choice_a);
+  ASSERT_OK(choice_b);
+  EXPECT_EQ(choice_a->strategy, choice_b->strategy);
+  EXPECT_EQ(choice_a->plan.description, choice_b->plan.description);
+  EXPECT_DOUBLE_EQ(choice_a->plan.estimated_cost,
+                   choice_b->plan.estimated_cost);
+  ASSERT_EQ(choice_a->candidates.size(), choice_b->candidates.size());
+  for (size_t i = 0; i < choice_a->candidates.size(); ++i) {
+    EXPECT_EQ(choice_a->candidates[i].strategy,
+              choice_b->candidates[i].strategy);
+    EXPECT_DOUBLE_EQ(choice_a->candidates[i].estimated_cost,
+                     choice_b->candidates[i].estimated_cost);
+  }
+}
+
+TEST(CalibrationPlanTest, ChoosePlanSkipsInapplicableCandidates) {
+  // A conjunction over distinct join keys disqualifies 1-ROUND; ChoosePlan
+  // must still succeed and report only the candidates that planned.
+  const sgf::SgfQuery mixed = ParseSgfOrDie(kSkewQuery);
+  const Database db = SkewDb(0.0, false);
+  auto choice = ChoosePlan(mixed, db, TestCluster(), PlannerOptions{});
+  ASSERT_OK(choice);
+  EXPECT_FALSE(choice->candidates.empty());
+  for (const StrategyCost& c : choice->candidates) {
+    EXPECT_NE(c.strategy, Strategy::kOneRound);
+  }
+}
+
 TEST(BaselineTest, AllBaselinesProduceCorrectResults) {
   for (int i : {1, 2, 3, 5}) {
     auto w = data::MakeA(i, SmallData());

@@ -272,6 +272,76 @@ TEST(PlanCacheTest, DisabledCacheNeverHits) {
   EXPECT_EQ(service.plan_cache().counters().hits, 0u);
 }
 
+// Regression (plan::Metrics carry-over): every response derives its
+// metrics from scratch. A cached-plan rerun of the same query must report
+// exactly the cold run's deterministic counters — nothing (serve fields,
+// max_jobs_per_round, shuffle counters) may accumulate across reuses of
+// one cached plan (executor.cc FillMetrics resets the whole struct).
+TEST(PlanCacheTest, CachedPlanRerunsDoNotAccumulateMetrics) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+  const serve::QueryResponse cold = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(cold.status);
+  EXPECT_FALSE(cold.metrics.plan_cache_hit);
+  for (int i = 0; i < 3; ++i) {
+    const serve::QueryResponse hit = service.Run(ParseSgfOrDie(kQueryA1));
+    ASSERT_OK(hit.status);
+    EXPECT_TRUE(hit.metrics.plan_cache_hit);
+    EXPECT_EQ(hit.metrics.plan_ms, 0.0);  // no planning on a hit
+    EXPECT_EQ(hit.metrics.jobs, cold.metrics.jobs);
+    EXPECT_EQ(hit.metrics.rounds, cold.metrics.rounds);
+    EXPECT_EQ(hit.metrics.max_jobs_per_round, cold.metrics.max_jobs_per_round);
+    EXPECT_EQ(hit.metrics.shuffle_records, cold.metrics.shuffle_records);
+    EXPECT_EQ(hit.metrics.shuffle_messages, cold.metrics.shuffle_messages);
+    EXPECT_EQ(hit.metrics.combined_messages, cold.metrics.combined_messages);
+    EXPECT_EQ(hit.metrics.filtered_messages, cold.metrics.filtered_messages);
+    EXPECT_DOUBLE_EQ(hit.metrics.net_time, cold.metrics.net_time);
+    EXPECT_DOUBLE_EQ(hit.metrics.total_time, cold.metrics.total_time);
+    EXPECT_DOUBLE_EQ(hit.metrics.input_mb, cold.metrics.input_mb);
+    EXPECT_DOUBLE_EQ(hit.metrics.shuffle_mb, cold.metrics.shuffle_mb);
+    EXPECT_DOUBLE_EQ(hit.metrics.output_mb, cold.metrics.output_mb);
+    EXPECT_DOUBLE_EQ(hit.metrics.filter_broadcast_mb,
+                     cold.metrics.filter_broadcast_mb);
+  }
+}
+
+// The calibration loop (DESIGN.md §10) observes every successful
+// execution without changing a single result byte.
+TEST(ServiceTest, CalibrationFeedbackObservesWithoutChangingResults) {
+  Database db = MakeTestDb();
+  serve::QueryService plain(&db, serve::ServiceOptions{});
+  const serve::QueryResponse a = plain.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(a.status);
+
+  cost::CalibrationStore store;
+  serve::ServiceOptions opts;
+  opts.calibration = &store;
+  serve::QueryService calibrated(&db, opts);
+  const serve::QueryResponse b1 = calibrated.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(b1.status);
+  EXPECT_GT(store.TotalObservations(), 0u);
+  // A second run plans through the now-nonempty store (same cache key, so
+  // it reuses the plan; the cache-off path replans below).
+  const serve::QueryResponse b2 = calibrated.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(b2.status);
+
+  serve::ServiceOptions nocache = opts;
+  nocache.plan_cache = false;
+  serve::QueryService replanning(&db, nocache);
+  ASSERT_OK(replanning.Run(ParseSgfOrDie(kQueryA1)).status);  // feeds store
+  const serve::QueryResponse b3 = replanning.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(b3.status);
+
+  const Relation* want = a.outputs.Get("Z").value();
+  for (const serve::QueryResponse* r : {&b1, &b2, &b3}) {
+    const Relation* got = r->outputs.Get("Z").value();
+    EXPECT_EQ(got->words(), want->words());
+    EXPECT_EQ(got->fingerprints(), want->fingerprints());
+  }
+}
+
 // ---- QueryService: admission scheduling + determinism -----------------------
 
 TEST(ServiceTest, FailedQueryReportsErrorAndCountsIt) {
