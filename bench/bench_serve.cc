@@ -52,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -341,6 +342,137 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
+  // ---- Overload: deadline-aware shedding (DESIGN.md §11) ----
+  // A saturating kLow flood against a constrained service, with a kHigh
+  // foreground whose queries carry deadlines derived from the unloaded
+  // p95. The service must shed the flood (synchronous ResourceExhausted
+  // at the watermark) instead of queueing it, and the foreground
+  // queries it admits must stay inside their deadline budget — overload
+  // degrades by rejecting work, never by stretching admitted latencies.
+  ModeResult unloaded = RunClosedLoop("unloaded", db, queries, refs,
+                                      mode_opts(kClients, true), 1,
+                                      per_client);
+  const double base_p95 = std::max(unloaded.p95_ms, 5.0);
+  const double deadline_ms = 1.8 * base_p95;
+  serve::ServiceOptions oopts = mode_opts(4, true);
+  oopts.max_queued = 16;
+  oopts.shed_watermark = 8;
+
+  size_t fg_ok = 0, fg_deadline = 0, fg_other = 0;
+  size_t flood_ok = 0, flood_shed = 0, flood_other = 0;
+  std::vector<double> fg_lat;
+  std::vector<double> shed_submit;
+  bool overload_identical = true;
+  {
+    serve::QueryService service(&db, oopts);
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    // Foreground: 2 closed-loop clients, kHigh + per-query deadline.
+    for (size_t c = 0; c < 2; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t k = 0; k < per_client; ++k) {
+          const size_t pick = (c + k) % queries.size();
+          serve::QueryOptions qo;
+          qo.deadline_ms = deadline_ms;
+          qo.priority = SchedPriority::kHigh;
+          serve::QueryResponse resp = service.Run(queries[pick], qo);
+          std::lock_guard<std::mutex> lock(mu);
+          if (resp.ok()) {
+            ++fg_ok;
+            fg_lat.push_back(resp.wall_ms);
+            if (!Identical(resp, refs[pick])) overload_identical = false;
+          } else if (resp.status.code() == StatusCode::kDeadlineExceeded) {
+            ++fg_deadline;
+          } else {
+            ++fg_other;
+          }
+        }
+      });
+    }
+    // Flood: 4 open-loop clients submitting kLow background queries as
+    // fast as Submit returns (shed responses resolve synchronously, so
+    // a shed submission never throttles the flood).
+    for (size_t c = 0; c < 4; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<serve::QueryResponse>> futures;
+        std::vector<double> submit_ms;
+        for (size_t k = 0; k < per_client; ++k) {
+          serve::QueryOptions qo;
+          qo.priority = SchedPriority::kLow;
+          const double t = Now();
+          futures.push_back(
+              service.Submit(queries[(c + k) % queries.size()], qo));
+          submit_ms.push_back((Now() - t) * 1e3);
+        }
+        for (size_t k = 0; k < futures.size(); ++k) {
+          serve::QueryResponse resp = futures[k].get();
+          std::lock_guard<std::mutex> lock(mu);
+          if (resp.ok()) {
+            ++flood_ok;
+            if (!Identical(resp, refs[(c + k) % refs.size()])) {
+              overload_identical = false;
+            }
+          } else if (resp.status.code() == StatusCode::kResourceExhausted) {
+            ++flood_shed;
+            shed_submit.push_back(submit_ms[k]);
+          } else {
+            ++flood_other;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double admitted_p95 = PercentileMs(fg_lat, 0.95);
+  const double shed_submit_p95 = PercentileMs(shed_submit, 0.95);
+  std::printf(
+      "overload (kLow flood, fg deadline %.1f ms): fg %zu ok / %zu deadline"
+      " | flood %zu ok / %zu shed | admitted p95 %.1f ms (unloaded %.1f ms)"
+      " | shed submit p95 %.2f ms\n",
+      deadline_ms, fg_ok, fg_deadline, flood_ok, flood_shed, admitted_p95,
+      unloaded.p95_ms, shed_submit_p95);
+  if (!overload_identical) {
+    std::fprintf(stderr, "FAIL overload: a response diverged\n");
+    ++failures;
+  }
+  if (fg_other != 0 || flood_other != 0) {
+    std::fprintf(stderr,
+                 "FAIL overload: %zu foreground / %zu flood responses with "
+                 "unexpected statuses\n",
+                 fg_other, flood_other);
+    ++failures;
+  }
+  if (flood_shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL overload: the saturating kLow flood was never shed\n");
+    ++failures;
+  }
+  if (fg_ok == 0) {
+    std::fprintf(stderr,
+                 "FAIL overload: no foreground query survived the flood\n");
+    ++failures;
+  }
+  // The deadline bound is structural: a query past its budget fails with
+  // DeadlineExceeded at the next morsel boundary instead of completing
+  // late, so admitted latencies can exceed the 1.8x-p95 deadline only by
+  // one morsel's drain — 2x unloaded p95 leaves room for exactly that.
+  if (admitted_p95 > 2.0 * base_p95) {
+    std::fprintf(stderr,
+                 "FAIL overload: admitted p95 %.1f ms exceeds 2x unloaded "
+                 "p95 %.1f ms\n",
+                 admitted_p95, base_p95);
+    ++failures;
+  }
+  // Shed responses resolve synchronously inside Submit — a shed caller
+  // must never be held as long as a real query would have taken.
+  if (shed_submit_p95 > base_p95) {
+    std::fprintf(stderr,
+                 "FAIL overload: shed submissions took p95 %.2f ms — not "
+                 "prompt vs unloaded p95 %.1f ms\n",
+                 shed_submit_p95, base_p95);
+    ++failures;
+  }
+
   // The acceptance bar: the full service must at least double the
   // serialized pre-serve throughput at the default size. The smoke bar
   // is lower only to absorb noisy shared CI runners — the run shape is
@@ -404,7 +536,15 @@ int main(int argc, char** argv) {
          << ", \"qps\": " << StrFormat("%.2f", open.qps)
          << ", \"p50_ms\": " << StrFormat("%.2f", open.p50_ms)
          << ", \"p95_ms\": " << StrFormat("%.2f", open.p95_ms)
-         << ", \"p99_ms\": " << StrFormat("%.2f", open.p99_ms) << "}\n}\n";
+         << ", \"p99_ms\": " << StrFormat("%.2f", open.p99_ms)
+         << "},\n  \"overload\": {\"unloaded_p95_ms\": "
+         << StrFormat("%.2f", unloaded.p95_ms)
+         << ", \"deadline_ms\": " << StrFormat("%.2f", deadline_ms)
+         << ", \"admitted_p95_ms\": " << StrFormat("%.2f", admitted_p95)
+         << ", \"fg_ok\": " << fg_ok << ", \"fg_deadline\": " << fg_deadline
+         << ", \"flood_ok\": " << flood_ok << ", \"shed\": " << flood_shed
+         << ", \"shed_submit_p95_ms\": "
+         << StrFormat("%.2f", shed_submit_p95) << "}\n}\n";
     std::ofstream out(out_path);
     out << json.str();
     std::printf("\nwrote %s\n", out_path.c_str());

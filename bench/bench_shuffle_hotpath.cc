@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -327,10 +328,10 @@ size_t RunFlat(const std::vector<TaskStream>& streams, Checksum* sum,
                              e.wire_bytes);
       }
     }
-    records += shuffle.AddTaskOutput(t, std::move(buffer)).records;
+    records += shuffle.AddTaskOutput(t, std::move(buffer))->records;
   }
   double t1 = Now();
-  shuffle.Partition(kReducePartitions);
+  if (!shuffle.Partition(kReducePartitions).ok()) std::abort();
   double t2 = Now();
   for (int p = 0; p < shuffle.num_partitions(); ++p) {
     shuffle.ForEachGroup(

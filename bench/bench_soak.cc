@@ -8,6 +8,12 @@
 //   GUMBO_SOAK_SEED    — base seed (default 7); iteration i uses seed+i
 //   GUMBO_SOAK_ITERS   — (query, database) pairs to run (default 200)
 //   GUMBO_SOAK_TUPLES  — materialized tuples per relation (default 240)
+//   GUMBO_FAULT_RATE   — chaos mode: per-(site, unit, attempt) fault
+//                        probability (default 0 = off); OK results must
+//                        stay byte-identical, failures must be typed
+//                        clean errors (DESIGN.md §11)
+//   GUMBO_FAULT_SEED   — chaos base seed (default 42)
+//   GUMBO_FAULT_SITES  — comma-separated site filter (default all)
 #include <cstdio>
 
 #include "soak/soak.h"
@@ -17,11 +23,21 @@ int main() {
   std::printf("gumbo differential soak: seed=%llu iters=%zu tuples=%zu\n",
               static_cast<unsigned long long>(config.seed),
               config.iterations, config.tuples);
+  if (config.chaos()) {
+    std::printf("chaos mode: fault_rate=%g fault_seed=%llu sites=0x%x\n",
+                config.fault_rate,
+                static_cast<unsigned long long>(config.fault_seed),
+                config.fault_sites);
+  }
   const gumbo::soak::SoakReport report = gumbo::soak::RunSoak(config);
   std::printf("%s\n", report.Summary().c_str());
   if (!report.ok()) return 1;
   if (report.checks == 0) {
     std::printf("soak ran zero checks — configuration error\n");
+    return 1;
+  }
+  if (config.chaos() && report.faults_injected == 0) {
+    std::printf("chaos mode injected zero faults — configuration error\n");
     return 1;
   }
   return 0;

@@ -35,7 +35,9 @@ void PrintStats(const serve::QueryService& service) {
       "plans:   %llu built, %llu coalesced | cache %llu hits / %llu misses "
       "/ %llu invalidations / %llu entries\n"
       "latency: p50 %.1f ms  p95 %.1f ms  p99 %.1f ms | mean queue %.1f ms, "
-      "plan %.1f ms, exec %.1f ms\n",
+      "plan %.1f ms, exec %.1f ms\n"
+      "faults:  %llu deadline / %llu cancelled / %llu shed | %llu task "
+      "retries, %llu injected\n",
       static_cast<unsigned long long>(s.submitted),
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.failed),
@@ -47,7 +49,11 @@ void PrintStats(const serve::QueryService& service) {
       static_cast<unsigned long long>(s.cache.invalidations),
       static_cast<unsigned long long>(s.cache.entries), s.total_p50_ms,
       s.total_p95_ms, s.total_p99_ms, s.mean_queue_ms, s.mean_plan_ms,
-      s.mean_exec_ms);
+      s.mean_exec_ms, static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.task_retries),
+      static_cast<unsigned long long>(s.faults_injected));
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+#include "common/cancel.h"
+
+namespace gumbo {
+
+void CancelToken::SetDeadline(Clock::time_point deadline) {
+  const int64_t ns = deadline.time_since_epoch().count();
+  int64_t cur = deadline_ns_.load(std::memory_order_relaxed);
+  // Earliest deadline wins: tighten monotonically so a service default
+  // and a per-query deadline compose to the stricter one.
+  while (ns < cur && !deadline_ns_.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void CancelToken::Latch(const Status& status) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (terminal_.ok()) {
+      terminal_ = status;
+      fired_at_ = Clock::now();
+    }
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void CancelToken::Cancel(std::string reason) {
+  Latch(Status::Cancelled(std::move(reason)));
+}
+
+void CancelToken::CancelWithStatus(const Status& status) {
+  Latch(status.ok() ? Status::Cancelled("cancelled") : status);
+}
+
+Status CancelToken::Check() const {
+  if (!cancelled_.load(std::memory_order_acquire)) {
+    if (!DeadlinePassed()) return Status::Ok();
+    Latch(Status::DeadlineExceeded("query deadline exceeded"));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return terminal_;
+}
+
+CancelToken::Clock::time_point CancelToken::fired_at() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_at_;
+}
+
+}  // namespace gumbo

@@ -1,0 +1,115 @@
+// CancelToken: cooperative cancellation for the execution stack
+// (DESIGN.md §11).
+//
+// The MapReduce substrate has no preemption — a morsel runs to
+// completion — so a query is stopped the way real clusters stop tasks:
+// every morsel chain checks a shared token at its chain boundaries and
+// long scans poll it, and the first failed check aborts the chain with a
+// typed Status that propagates cleanly through the round barrier (the
+// failing round commits nothing, mr/runtime.h). One token covers three
+// reasons to stop:
+//
+//   * a *deadline* (steady-clock time point): the first Check() at or
+//     past it fails with kDeadlineExceeded — a deadline already in the
+//     past therefore cancels before the first morsel runs;
+//   * an explicit *Cancel(reason)* from any thread (a client gave up, a
+//     service is shedding in-flight work): kCancelled;
+//   * an injected-fault escalation (FaultInjector exhausting the retry
+//     budget cancels the rest of the query instead of letting sibling
+//     tasks run to a result nobody will read).
+//
+// Thread-safety: all members are safe to call concurrently. Check() is a
+// couple of relaxed atomic loads on the not-cancelled fast path plus one
+// clock read when a deadline is armed — cheap enough for every morsel
+// boundary. The reason string is written once (first cancel wins) under
+// a mutex and read only after the cancelled flag is observed.
+#ifndef GUMBO_COMMON_CANCEL_H_
+#define GUMBO_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace gumbo {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  /// Convenience: a token that fires `deadline_ms` from now (<= 0 arms a
+  /// deadline already in the past — cancels before any work runs).
+  explicit CancelToken(double deadline_ms) { SetDeadlineAfterMs(deadline_ms); }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+  CancelToken(CancelToken&&) = delete;
+  CancelToken& operator=(CancelToken&&) = delete;
+
+  /// Arms (or tightens) the deadline: the earliest deadline ever set
+  /// wins, so a service default and a per-query deadline compose to the
+  /// stricter of the two.
+  void SetDeadline(Clock::time_point deadline);
+  void SetDeadlineAfterMs(double deadline_ms) {
+    SetDeadline(Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
+                                   deadline_ms * 1e3)));
+  }
+
+  /// Cancels with kCancelled. The first cancellation (explicit, deadline,
+  /// or fault) wins; later calls are no-ops.
+  void Cancel(std::string reason);
+  /// Cancels with an arbitrary terminal status (the fault-escalation
+  /// path). `status` must not be OK.
+  void CancelWithStatus(const Status& status);
+
+  /// OK while neither cancelled nor past the deadline; afterwards the
+  /// sticky terminal status (kCancelled / kDeadlineExceeded / the
+  /// escalated fault status). The first deadline miss latches, so every
+  /// later Check returns the same status.
+  Status Check() const;
+
+  /// True once any cancellation latched (never resets).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire) ||
+           DeadlinePassed();
+  }
+
+  /// When the token first latched (for cancel-latency attribution:
+  /// response time minus this is how long cancellation took to take
+  /// effect). Clock::time_point::min() while not cancelled.
+  Clock::time_point fired_at() const;
+
+ private:
+  bool DeadlinePassed() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= d;
+  }
+  /// Latches `status` as the terminal state; first caller wins.
+  void Latch(const Status& status) const;
+
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;            ///< guards the latch below
+  mutable Status terminal_;          ///< set once, read after cancelled_
+  mutable Clock::time_point fired_at_ = Clock::time_point::min();
+};
+
+/// Checks `token` if there is one: the universal morsel-boundary poll
+/// (a null token means the caller runs uncancellable, e.g. direct
+/// engine/runtime use outside the serving layer).
+inline Status CheckCancel(const CancelToken* token) {
+  return token == nullptr ? Status::Ok() : token->Check();
+}
+
+}  // namespace gumbo
+
+#endif  // GUMBO_COMMON_CANCEL_H_

@@ -1,0 +1,110 @@
+#include "common/fault.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace gumbo {
+
+namespace {
+
+// Distinct odd multipliers keep the three id streams from cancelling
+// under xor (unit and attempt values are small integers in practice).
+constexpr uint64_t kSiteSalt = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kUnitSalt = 0xc2b2ae3d27d4eb4fULL;
+constexpr uint64_t kAttemptSalt = 0x165667b19e3779f9ULL;
+
+uint32_t ParseSiteMask(const char* spec) {
+  uint32_t mask = 0;
+  std::string token;
+  for (const char* p = spec;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token += *p;
+      continue;
+    }
+    for (size_t s = 0; s < kNumFaultSites; ++s) {
+      if (token == FaultSiteName(static_cast<FaultSite>(s))) {
+        mask |= 1u << s;
+      }
+    }
+    token.clear();
+    if (*p == '\0') break;
+  }
+  return mask != 0 ? mask : ~0u;  // an unparseable filter enables all
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMapScan:
+      return "map-scan";
+    case FaultSite::kShuffleSort:
+      return "shuffle-sort";
+    case FaultSite::kReduceEmit:
+      return "reduce-emit";
+    case FaultSite::kPlanner:
+      return "planner";
+    case FaultSite::kCache:
+      return "cache";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(uint64_t seed, double rate, uint32_t site_mask)
+    : seed_(seed),
+      rate_(rate < 0.0 ? 0.0 : (rate > 1.0 ? 1.0 : rate)),
+      site_mask_(site_mask) {
+  // rate == 1 must always fire: the hash is uniform over [0, 2^64), so
+  // the threshold for certainty is the max value + "never below" guard.
+  threshold_ = rate_ >= 1.0
+                   ? ~0ULL
+                   : static_cast<uint64_t>(
+                         std::ldexp(rate_, 64) >= std::ldexp(1.0, 64)
+                             ? ~0ULL
+                             : std::ldexp(rate_, 64));
+}
+
+FaultInjector FaultInjector::FromEnv() {
+  uint64_t seed = 0;
+  double rate = 0.0;
+  uint32_t mask = ~0u;
+  if (const char* v = std::getenv("GUMBO_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v) seed = static_cast<uint64_t>(parsed);
+  }
+  if (const char* v = std::getenv("GUMBO_FAULT_RATE")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end != v && parsed > 0.0) rate = parsed;
+  }
+  if (const char* v = std::getenv("GUMBO_FAULT_SITES")) {
+    if (*v != '\0') mask = ParseSiteMask(v);
+  }
+  return FaultInjector(seed, rate, mask);
+}
+
+bool FaultInjector::ShouldFail(FaultSite site, uint64_t unit,
+                               uint32_t attempt) const {
+  if (rate_ <= 0.0 || !site_enabled(site)) return false;
+  const uint64_t h = SplitMix64::Mix(
+      seed_ ^ (static_cast<uint64_t>(site) * kSiteSalt) ^
+      (unit * kUnitSalt) ^ (static_cast<uint64_t>(attempt) * kAttemptSalt));
+  if (rate_ < 1.0 && h >= threshold_) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  per_site_[static_cast<size_t>(site)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::InjectedFault(FaultSite site, uint64_t unit,
+                                    uint32_t attempt) {
+  return Status::Unavailable(
+      "injected fault at " + std::string(FaultSiteName(site)) + " (unit " +
+      std::to_string(unit) + ", attempt " + std::to_string(attempt) + ")");
+}
+
+}  // namespace gumbo

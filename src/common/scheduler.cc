@@ -38,6 +38,11 @@ SchedOptions SchedOptions::FromEnv() {
   if (const char* v = std::getenv("GUMBO_DISABLE_STEALING")) {
     if (v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) o.stealing = false;
   }
+  if (const char* v = std::getenv("GUMBO_MAX_TASK_RETRIES")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v) o.max_task_retries = static_cast<uint32_t>(parsed);
+  }
   return o;
 }
 

@@ -58,6 +58,9 @@
 
 namespace gumbo {
 
+class CancelToken;
+class FaultInjector;
+
 /// Priority classes, highest first. The serving layer maps its admission
 /// lanes onto these (fast lane -> kHigh, FIFO -> kNormal; kLow is for
 /// background/maintenance work).
@@ -108,6 +111,14 @@ struct SchedContext {
   size_t morsel_rows = 0;
   /// Optional per-query accumulator for stall/busy/morsel counts.
   SchedGroupMetrics* metrics = nullptr;
+  /// Cooperative cancellation: morsel chains poll this at their chain
+  /// boundaries and long scans poll it mid-morsel (common/cancel.h).
+  /// nullptr = uncancellable.
+  const CancelToken* cancel = nullptr;
+  /// Deterministic chaos injection (common/fault.h). nullptr or an
+  /// inactive injector = fault-free execution; the engine only consults
+  /// it at task-retry boundaries, never inside committed output paths.
+  const FaultInjector* faults = nullptr;
 };
 
 /// Process-wide scheduler tuning, read once from the environment:
@@ -115,9 +126,12 @@ struct SchedContext {
 ///   GUMBO_DISABLE_STEALING  workers only use their own deque + the
 ///                           injection queue (A/B override)
 ///   GUMBO_SCHED_WORKERS     worker count of Scheduler::Global()
+///   GUMBO_MAX_TASK_RETRIES  re-runs of a failed map/shuffle/reduce
+///                           task before its fault escalates (default 3)
 struct SchedOptions {
   size_t morsel_rows = 4096;
   bool stealing = true;
+  uint32_t max_task_retries = 3;
   static SchedOptions FromEnv();
 };
 

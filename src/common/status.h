@@ -21,7 +21,21 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
+
+/// Whether an operation that failed with `code` may be retried verbatim
+/// with a chance of success. Only kUnavailable qualifies: it marks
+/// transient failures (injected faults, lost tasks) whose re-execution is
+/// idempotent by the task-retry contract (DESIGN.md §11). Deadline,
+/// cancellation, and shedding outcomes are final; everything else is a
+/// deterministic error that would simply recur.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
@@ -64,6 +78,18 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

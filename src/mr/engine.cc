@@ -1,11 +1,15 @@
 #include "mr/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "cost/model.h"
 #include "mr/shuffle.h"
 
@@ -14,6 +18,13 @@ namespace gumbo::mr {
 namespace {
 
 constexpr double kMbPerByte = 1.0 / (1024.0 * 1024.0);
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // One map task: a contiguous slice of one input relation.
 struct MapTaskSpec {
@@ -34,17 +45,28 @@ class BuilderReduceEmitter : public ReduceEmitter {
     for (const JobOutput& o : outputs) builders_.emplace_back(o.arity);
   }
   void Emit(size_t output_index, const Tuple& tuple) override {
-    assert(output_index < builders_.size());
+    if (output_index >= builders_.size()) {
+      bad_output_ = true;  // reported as Status::Internal at the chain end
+      return;
+    }
     builders_[output_index].Add(tuple);
   }
   void Emit(size_t output_index, TupleView row) override {
-    assert(output_index < builders_.size());
+    if (output_index >= builders_.size()) {
+      bad_output_ = true;
+      return;
+    }
     builders_[output_index].Add(row);
   }
+  /// True once a reducer emitted to an output index the job never
+  /// declared — the Emit interface cannot return a Status, so the
+  /// violation is latched here and promoted by the reduce chain.
+  bool bad_output() const { return bad_output_; }
   std::vector<RelationBuilder>& builders() { return builders_; }
 
  private:
   std::vector<RelationBuilder> builders_;
+  bool bad_output_ = false;
 };
 
 }  // namespace
@@ -61,6 +83,21 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     sched_ctx.morsel_rows = sched_options_.morsel_rows;
   }
   const size_t morsel_rows = std::max<size_t>(1, sched_ctx.morsel_rows);
+
+  // Failure handling (DESIGN.md §11): every morsel chain polls the
+  // caller's cancellation token at its chain boundaries, and an active
+  // fault injector gets a deterministic shot at each task attempt. A
+  // failed attempt is abandoned before any of its output is adopted, so
+  // a retry re-runs the idempotent task from its beginning and the
+  // committed bytes stay identical to a fault-free run.
+  const CancelToken* cancel = sched_ctx.cancel;
+  const FaultInjector* faults =
+      sched_ctx.faults != nullptr && sched_ctx.faults->active()
+          ? sched_ctx.faults
+          : nullptr;
+  const uint32_t max_retries = sched_options_.max_task_retries;
+  RetryCounters retry_counters;
+  GUMBO_RETURN_IF_ERROR(CheckCancel(cancel));
 
   if (!job.mapper_factory || !job.reducer_factory) {
     return Status::InvalidArgument("job " + job.name +
@@ -139,6 +176,11 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   const double meta_bytes = config_.costs.metadata_bytes_per_record;
   const double overhead = job.intermediate_overhead_factor;
 
+  if (tasks.size() >= (1u << 24)) {
+    return Status::Internal(
+        "job " + job.name + ": " + std::to_string(tasks.size()) +
+        " map tasks exceed the shuffle's 24-bit task id space");
+  }
   Shuffle shuffle(tasks.size(), job.pack_messages);
   struct TaskAccounting {
     double output_mb = 0.0;    // represented MB of intermediate data
@@ -158,14 +200,40 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     struct MapChain {
       size_t ti = 0;
       size_t next_row = 0;
+      uint32_t attempt = 0;
+      uint64_t attempt_start_us = 0;
       std::unique_ptr<Mapper> mapper;
       std::unique_ptr<Combiner> combiner;
       MapOutputBuffer emitter;
+      Status status;  ///< this chain's terminal failure, if any
     };
     std::vector<MapChain> chains(tasks.size());
+    // Cancellation and fault escalation abort the whole phase: sibling
+    // chains stop resubmitting at their next morsel boundary and the
+    // group drains. Nothing was adopted by a chain that didn't finish,
+    // and the job result is discarded on error, so stopping early never
+    // leaks partial state.
+    std::atomic<bool> abort{false};
     Scheduler::TaskGroup group(sched_ctx);
+    // Arms (or, after an injected fault, re-arms) one map task attempt:
+    // scan position back to the task's first row, fresh operators, fresh
+    // emission buffer — a retried attempt is indistinguishable from a
+    // first run, which is what keeps retries byte-identical.
+    auto arm = [&](MapChain& c) {
+      c.next_row = tasks[c.ti].begin;
+      c.mapper = job.mapper_factory();
+      if (filters != nullptr) c.mapper->AttachFilters(filters.get());
+      if (job.combiner_factory) c.combiner = job.combiner_factory();
+      c.emitter = MapOutputBuffer();
+      if (faults != nullptr) c.attempt_start_us = NowUs();
+    };
     std::function<void(size_t)> step = [&](size_t ti) {
+      if (abort.load(std::memory_order_relaxed)) return;
       MapChain& c = chains[ti];
+      if (const Status cs = CheckCancel(cancel); !cs.ok()) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
       const MapTaskSpec& t = tasks[ti];
       const Relation* rel = inputs[t.input_index];
       const size_t stop = std::min(t.end, c.next_row + morsel_rows);
@@ -176,12 +244,38 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
                       &c.emitter);
       }
       c.next_row = stop;
+      // The fault check runs after the morsel's rows, so an injected
+      // fault always abandons an attempt that did real partial work —
+      // the adversarial case for the discard-then-retry contract.
+      if (faults != nullptr &&
+          faults->ShouldFail(FaultSite::kMapScan, ti, c.attempt)) {
+        retry_counters.faults_injected.fetch_add(1, std::memory_order_relaxed);
+        retry_counters.retry_us.fetch_add(NowUs() - c.attempt_start_us,
+                                          std::memory_order_relaxed);
+        if (c.attempt >= max_retries) {
+          c.status =
+              FaultInjector::InjectedFault(FaultSite::kMapScan, ti, c.attempt);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        retry_counters.task_retries.fetch_add(1, std::memory_order_relaxed);
+        ++c.attempt;
+        arm(c);
+        group.Submit([&step, ti] { step(ti); });
+        return;
+      }
       if (stop < t.end) {
         group.Submit([&step, ti] { step(ti); });
         return;
       }
-      ShuffleTaskIo io =
+      Result<ShuffleTaskIo> io_or =
           shuffle.AddTaskOutput(ti, std::move(c.emitter), c.combiner.get());
+      if (!io_or.ok()) {
+        c.status = io_or.status();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const ShuffleTaskIo& io = *io_or;
       task_io[ti].output_mb = io.wire_bytes * overhead * scale * kMbPerByte;
       task_io[ti].metadata_mb =
           static_cast<double>(io.records) * meta_bytes * scale * kMbPerByte;
@@ -191,13 +285,17 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     for (size_t ti = 0; ti < tasks.size(); ++ti) {
       MapChain& c = chains[ti];
       c.ti = ti;
-      c.next_row = tasks[ti].begin;
-      c.mapper = job.mapper_factory();
-      if (filters != nullptr) c.mapper->AttachFilters(filters.get());
-      if (job.combiner_factory) c.combiner = job.combiner_factory();
+      arm(c);
       group.Submit([&step, ti] { step(ti); });
     }
     group.Wait();
+    GUMBO_RETURN_IF_ERROR(CheckCancel(cancel));
+    // Lowest recorded failure wins. The status *code* is deterministic
+    // for a fixed fault seed; the reported task may vary when the abort
+    // raced a sibling's own exhaustion, which only affects the message.
+    for (const MapChain& c : chains) {
+      GUMBO_RETURN_IF_ERROR(c.status);
+    }
   }
 
   // Per-input aggregates and per-task map costs.
@@ -256,7 +354,8 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
   stats.num_reducers = r;
 
   // ---- Partition + reduce phase -------------------------------------------
-  shuffle.Partition(r, sched_ctx.scheduler, sched_ctx);
+  GUMBO_RETURN_IF_ERROR(shuffle.Partition(r, sched_ctx.scheduler, sched_ctx,
+                                          max_retries, &retry_counters));
 
   struct ReduceTaskOut {
     std::vector<RelationBuilder> outputs;  // [output_index] -> flat rows
@@ -274,16 +373,59 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
       std::unique_ptr<Reducer> reducer;
       std::unique_ptr<BuilderReduceEmitter> emitter;
       Shuffle::GroupCursor cursor;
+      uint32_t attempt = 0;
+      uint64_t attempt_start_us = 0;
+      Status status;  ///< this chain's terminal failure, if any
     };
     std::vector<ReduceChain> chains(static_cast<size_t>(r));
+    std::atomic<bool> abort{false};
     Scheduler::TaskGroup group(sched_ctx);
+    // Fresh reducer + emitter + cursor per attempt: outputs are adopted
+    // only when the whole partition walked cleanly, so re-walking after
+    // an injected fault is idempotent (same groups, same order).
+    auto arm = [&](ReduceChain& c) {
+      c.reducer = job.reducer_factory();
+      c.emitter = std::make_unique<BuilderReduceEmitter>(job.outputs);
+      c.cursor = Shuffle::GroupCursor();
+      if (faults != nullptr) c.attempt_start_us = NowUs();
+    };
     std::function<void(size_t)> step = [&](size_t rj) {
+      if (abort.load(std::memory_order_relaxed)) return;
       ReduceChain& c = chains[rj];
+      if (const Status cs = CheckCancel(cancel); !cs.ok()) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
       const bool more = shuffle.ForEachGroupChunk(
           rj, &c.cursor, morsel_rows,
           [&](TupleView key, const MessageGroup& values) {
             c.reducer->Reduce(key, values, c.emitter.get());
           });
+      if (c.emitter->bad_output()) {
+        c.status = Status::Internal(
+            "job " + job.name + ": reducer emitted to an output index >= " +
+            std::to_string(job.outputs.size()) + " (partition " +
+            std::to_string(rj) + ")");
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (faults != nullptr &&
+          faults->ShouldFail(FaultSite::kReduceEmit, rj, c.attempt)) {
+        retry_counters.faults_injected.fetch_add(1, std::memory_order_relaxed);
+        retry_counters.retry_us.fetch_add(NowUs() - c.attempt_start_us,
+                                          std::memory_order_relaxed);
+        if (c.attempt >= max_retries) {
+          c.status = FaultInjector::InjectedFault(FaultSite::kReduceEmit, rj,
+                                                  c.attempt);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        retry_counters.task_retries.fetch_add(1, std::memory_order_relaxed);
+        ++c.attempt;
+        arm(c);
+        group.Submit([&step, rj] { step(rj); });
+        return;
+      }
       if (more) {
         group.Submit([&step, rj] { step(rj); });
         return;
@@ -301,11 +443,14 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
       }
     };
     for (size_t rj = 0; rj < static_cast<size_t>(r); ++rj) {
-      chains[rj].reducer = job.reducer_factory();
-      chains[rj].emitter = std::make_unique<BuilderReduceEmitter>(job.outputs);
+      arm(chains[rj]);
       group.Submit([&step, rj] { step(rj); });
     }
     group.Wait();
+    GUMBO_RETURN_IF_ERROR(CheckCancel(cancel));
+    for (const ReduceChain& c : chains) {
+      GUMBO_RETURN_IF_ERROR(c.status);
+    }
   }
 
   stats.reduce_task_costs.resize(static_cast<size_t>(r));
@@ -357,6 +502,14 @@ Result<Engine::JobResult> Engine::RunDetached(const JobSpec& job,
     result.outputs.push_back(std::move(out));
   }
 
+  stats.task_retries =
+      retry_counters.task_retries.load(std::memory_order_relaxed);
+  stats.faults_injected =
+      retry_counters.faults_injected.load(std::memory_order_relaxed);
+  stats.retry_ms =
+      static_cast<double>(
+          retry_counters.retry_us.load(std::memory_order_relaxed)) /
+      1000.0;
   return result;
 }
 

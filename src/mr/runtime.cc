@@ -5,6 +5,8 @@
 #include <chrono>
 #include <optional>
 
+#include "common/cancel.h"
+
 namespace gumbo::mr {
 
 std::vector<std::vector<size_t>> Runtime::JobRounds(const Program& program) {
@@ -43,6 +45,12 @@ Result<ProgramStats> Runtime::Execute(const Program& program, Database* db,
   for (size_t ri = 0; ri < rounds.size(); ++ri) {
     const std::vector<size_t>& round = rounds[ri];
     const Clock::time_point round_start = Clock::now();
+
+    // Cancellation barrier: a query cancelled between rounds never
+    // starts the next one, and since a failing round commits nothing,
+    // the database still holds exactly the snapshot of the last fully
+    // committed round.
+    GUMBO_RETURN_IF_ERROR(CheckCancel(ctx.cancel));
 
     // Every dependency of this round's jobs was committed in an earlier
     // round, so all jobs read `db` concurrently without synchronization;

@@ -2,21 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/fault.h"
 
 namespace gumbo::mr {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Shuffle::Shuffle(size_t num_map_tasks, bool pack_messages)
     : pack_messages_(pack_messages), tasks_(num_map_tasks) {
   assert(num_map_tasks < (1u << 24) && "RecordRef packs the task in 24 bits");
 }
 
-ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, MapOutputBuffer buffer,
-                                     Combiner* combiner) {
-  assert(task < tasks_.size());
+Result<ShuffleTaskIo> Shuffle::AddTaskOutput(size_t task,
+                                             MapOutputBuffer buffer,
+                                             Combiner* combiner) {
+  if (task >= tasks_.size()) {
+    return Status::Internal("shuffle: map task index " +
+                            std::to_string(task) + " out of range (" +
+                            std::to_string(tasks_.size()) + " tasks)");
+  }
   TaskData& td = tasks_[task];
-  assert(td.entries.empty() && td.messages.empty() &&
-         "task output ingested twice");
+  if (!td.entries.empty() || !td.messages.empty()) {
+    return Status::Internal("shuffle: map task " + std::to_string(task) +
+                            " output ingested twice");
+  }
   ShuffleTaskIo io;
   io.fingerprint_collisions = buffer.fingerprint_collisions();
   td.key_arena = std::move(buffer.key_arena_);
@@ -46,7 +69,13 @@ ShuffleTaskIo Shuffle::AddTaskOutput(size_t task, MapOutputBuffer buffer,
         const size_t kept = combiner->Combine(
             td.key_arena.data() + g.key_pos, g.key_arity,
             td.messages.data() + begin, count, td.payload_arena.data());
-        assert(kept >= 1 && "combiner dropped a whole key group");
+        if (kept < 1 || kept > count) {
+          return Status::Internal(
+              "shuffle: combiner kept " + std::to_string(kept) + " of " +
+              std::to_string(count) + " values of a key group (task " +
+              std::to_string(task) +
+              "); a combiner must keep between 1 and all of them");
+        }
         const size_t removed = count - kept;
         td.messages.resize(begin + kept);
         double after_wire = 0.0;
@@ -159,10 +188,16 @@ bool Shuffle::KeyEquals(const RecordRef& a, const RecordRef& b) const {
                      ea.key_arity * sizeof(uint64_t)) == 0;
 }
 
-void Shuffle::Partition(int num_partitions, Scheduler* scheduler,
-                        const SchedContext& ctx) {
-  assert(num_partitions > 0);
-  assert(partitions_.empty() && "Partition called twice");
+Status Shuffle::Partition(int num_partitions, Scheduler* scheduler,
+                          const SchedContext& ctx, uint32_t max_retries,
+                          RetryCounters* counters) {
+  if (num_partitions <= 0) {
+    return Status::Internal("shuffle: non-positive reduce partition count " +
+                            std::to_string(num_partitions));
+  }
+  if (!partitions_.empty() || num_partitions_ != 0) {
+    return Status::Internal("shuffle: Partition called twice");
+  }
   num_partitions_ = num_partitions;
   const size_t r = static_cast<size_t>(num_partitions);
   const size_t tasks = tasks_.size();
@@ -206,15 +241,43 @@ void Shuffle::Partition(int num_partitions, Scheduler* scheduler,
       partitions_[p][offset[p]++] = ref;
     }
   };
+  const FaultInjector* faults =
+      ctx.faults != nullptr && ctx.faults->active() &&
+              ctx.faults->site_enabled(FaultSite::kShuffleSort)
+          ? ctx.faults
+          : nullptr;
+  std::vector<Status> sort_status(r);
   auto sort_partition = [&](size_t p) {
     std::vector<RecordRef>& refs = partitions_[p];
     // The one sort of the shuffle, cached here — ForEachGroup never
     // re-sorts. KeyLess breaks key ties by (task, emission), so plain
-    // sort yields exactly the stable order.
-    std::sort(refs.begin(), refs.end(),
-              [this](const RecordRef& a, const RecordRef& b) {
-                return KeyLess(a, b);
-              });
+    // sort yields exactly the stable order. A sort is idempotent, so an
+    // injected fault retries it in place: the re-sorted attempt is
+    // byte-identical to a fault-free one.
+    for (uint32_t attempt = 0;; ++attempt) {
+      const uint64_t start_us = faults != nullptr ? NowUs() : 0;
+      std::sort(refs.begin(), refs.end(),
+                [this](const RecordRef& a, const RecordRef& b) {
+                  return KeyLess(a, b);
+                });
+      if (faults == nullptr ||
+          !faults->ShouldFail(FaultSite::kShuffleSort, p, attempt)) {
+        return;
+      }
+      if (counters != nullptr) {
+        counters->faults_injected.fetch_add(1, std::memory_order_relaxed);
+        counters->retry_us.fetch_add(NowUs() - start_us,
+                                     std::memory_order_relaxed);
+      }
+      if (attempt >= max_retries) {
+        sort_status[p] =
+            FaultInjector::InjectedFault(FaultSite::kShuffleSort, p, attempt);
+        return;
+      }
+      if (counters != nullptr) {
+        counters->task_retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   };
   auto size_partitions = [&] {
     for (size_t ti = 0; ti < tasks; ++ti) base[ti].assign(r, 0);
@@ -230,6 +293,11 @@ void Shuffle::Partition(int num_partitions, Scheduler* scheduler,
       partition_wire_bytes_[p] = wire;
     }
   };
+  // Cancellation polls sit between the phases, not inside the morsels:
+  // each phase is bounded (one pass over the records), and skipping a
+  // morsel mid-phase would leave the counts/offsets matrices in a state
+  // the next phase cannot read.
+  GUMBO_RETURN_IF_ERROR(CheckCancel(ctx.cancel));
   if (scheduler != nullptr) {
     // Each task slice / partition sort is one morsel: counts, scatter
     // slots, and sorted arrays are indexed by task/partition, so the
@@ -237,13 +305,21 @@ void Shuffle::Partition(int num_partitions, Scheduler* scheduler,
     scheduler->ParallelFor(tasks, count_task, ctx);
     size_partitions();
     scheduler->ParallelFor(tasks, scatter_task, ctx);
+    GUMBO_RETURN_IF_ERROR(CheckCancel(ctx.cancel));
     scheduler->ParallelFor(r, sort_partition, ctx);
   } else {
     for (size_t ti = 0; ti < tasks; ++ti) count_task(ti);
     size_partitions();
     for (size_t ti = 0; ti < tasks; ++ti) scatter_task(ti);
+    GUMBO_RETURN_IF_ERROR(CheckCancel(ctx.cancel));
     for (size_t p = 0; p < r; ++p) sort_partition(p);
   }
+  // Lowest failed partition wins: deterministic for a fixed fault seed,
+  // independent of which sort morsel ran first.
+  for (size_t p = 0; p < r; ++p) {
+    GUMBO_RETURN_IF_ERROR(sort_status[p]);
+  }
+  return Status::Ok();
 }
 
 double Shuffle::PartitionWireBytes(size_t p) const {

@@ -35,11 +35,13 @@
 #include <functional>
 #include <vector>
 
+#include "common/result.h"
 #include "common/scheduler.h"
 #include "common/tuple.h"
 #include "mr/job.h"
 #include "mr/map_output.h"
 #include "mr/message.h"
+#include "mr/stats.h"
 
 namespace gumbo::mr {
 
@@ -67,17 +69,24 @@ class Shuffle {
   /// applied to every key group before accounting (DESIGN.md §5.1);
   /// without packing, surviving values are re-materialized as singleton
   /// records, each paying its own key header. Safe to call concurrently
-  /// for distinct `task` indices.
-  ShuffleTaskIo AddTaskOutput(size_t task, MapOutputBuffer buffer,
-                              Combiner* combiner = nullptr);
+  /// for distinct `task` indices. Errors (out-of-range task, double
+  /// ingestion, a combiner dropping a whole key group) surface as
+  /// Status::Internal in Release builds too.
+  Result<ShuffleTaskIo> AddTaskOutput(size_t task, MapOutputBuffer buffer,
+                                      Combiner* combiner = nullptr);
 
   /// Hash-partitions every ingested record by fingerprint into
   /// `num_partitions` reduce partitions and sorts each partition's index
   /// array once by key. Must be called once, after all AddTaskOutput
   /// calls. `scheduler` parallelizes bucketing and sorting (nullptr =
-  /// sequential); `ctx` sets the priority/metrics of those morsels.
-  void Partition(int num_partitions, Scheduler* scheduler = nullptr,
-                 const SchedContext& ctx = {});
+  /// sequential); `ctx` sets the priority/metrics of those morsels and
+  /// carries the cancellation token (polled between phases) and fault
+  /// injector. An injected kShuffleSort fault re-sorts the partition (an
+  /// idempotent retry, counted in `counters`) up to `max_retries` times
+  /// before escalating.
+  Status Partition(int num_partitions, Scheduler* scheduler = nullptr,
+                   const SchedContext& ctx = {}, uint32_t max_retries = 0,
+                   RetryCounters* counters = nullptr);
 
   int num_partitions() const { return num_partitions_; }
 

@@ -4,11 +4,21 @@
 #ifndef GUMBO_MR_STATS_H_
 #define GUMBO_MR_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace gumbo::mr {
+
+/// Live fault-tolerance counters one job's concurrent task chains share
+/// (DESIGN.md §11): bumped with relaxed atomics while map/shuffle/reduce
+/// tasks retry, snapshotted into JobStats once the job quiesces.
+struct RetryCounters {
+  std::atomic<uint64_t> task_retries{0};
+  std::atomic<uint64_t> faults_injected{0};
+  std::atomic<uint64_t> retry_us{0};  ///< wall time of abandoned attempts
+};
 
 /// Per-input-partition accounting (maps onto the cost model's (N_i, M_i)).
 struct InputStats {
@@ -48,6 +58,11 @@ struct JobStats {
   double filter_mb = 0.0;           ///< Bloom filter bitset MB (represented)
   double filter_broadcast_mb = 0.0; ///< filter_mb shipped to every map task
   double filter_build_cost = 0.0;   ///< cost-seconds to build the filters
+
+  // ---- Fault-tolerance counters (DESIGN.md §11) ----
+  uint64_t task_retries = 0;    ///< task attempts abandoned and re-run
+  uint64_t faults_injected = 0; ///< injected faults this job observed
+  double retry_ms = 0.0;        ///< wall time spent in abandoned attempts
 
   /// Aggregate cost of the job = cost_h + filter build + all task costs
   /// (filter broadcast is inside the map task costs, DESIGN.md §5.3).
@@ -141,6 +156,23 @@ struct ProgramStats {
   double FilterBroadcastMb() const {
     double v = 0.0;
     for (const auto& j : jobs) v += j.filter_broadcast_mb;
+    return v;
+  }
+
+  // ---- Fault-tolerance aggregates (DESIGN.md §11) ----
+  uint64_t TaskRetries() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.task_retries;
+    return v;
+  }
+  uint64_t FaultsInjected() const {
+    uint64_t v = 0;
+    for (const auto& j : jobs) v += j.faults_injected;
+    return v;
+  }
+  double RetryMs() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.retry_ms;
     return v;
   }
 };

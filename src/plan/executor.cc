@@ -38,6 +38,9 @@ void FillMetrics(ExecutionResult* result) {
         std::max(m.max_jobs_per_round, static_cast<int>(r.jobs.size()));
   }
   m.peak_concurrent_jobs = result->stats.MaxConcurrentJobs();
+  m.task_retries = result->stats.TaskRetries();
+  m.faults_injected = result->stats.FaultsInjected();
+  m.retry_ms = result->stats.RetryMs();
 }
 
 }  // namespace

@@ -51,6 +51,15 @@ struct Metrics {
   /// splits into "our work got slower" vs "our work waited its turn".
   double sched_wait_ms = 0.0;
   uint64_t sched_morsels = 0;  ///< morsels this query's groups executed
+  // ---- Fault-tolerance attribution (DESIGN.md §11) ----
+  /// Task attempts abandoned and re-run (map scans, shuffle sorts,
+  /// reduce walks) across the plan's jobs, and the injected faults that
+  /// caused them. retry_ms is the wall time those abandoned attempts
+  /// burned — the latency cost of surviving the faults, the retry
+  /// analogue of sched_wait_ms attribution.
+  uint64_t task_retries = 0;
+  uint64_t faults_injected = 0;
+  double retry_ms = 0.0;
 };
 
 struct ExecutionResult {

@@ -55,6 +55,15 @@ struct ServiceStats {
   uint64_t failed = 0;      ///< responses fulfilled with an error status
   uint64_t fast_lane = 0;   ///< queries admitted through the fast lane
   uint64_t rejected = 0;    ///< submissions refused (service shut down)
+  // ---- Failure handling (DESIGN.md §11) ----
+  uint64_t deadline_exceeded = 0;  ///< responses failed past their deadline
+  uint64_t cancelled = 0;          ///< responses failed by explicit cancel
+  /// Submissions rejected under saturation (kLow class or already past
+  /// deadline while the service was at its shed watermark); these return
+  /// ResourceExhausted from Submit without ever queueing.
+  uint64_t shed = 0;
+  uint64_t task_retries = 0;    ///< task attempts re-run (jobs + planner)
+  uint64_t faults_injected = 0; ///< injected faults across all queries
   /// Cache misses that waited on a concurrent planning of the same key
   /// instead of planning redundantly (single-flight coalescing).
   uint64_t plan_coalesced = 0;
@@ -76,6 +85,14 @@ struct ServiceStats {
   /// slower" and "queries waited their turn" are separate signals.
   double mean_exec_ms = 0.0;
   double mean_sched_wait_ms = 0.0;
+  /// Mean wall time per response spent in abandoned (retried) task
+  /// attempts — the latency cost of fault recovery, split out like
+  /// mean_sched_wait_ms so a chaos run's p95 inflation is attributable.
+  double mean_retry_ms = 0.0;
+  /// Mean cancellation take-effect latency over cancelled /
+  /// deadline-exceeded responses: token latch -> response fulfilled (how
+  /// long cooperative cancellation took to drain the in-flight work).
+  double mean_cancel_ms = 0.0;
   /// Morsel-scheduler counters of the engine's scheduler (steals, local
   /// hits, morsels, priority inversions avoided, ...). Process-wide when
   /// the service runs on Scheduler::Global().

@@ -14,6 +14,18 @@ double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+// Stable work-unit id for planner/cache fault sites: FNV-1a over the
+// plan-cache key, so a chaos failure reproduces from the seed and the
+// query text alone (std::hash is not pinned across standard libraries).
+uint64_t KeyUnit(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 // A service-level calibration store doubles as the planner's unless the
 // caller wired a different one into planner.calibration explicitly.
 ServiceOptions InstallCalibration(ServiceOptions options) {
@@ -30,6 +42,8 @@ QueryService::QueryService(const Database* db, ServiceOptions options,
                            Scheduler* scheduler)
     : db_(db),
       options_(InstallCalibration(std::move(options))),
+      env_faults_(FaultInjector::FromEnv()),
+      faults_(options_.faults != nullptr ? options_.faults : &env_faults_),
       engine_(options_.cluster, scheduler),
       runtime_(&engine_, options_.runtime),
       planner_(options_.cluster, options_.planner),
@@ -63,17 +77,66 @@ size_t QueryService::AtomCount(const sgf::SgfQuery& query) {
   return atoms;
 }
 
-std::future<QueryResponse> QueryService::Submit(sgf::SgfQuery query) {
+std::future<QueryResponse> QueryService::Submit(sgf::SgfQuery query,
+                                                QueryOptions qopts) {
   Task task;
   task.query = std::move(query);
   task.submitted = Clock::now();
+  task.priority = qopts.priority;
   std::future<QueryResponse> future = task.promise.get_future();
 
-  const bool fast = options_.fast_lane_max_atoms > 0 &&
-                    AtomCount(task.query) <= options_.fast_lane_max_atoms;
+  // Deadline composition: the per-query budget and the service default
+  // both arm the same token; SetDeadline keeps the earliest, so the
+  // stricter one wins. A caller-supplied token is used directly (its
+  // Cancel() reaches queued and in-flight work alike); otherwise a token
+  // is created only when some deadline exists.
+  const double deadline_ms =
+      qopts.deadline_ms > 0.0 && options_.default_deadline_ms > 0.0
+          ? std::min(qopts.deadline_ms, options_.default_deadline_ms)
+          : (qopts.deadline_ms > 0.0 ? qopts.deadline_ms
+                                     : options_.default_deadline_ms);
+  if (qopts.cancel != nullptr) {
+    task.token = qopts.cancel;
+  } else if (deadline_ms > 0.0) {
+    task.owned = std::make_shared<CancelToken>();
+    task.token = task.owned.get();
+  }
+  if (task.token != nullptr && deadline_ms > 0.0) {
+    task.token->SetDeadlineAfterMs(deadline_ms);
+    task.deadline = task.submitted +
+                    std::chrono::microseconds(
+                        static_cast<int64_t>(deadline_ms * 1e3));
+  }
+
+  const bool fast =
+      qopts.priority == SchedPriority::kHigh ||
+      (options_.fast_lane_max_atoms > 0 &&
+       AtomCount(task.query) <= options_.fast_lane_max_atoms);
   task.fast = fast;
+  if (fast) task.priority = SchedPriority::kHigh;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Saturation shedding (DESIGN.md §11): at the watermark, background
+    // (kLow) queries and queries already past their deadline are turned
+    // away immediately — a typed synchronous rejection instead of
+    // occupying backlog a saturated service will not reach in time.
+    const size_t watermark = options_.shed_watermark > 0
+                                 ? options_.shed_watermark
+                                 : options_.max_inflight + options_.max_queued;
+    const size_t load = fifo_.size() + fast_lane_.size() +
+                        static_cast<size_t>(inflight_.load());
+    if (!stopping_ && load >= watermark &&
+        (qopts.priority == SchedPriority::kLow ||
+         (task.deadline != Clock::time_point::max() &&
+          Clock::now() >= task.deadline))) {
+      ++shed_;
+      QueryResponse resp;
+      resp.status = Status::ResourceExhausted(
+          "query shed: service saturated (" + std::to_string(load) +
+          " queued+inflight >= watermark " + std::to_string(watermark) + ")");
+      task.promise.set_value(std::move(resp));
+      return future;
+    }
     cv_space_.wait(lock, [&] {
       return stopping_ ||
              fifo_.size() + fast_lane_.size() < options_.max_queued;
@@ -97,8 +160,22 @@ std::future<QueryResponse> QueryService::Submit(sgf::SgfQuery query) {
   return future;
 }
 
-QueryResponse QueryService::Run(sgf::SgfQuery query) {
-  return Submit(std::move(query)).get();
+QueryResponse QueryService::Run(sgf::SgfQuery query, QueryOptions qopts) {
+  return Submit(std::move(query), qopts).get();
+}
+
+QueryService::Task QueryService::PopEdf(std::deque<Task>* q) {
+  // Earliest deadline first within the lane; deadline-free tasks sort
+  // last (time_point::max()) and ties keep queue order, so a deadline-
+  // free workload degenerates to plain FIFO. Linear scan: the backlog is
+  // bounded (max_queued) and dispatch is rare next to morsel work.
+  size_t best = 0;
+  for (size_t i = 1; i < q->size(); ++i) {
+    if ((*q)[i].deadline < (*q)[best].deadline) best = i;
+  }
+  Task task = std::move((*q)[best]);
+  q->erase(q->begin() + static_cast<std::ptrdiff_t>(best));
+  return task;
 }
 
 void QueryService::WorkerLoop() {
@@ -122,8 +199,7 @@ void QueryService::WorkerLoop() {
           fast_lane_.empty() || (!fifo_.empty() && lane_streak_ >= kLaneBurst);
       std::deque<Task>& q = take_fifo ? fifo_ : fast_lane_;
       lane_streak_ = take_fifo ? 0 : lane_streak_ + 1;
-      task = std::move(q.front());
-      q.pop_front();
+      task = PopEdf(&q);
     }
     cv_space_.notify_one();
     Execute(std::move(task));
@@ -171,9 +247,35 @@ Result<plan::PlanRef> QueryService::PlanSingleFlight(
   }
 
   Result<plan::PlanRef> outcome = [&]() -> Result<plan::PlanRef> {
-    GUMBO_ASSIGN_OR_RETURN(plan::QueryPlan planned,
-                           planner_.Plan(query, *db_));
-    return std::make_shared<const plan::QueryPlan>(std::move(planned));
+    // Planner fault site (DESIGN.md §11): an injected fault abandons the
+    // finished planning attempt and re-plans from scratch. Planning is
+    // idempotent (sampling is seeded), so a retried attempt lowers the
+    // same plan; followers coalesced on this key only ever see the final
+    // outcome.
+    const uint64_t unit = KeyUnit(key);
+    const uint32_t max_retries = engine_.sched_options().max_task_retries;
+    for (uint32_t attempt = 0;; ++attempt) {
+      const Clock::time_point attempt_start = Clock::now();
+      Result<plan::PlanRef> attempt_outcome =
+          [&]() -> Result<plan::PlanRef> {
+        GUMBO_ASSIGN_OR_RETURN(plan::QueryPlan planned,
+                               planner_.Plan(query, *db_));
+        return std::make_shared<const plan::QueryPlan>(std::move(planned));
+      }();
+      if (!faults_->active() ||
+          !faults_->ShouldFail(FaultSite::kPlanner, unit, attempt)) {
+        return attempt_outcome;
+      }
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      retry_us_.fetch_add(
+          static_cast<uint64_t>(MsSince(attempt_start) * 1e3),
+          std::memory_order_relaxed);
+      if (attempt >= max_retries) {
+        return FaultInjector::InjectedFault(FaultSite::kPlanner, unit,
+                                            attempt);
+      }
+      task_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
   }();
   // Publish to the cache BEFORE leaving the registry: combined with the
   // registry-miss cache re-check above, a concurrent miss always sees
@@ -199,6 +301,12 @@ void QueryService::Execute(Task task) {
   QueryResponse resp;
   const double queue_ms = MsSince(task.submitted);
 
+  // Cancellation gate: a query cancelled (or past its deadline) while it
+  // sat in the backlog is answered here without planning or executing —
+  // the prompt-drop path for queued work. One poll covers explicit
+  // Cancel(), deadlines, and fault escalation alike.
+  resp.status = CheckCancel(task.token);
+
   // ---- Plan: cache lookup keyed on signature + stats epochs ----
   // The key is computed even with the cache off: single-flight planning
   // coalesces identical in-flight queries either way.
@@ -206,25 +314,40 @@ void QueryService::Execute(Task task) {
   bool cache_hit = false;
   double plan_ms = 0.0;
   const std::string key = PlanCacheKey(task.query, options_.planner);
-  std::vector<uint64_t> epochs;
-  if (options_.plan_cache) {
-    epochs = PlanCache::EpochsOf(task.query, *db_);
-    plan = cache_.Lookup(key, epochs);
-    cache_hit = plan != nullptr;
-  }
-  if (plan == nullptr) {
-    const Clock::time_point plan_start = Clock::now();
-    bool coalesced = false;
-    Result<plan::PlanRef> planned =
-        PlanSingleFlight(task.query, key, std::move(epochs),
-                         options_.plan_cache, &coalesced);
-    plan_ms = MsSince(plan_start);
-    if (coalesced) plan_coalesced_.fetch_add(1, std::memory_order_relaxed);
-    if (!planned.ok()) {
-      resp.status = planned.status();
-    } else {
-      plan = *planned;
+  if (resp.ok()) {
+    std::vector<uint64_t> epochs;
+    // Cache fault site (DESIGN.md §11): an injected fault degrades the
+    // lookup to a miss — the query re-plans (or coalesces) and stays
+    // correct; only the cached latency win is lost. The cache entry
+    // itself is untouched.
+    const bool cache_faulted =
+        options_.plan_cache && faults_->active() &&
+        faults_->ShouldFail(FaultSite::kCache, KeyUnit(key), /*attempt=*/0);
+    if (cache_faulted) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (options_.plan_cache && !cache_faulted) {
+      epochs = PlanCache::EpochsOf(task.query, *db_);
+      plan = cache_.Lookup(key, epochs);
+      cache_hit = plan != nullptr;
+    }
+    if (plan == nullptr) {
+      const Clock::time_point plan_start = Clock::now();
+      bool coalesced = false;
+      Result<plan::PlanRef> planned =
+          PlanSingleFlight(task.query, key, std::move(epochs),
+                           options_.plan_cache && !cache_faulted, &coalesced);
+      plan_ms = MsSince(plan_start);
+      if (coalesced) plan_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (!planned.ok()) {
+        resp.status = planned.status();
+      } else {
+        plan = *planned;
+      }
+    }
+    // A deadline that expired during planning stops the query before any
+    // execution work is scheduled.
+    if (resp.ok()) resp.status = CheckCancel(task.token);
   }
 
   // ---- Execute against the shared snapshot via a private overlay ----
@@ -236,9 +359,10 @@ void QueryService::Execute(Task task) {
   if (resp.ok()) {
     SchedGroupMetrics sched_metrics;
     SchedContext ctx;
-    ctx.priority =
-        task.fast ? SchedPriority::kHigh : SchedPriority::kNormal;
+    ctx.priority = task.priority;
     ctx.metrics = &sched_metrics;
+    ctx.cancel = task.token;
+    ctx.faults = faults_->active() ? faults_ : nullptr;
     const Clock::time_point exec_start = Clock::now();
     Result<plan::ExecutionResult> executed =
         plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs, ctx);
@@ -280,12 +404,39 @@ void QueryService::Execute(Task task) {
                      std::memory_order_relaxed);
   sched_wait_us_.fetch_add(static_cast<uint64_t>(sched_wait_ms * 1e3),
                            std::memory_order_relaxed);
+  // Retry attribution: the jobs' counters ride in the program stats (the
+  // planner site feeds the service atomics directly as it retries).
+  if (resp.metrics.faults_injected > 0 || resp.metrics.task_retries > 0) {
+    task_retries_.fetch_add(resp.metrics.task_retries,
+                            std::memory_order_relaxed);
+    faults_injected_.fetch_add(resp.metrics.faults_injected,
+                               std::memory_order_relaxed);
+    retry_us_.fetch_add(static_cast<uint64_t>(resp.metrics.retry_ms * 1e3),
+                        std::memory_order_relaxed);
+  }
+  // Cancellation take-effect latency: token latch -> this response.
+  const bool was_cancelled =
+      resp.status.code() == StatusCode::kCancelled ||
+      resp.status.code() == StatusCode::kDeadlineExceeded;
+  if (was_cancelled && task.token != nullptr && task.token->cancelled()) {
+    const Clock::time_point fired = task.token->fired_at();
+    if (fired != Clock::time_point::min()) {
+      cancel_us_.fetch_add(static_cast<uint64_t>(MsSince(fired) * 1e3),
+                           std::memory_order_relaxed);
+      cancel_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (resp.ok()) {
       ++completed_;
     } else {
       ++failed_;
+      if (resp.status.code() == StatusCode::kDeadlineExceeded) {
+        ++deadline_exceeded_;
+      } else if (resp.status.code() == StatusCode::kCancelled) {
+        ++cancelled_;
+      }
     }
   }
   inflight_.fetch_sub(1);
@@ -301,6 +452,9 @@ ServiceStats QueryService::Stats() const {
     s.failed = failed_;
     s.fast_lane = fast_lane_count_;
     s.rejected = rejected_;
+    s.deadline_exceeded = deadline_exceeded_;
+    s.cancelled = cancelled_;
+    s.shed = shed_;
   }
   s.peak_inflight = peak_inflight_.load();
   s.plan_coalesced = plan_coalesced_.load(std::memory_order_relaxed);
@@ -321,6 +475,15 @@ ServiceStats QueryService::Stats() const {
   s.mean_sched_wait_ms =
       static_cast<double>(sched_wait_us_.load(std::memory_order_relaxed)) /
       1e3 / n;
+  s.task_retries = task_retries_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.mean_retry_ms =
+      static_cast<double>(retry_us_.load(std::memory_order_relaxed)) / 1e3 / n;
+  const uint64_t nc = cancel_count_.load(std::memory_order_relaxed);
+  s.mean_cancel_ms =
+      nc == 0 ? 0.0
+              : static_cast<double>(cancel_us_.load(std::memory_order_relaxed)) /
+                    1e3 / static_cast<double>(nc);
   s.scheduler = engine_.scheduler().stats();
   return s;
 }

@@ -42,6 +42,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "common/relation.h"
 #include "common/scheduler.h"
 #include "cost/constants.h"
@@ -85,6 +87,43 @@ struct ServiceOptions {
   /// Non-owning; must outlive the service. The store is thread-safe, so
   /// concurrent workers may feed it simultaneously.
   cost::CalibrationStore* calibration = nullptr;
+  /// Default per-query deadline (ms) applied when a submission carries
+  /// none; 0 = queries without their own deadline run unbounded. A
+  /// per-query deadline composes with this to the stricter of the two
+  /// (the token keeps the earliest deadline ever armed).
+  double default_deadline_ms = 0.0;
+  /// Saturation watermark for load shedding (DESIGN.md §11): once
+  /// inflight + queued reaches this, Submit rejects kLow-priority and
+  /// already-over-deadline queries with ResourceExhausted instead of
+  /// queueing (or blocking) them. 0 = max_inflight + max_queued, i.e.
+  /// shed only instead of blocking on a full backlog.
+  size_t shed_watermark = 0;
+  /// Fault injection for chaos runs (DESIGN.md §11). Non-owning; must
+  /// outlive the service. nullptr = the process-wide GUMBO_FAULT_* env
+  /// configuration (inactive unless GUMBO_FAULT_RATE is set).
+  const FaultInjector* faults = nullptr;
+};
+
+/// Per-query submission options. All defaults preserve the plain
+/// Submit(query) behavior: no deadline beyond the service default,
+/// normal priority, no external cancellation.
+struct QueryOptions {
+  /// Wall-clock budget from submission (ms); <= 0 = only the service
+  /// default applies. Past the deadline the query fails with
+  /// kDeadlineExceeded — dropped before execution if still queued, or
+  /// cooperatively cancelled at the next morsel boundary if in flight.
+  double deadline_ms = 0.0;
+  /// Admission class. kHigh behaves like the fast lane (jump the FIFO,
+  /// morsels at kHigh); kLow is background work the service sheds first
+  /// under saturation. Queries the fast-lane heuristic admits are
+  /// promoted to kHigh regardless.
+  SchedPriority priority = SchedPriority::kNormal;
+  /// Optional caller-owned cancellation token: Cancel() stops the query
+  /// cooperatively whether it is still queued or already executing (the
+  /// response then carries the token's terminal status). Deadlines are
+  /// armed on this token when provided. Must outlive the response
+  /// future's completion.
+  CancelToken* cancel = nullptr;
 };
 
 /// The outcome of one query: produced relations plus per-query metrics.
@@ -117,12 +156,14 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues `query` and returns the future response. Blocks while the
-  /// backlog is full; after Shutdown the returned future holds a
-  /// FailedPrecondition response immediately.
-  std::future<QueryResponse> Submit(sgf::SgfQuery query);
+  /// backlog is full (unless shedding applies, see ServiceOptions);
+  /// after Shutdown the returned future holds a FailedPrecondition
+  /// response immediately, and a shed query holds ResourceExhausted.
+  std::future<QueryResponse> Submit(sgf::SgfQuery query,
+                                    QueryOptions qopts = {});
 
   /// Submit + wait: the blocking convenience for closed-loop callers.
-  QueryResponse Run(sgf::SgfQuery query);
+  QueryResponse Run(sgf::SgfQuery query, QueryOptions qopts = {});
 
   /// Stops accepting new queries; already-accepted ones still complete.
   void Shutdown();
@@ -140,10 +181,23 @@ class QueryService {
     std::chrono::steady_clock::time_point submitted;
     /// Admitted through the fast lane -> morsels run at kHigh priority.
     bool fast = false;
+    /// Morsel priority class of this query's execution.
+    SchedPriority priority = SchedPriority::kNormal;
+    /// The token the whole stack polls: the caller's when one was
+    /// supplied, otherwise `owned` (created only when a deadline is
+    /// armed). nullptr = uncancellable.
+    CancelToken* token = nullptr;
+    std::shared_ptr<CancelToken> owned;
+    /// Absolute deadline for EDF dequeueing; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void WorkerLoop();
   void Execute(Task task);
+  /// Pops the next task from `q` in earliest-deadline-first order
+  /// (deadline ties resolve to queue order). Caller holds mu_.
+  static Task PopEdf(std::deque<Task>* q);
   static size_t AtomCount(const sgf::SgfQuery& query);
 
   /// Plans `query` (or waits for a concurrent planning of the same key —
@@ -157,6 +211,10 @@ class QueryService {
 
   const Database* db_;
   ServiceOptions options_;
+  /// The env-configured injector backing options_.faults when the caller
+  /// supplied none; faults_ below is the one actually consulted.
+  FaultInjector env_faults_;
+  const FaultInjector* faults_;
   mr::Engine engine_;
   mr::Runtime runtime_;
   plan::Planner planner_;
@@ -183,8 +241,16 @@ class QueryService {
   uint64_t failed_ = 0;
   uint64_t fast_lane_count_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t shed_ = 0;
   std::atomic<uint64_t> plan_coalesced_{0};
   std::atomic<uint64_t> plans_built_{0};
+  std::atomic<uint64_t> task_retries_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> retry_us_{0};
+  std::atomic<uint64_t> cancel_us_{0};     ///< token latch -> response
+  std::atomic<uint64_t> cancel_count_{0};  ///< responses behind cancel_us_
   std::atomic<int> inflight_{0};
   std::atomic<int> peak_inflight_{0};
   LatencyHistogram total_latency_;

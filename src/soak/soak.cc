@@ -96,17 +96,37 @@ std::string DiffOutputs(const Database& expected, const Database& got,
   return "";
 }
 
-enum class Outcome { kOk, kSkip, kFail };
+enum class Outcome { kOk, kSkip, kFail, kCleanError };
+
+// Chaos-mode triage: a fault-injected run may fail, but only with one of
+// the typed terminal statuses of DESIGN.md §11. Anything else (Internal,
+// wrong bytes, ...) means a fault corrupted state instead of being
+// retried or cleanly escalated — a real failure.
+bool IsCleanChaosError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
 
 // One strategy against the naive reference. `calibration` (may be null)
 // feeds the planner's estimates; `feed` (may be null) receives this
 // execution's observed stats afterwards — the full loop under soak.
+// `faults` (may be null) injects chaos into the execution; `retries`
+// (may be null) accumulates the attempts re-run surviving it.
 Outcome CheckStrategy(const sgf::SgfQuery& query, const Database& db,
                       const Database& expected,
                       const std::vector<std::string>& outputs,
                       plan::Strategy strategy,
                       const cost::CalibrationStore* calibration,
-                      cost::CalibrationStore* feed, std::string* detail) {
+                      cost::CalibrationStore* feed,
+                      const FaultInjector* faults, uint64_t* retries,
+                      std::string* detail) {
   detail->clear();
   const cost::ClusterConfig config = SoakCluster();
   plan::PlannerOptions opts;
@@ -122,13 +142,18 @@ Outcome CheckStrategy(const sgf::SgfQuery& query, const Database& db,
   }
   mr::Engine engine(config);
   mr::Runtime runtime(&engine);
+  SchedContext ctx;
+  ctx.faults = (faults != nullptr && faults->active()) ? faults : nullptr;
   Database out;
   Result<plan::ExecutionResult> executed =
-      plan::ExecutePlanOnSnapshot(*plan, runtime, db, &out);
+      plan::ExecutePlanOnSnapshot(*plan, runtime, db, &out, ctx);
   if (!executed.ok()) {
     *detail = "execution failed: " + executed.status().ToString();
-    return Outcome::kFail;
+    return (ctx.faults != nullptr && IsCleanChaosError(executed.status()))
+               ? Outcome::kCleanError
+               : Outcome::kFail;
   }
+  if (retries != nullptr) *retries += executed->stats.TaskRetries();
   if (feed != nullptr) {
     plan::CalibrateFromExecution(*plan, executed->stats, feed);
   }
@@ -142,33 +167,48 @@ Outcome CheckStrategy(const sgf::SgfQuery& query, const Database& db,
 Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
                    const Database& expected,
                    const std::vector<std::string>& outputs, bool cache,
-                   cost::CalibrationStore* store, std::string* detail) {
+                   cost::CalibrationStore* store, const FaultInjector* faults,
+                   uint64_t* retries, std::string* detail) {
   detail->clear();
+  const bool chaos = faults != nullptr && faults->active();
   serve::ServiceOptions so;
   so.max_inflight = 2;
   so.plan_cache = cache;
   so.cluster = SoakCluster();
   so.planner.sample_size = 32;
   so.calibration = store;
+  // Hermetic: the service injects exactly what this check was handed —
+  // never the ambient GUMBO_FAULT_* env (which would break the
+  // minimizer's fault-free re-checks in a chaos environment).
+  static const FaultInjector kNoFaults(0, 0.0);
+  so.faults = faults != nullptr ? faults : &kNoFaults;
   serve::QueryService service(&db, so);
+  Outcome outcome = Outcome::kOk;
   const int runs = cache ? 2 : 1;
   for (int r = 0; r < runs; ++r) {
     serve::QueryResponse resp = service.Run(query);
     if (!resp.ok()) {
       *detail = "serve execution failed: " + resp.status.ToString();
-      return Outcome::kFail;
+      outcome = (chaos && IsCleanChaosError(resp.status)) ? Outcome::kCleanError
+                                                          : Outcome::kFail;
+      break;
     }
-    if (cache && r == 1 && !resp.metrics.plan_cache_hit) {
+    // Under chaos a kCache fault legitimately degrades the second lookup
+    // to a miss, so the hit assertion only holds fault-free.
+    if (cache && r == 1 && !chaos && !resp.metrics.plan_cache_hit) {
       *detail = "second submission missed the plan cache";
-      return Outcome::kFail;
+      outcome = Outcome::kFail;
+      break;
     }
     std::string diff = DiffOutputs(expected, resp.outputs, outputs);
     if (!diff.empty()) {
       *detail = (r == 0 ? "cold run: " : "cached-plan run: ") + diff;
-      return Outcome::kFail;
+      outcome = Outcome::kFail;
+      break;
     }
   }
-  return Outcome::kOk;
+  if (retries != nullptr) *retries += service.Stats().task_retries;
+  return outcome;
 }
 
 // Dispatches a path by name — the minimizer's re-check hook. Paths are
@@ -179,7 +219,7 @@ Outcome CheckPath(const std::string& path, const sgf::SgfQuery& query,
                   std::string* detail) {
   if (path == "serve-cache" || path == "serve-nocache") {
     return CheckServe(query, db, expected, outputs, path == "serve-cache",
-                      nullptr, detail);
+                      nullptr, nullptr, nullptr, detail);
   }
   Result<plan::Strategy> strategy = plan::StrategyFromName(path);
   if (!strategy.ok()) {
@@ -187,7 +227,7 @@ Outcome CheckPath(const std::string& path, const sgf::SgfQuery& query,
     return Outcome::kSkip;
   }
   return CheckStrategy(query, db, expected, outputs, *strategy, nullptr,
-                       nullptr, detail);
+                       nullptr, nullptr, nullptr, detail);
 }
 
 // Whether `path` still diverges on (query_text, db(seed, tuples)).
@@ -286,6 +326,13 @@ SoakConfig SoakConfig::FromEnv() {
       static_cast<size_t>(EnvU64("GUMBO_SOAK_ITERS", config.iterations));
   config.tuples =
       static_cast<size_t>(EnvU64("GUMBO_SOAK_TUPLES", config.tuples));
+  // Chaos knobs share the injector's own env parsing (site-name lists,
+  // rate clamping) so a chaos soak is configured exactly like any other
+  // fault-injected run.
+  const FaultInjector env_faults = FaultInjector::FromEnv();
+  config.fault_rate = env_faults.rate();
+  config.fault_seed = env_faults.seed();
+  config.fault_sites = env_faults.site_mask();
   return config;
 }
 
@@ -306,6 +353,17 @@ std::string SoakReport::Summary() const {
                   std::to_string(checks) + " checks, " +
                   std::to_string(skipped) + " skipped, " +
                   std::to_string(failures.size()) + " failures";
+  if (faults_injected > 0 || clean_errors > 0) {
+    s += "\nchaos: " + std::to_string(faults_injected) +
+         " faults injected (";
+    for (size_t i = 0; i < kNumFaultSites; ++i) {
+      if (i > 0) s += ", ";
+      s += std::string(FaultSiteName(static_cast<FaultSite>(i))) + " " +
+           std::to_string(faults_per_site[i]);
+    }
+    s += "), " + std::to_string(task_retries) + " task retries, " +
+         std::to_string(clean_errors) + " clean typed errors";
+  }
   for (const SoakFailure& f : failures) {
     s += "\n" + f.Repro();
   }
@@ -359,6 +417,31 @@ SoakReport RunSoak(const SoakConfig& config) {
   cost::CalibrationStore store;
   for (size_t i = 0; i < config.iterations; ++i) {
     const uint64_t seed = config.seed + i;
+    // Fresh injector per iteration with a seed derived from both base
+    // seeds: fault sets vary across iterations but stay reproducible
+    // from (GUMBO_SOAK_SEED, GUMBO_FAULT_SEED), preserving the
+    // "iteration i == one-iteration soak with seed S + i" contract.
+    const FaultInjector faults(SplitMix64::Mix(config.fault_seed ^ seed),
+                               config.fault_rate, config.fault_sites);
+    const FaultInjector* inject = config.chaos() ? &faults : nullptr;
+    // A chaos failure is recorded unminimized: the minimizer's re-checks
+    // run fault-free, so shrinking would lose the repro. The detail
+    // carries the injector configuration instead.
+    const auto chaos_failure = [&](const std::string& path,
+                                   const sgf::GeneratedQuery& generated,
+                                   DataRegime regime, std::string detail) {
+      SoakFailure f;
+      f.seed = seed;
+      f.regime = regime;
+      f.path = path;
+      f.query_text = generated.Text();
+      f.tuples = config.tuples;
+      f.detail = std::move(detail) + " [chaos: GUMBO_FAULT_SEED=" +
+                 std::to_string(config.fault_seed) +
+                 " GUMBO_FAULT_RATE=" + std::to_string(config.fault_rate) +
+                 "]";
+      return f;
+    };
     Xoshiro256 rng(SplitMix64::Mix(seed ^ 0x50a7ULL));
     const DataRegime regime =
         kRegimes[rng.Uniform(sizeof(kRegimes) / sizeof(kRegimes[0]))];
@@ -394,30 +477,48 @@ SoakReport RunSoak(const SoakConfig& config) {
           config.calibrate ? &store : nullptr,
           (config.calibrate && strategy == plan::Strategy::kGreedy) ? &store
                                                                     : nullptr,
-          &detail);
+          inject, &report.task_retries, &detail);
       if (outcome == Outcome::kSkip) {
         ++report.skipped;
         continue;
       }
+      if (outcome == Outcome::kCleanError) {
+        ++report.clean_errors;
+        continue;
+      }
       ++report.checks;
       if (outcome == Outcome::kFail) {
-        report.failures.push_back(Minimize(generated, regime, seed, config,
-                                           plan::StrategyName(strategy),
-                                           detail));
+        report.failures.push_back(
+            inject != nullptr
+                ? chaos_failure(plan::StrategyName(strategy), generated,
+                                regime, detail)
+                : Minimize(generated, regime, seed, config,
+                           plan::StrategyName(strategy), detail));
       }
     }
     if (config.serve_paths) {
       for (const bool cache : {true, false}) {
+        const std::string path = cache ? "serve-cache" : "serve-nocache";
         const Outcome outcome = CheckServe(
             generated.query, db, *expected, outputs, cache,
-            config.calibrate ? &store : nullptr, &detail);
+            config.calibrate ? &store : nullptr, inject,
+            &report.task_retries, &detail);
+        if (outcome == Outcome::kCleanError) {
+          ++report.clean_errors;
+          continue;
+        }
         ++report.checks;
         if (outcome == Outcome::kFail) {
           report.failures.push_back(
-              Minimize(generated, regime, seed, config,
-                       cache ? "serve-cache" : "serve-nocache", detail));
+              inject != nullptr
+                  ? chaos_failure(path, generated, regime, detail)
+                  : Minimize(generated, regime, seed, config, path, detail));
         }
       }
+    }
+    report.faults_injected += faults.injected();
+    for (size_t s = 0; s < kNumFaultSites; ++s) {
+      report.faults_per_site[s] += faults.injected_at(static_cast<FaultSite>(s));
     }
     if (report.failures.size() >= config.max_failures) break;
   }

@@ -13,11 +13,13 @@
 #ifndef GUMBO_SOAK_SOAK_H_
 #define GUMBO_SOAK_SOAK_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/relation.h"
 #include "sgf/query_gen.h"
 
@@ -54,8 +56,26 @@ struct SoakConfig {
   bool calibrate = true;
   /// Stop after this many (minimized) failures.
   size_t max_failures = 1;
+  /// Chaos mode (DESIGN.md §11): per-(site, unit, attempt) fault
+  /// probability injected into every execution path. 0 = off. Under
+  /// chaos the contract sharpens: an OK result must STILL be
+  /// byte-identical to the fault-free reference (task retry is
+  /// invisible), and a failure must be one of the typed clean errors
+  /// (Unavailable, DeadlineExceeded, Cancelled, ResourceExhausted) —
+  /// a wrong byte or an Internal error is a soak failure either way.
+  /// Env: GUMBO_FAULT_RATE.
+  double fault_rate = 0.0;
+  /// Base fault seed; iteration i derives its injector from this and
+  /// the iteration seed, so chaos runs stay reproducible from the two
+  /// printed seeds. Env: GUMBO_FAULT_SEED.
+  uint64_t fault_seed = 42;
+  /// Fault-site filter (bit i = FaultSite i). Env: GUMBO_FAULT_SITES.
+  uint32_t fault_sites = ~0u;
 
-  /// Reads GUMBO_SOAK_{SEED,ITERS,TUPLES} over the defaults above.
+  bool chaos() const { return fault_rate > 0.0; }
+
+  /// Reads GUMBO_SOAK_{SEED,ITERS,TUPLES} and GUMBO_FAULT_{RATE,SEED,
+  /// SITES} over the defaults above.
   static SoakConfig FromEnv();
 };
 
@@ -75,6 +95,13 @@ struct SoakReport {
   size_t iterations = 0;  ///< (query, database) pairs actually run
   size_t checks = 0;      ///< individual path-vs-naive comparisons
   size_t skipped = 0;     ///< inapplicable paths (e.g. 1-ROUND refusals)
+  // ---- Chaos-mode accounting (all zero when fault_rate == 0) ----
+  /// Paths that failed with a typed clean error (retry budget exhausted
+  /// to Unavailable, etc.) — acceptable chaos outcomes, not failures.
+  size_t clean_errors = 0;
+  uint64_t faults_injected = 0;  ///< total injections across the soak
+  uint64_t task_retries = 0;     ///< attempts re-run across the soak
+  std::array<uint64_t, kNumFaultSites> faults_per_site{};
   std::vector<SoakFailure> failures;
 
   bool ok() const { return failures.empty(); }

@@ -111,10 +111,10 @@ TEST(MapOutputBufferTest, ForcedCollisionsStillGroupExactly) {
   EXPECT_GT(buffer.fingerprint_collisions(), 0u);
 
   Shuffle shuffle(1, /*pack_messages=*/true);
-  ShuffleTaskIo io = shuffle.AddTaskOutput(0, std::move(buffer));
+  ShuffleTaskIo io = shuffle.AddTaskOutput(0, std::move(buffer)).value();
   EXPECT_EQ(io.records, static_cast<size_t>(kKeys));
   EXPECT_EQ(io.messages, static_cast<size_t>(3 * kKeys));
-  shuffle.Partition(4);
+  ASSERT_TRUE(shuffle.Partition(4).ok());
   auto parts = Collect(shuffle);
   // All records share the fingerprint, so they all land in one partition —
   // with 50 distinct, sorted, fully-populated groups.
@@ -162,9 +162,9 @@ TEST(ShuffleFlatTest, MergesEqualKeysAcrossTasksInTaskOrder) {
     buffer.Emit(Tuple::Ints({1}), 1, task, 2.0);
     buffer.Emit(Tuple::Ints({2}), 1, task, 2.0);
     buffer.Emit(Tuple::Ints({1}), 2, task, 2.0);
-    shuffle.AddTaskOutput(task, std::move(buffer));
+    ASSERT_TRUE(shuffle.AddTaskOutput(task, std::move(buffer)).ok());
   }
-  shuffle.Partition(1);
+  ASSERT_TRUE(shuffle.Partition(1).ok());
   auto parts = Collect(shuffle);
   ASSERT_EQ(parts[0].size(), 2u);
   const CollectedGroup& g1 = parts[0][0];
@@ -264,9 +264,9 @@ TEST(ShuffleFlatTest, MatchesReferenceRepresentationOnRandomStreams) {
           }
           emissions[ti].push_back({std::move(key), std::move(msg)});
         }
-        shuffle.AddTaskOutput(ti, std::move(buffer));
+        ASSERT_TRUE(shuffle.AddTaskOutput(ti, std::move(buffer)).ok());
       }
-      shuffle.Partition(r);
+      ASSERT_TRUE(shuffle.Partition(r).ok());
       auto flat = Collect(shuffle);
       auto reference = ReferenceShuffle(emissions, r, pack);
       ASSERT_EQ(flat.size(), reference.size());
@@ -312,6 +312,49 @@ TEST(ShuffleFlatTest, MatchesReferenceRepresentationOnRandomStreams) {
       EXPECT_NEAR(actual_wire, expected_wire, 1e-6);
     }
   }
+}
+
+// ---- Promoted release-mode invariants (DESIGN.md §11) -----------------------
+// These used to be debug-only asserts; they now hold in release builds
+// as typed Internal errors, so a production misuse fails closed instead
+// of corrupting the shuffle.
+
+TEST(ShuffleInvariantTest, TaskIndexOutOfRangeIsInternal) {
+  Shuffle shuffle(2, /*pack_messages=*/true);
+  auto r = shuffle.AddTaskOutput(2, MapOutputBuffer());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ShuffleInvariantTest, DoubleIngestionIsInternal) {
+  Shuffle shuffle(2, /*pack_messages=*/true);
+  MapOutputBuffer first;
+  first.Emit(Tuple::Ints({1}), 1, 0, 2.0);
+  ASSERT_TRUE(shuffle.AddTaskOutput(0, std::move(first)).ok());
+  MapOutputBuffer again;
+  again.Emit(Tuple::Ints({2}), 1, 0, 2.0);
+  auto r = shuffle.AddTaskOutput(0, std::move(again));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ShuffleInvariantTest, NonPositivePartitionCountIsInternal) {
+  Shuffle shuffle(1, /*pack_messages=*/true);
+  ASSERT_TRUE(shuffle.AddTaskOutput(0, MapOutputBuffer()).ok());
+  const Status s = shuffle.Partition(0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ShuffleInvariantTest, PartitioningTwiceIsInternal) {
+  Shuffle shuffle(1, /*pack_messages=*/true);
+  MapOutputBuffer buffer;
+  buffer.Emit(Tuple::Ints({1}), 1, 0, 2.0);
+  ASSERT_TRUE(shuffle.AddTaskOutput(0, std::move(buffer)).ok());
+  ASSERT_TRUE(shuffle.Partition(2).ok());
+  const Status s = shuffle.Partition(2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
 }
 
 }  // namespace
