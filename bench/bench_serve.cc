@@ -17,6 +17,12 @@
 // run — the determinism bar of DESIGN.md §8 — so a scheduling or cache
 // bug fails the bench before any number is reported.
 //
+// A write-heavy scenario (DESIGN.md §12) then mixes ~10% AddFact traffic
+// into the same read mix and compares closed-loop throughput with the
+// incremental delta-evaluation layer on vs off; the delta-on run must
+// clear 2x, every timed response byte-identity-checked against a
+// per-phase reference.
+//
 // Usage:
 //   bench_serve [--smoke] [--out FILE] [--baseline FILE]
 //
@@ -193,13 +199,127 @@ ModeResult RunOpenLoop(const Database& db,
   return r;
 }
 
-// Minimal extraction for the flat JSON this binary writes.
-bool BaselineSpeedup(const std::string& json, double* out) {
-  const std::string key = "\"speedup\":";
+// Minimal extraction for the flat JSON this binary writes. The quoted
+// key + colon form is exact: "speedup" never matches "speedup_write".
+bool BaselineDouble(const std::string& json, const std::string& name,
+                    double* out) {
+  const std::string key = "\"" + name + "\":";
   const size_t at = json.find(key);
   if (at == std::string::npos) return false;
   *out = std::strtod(json.c_str() + at + key.size(), nullptr);
   return true;
+}
+
+// ---- Write-heavy scenario (DESIGN.md §12) ----------------------------------
+//
+// ~10% AddFact traffic interleaved with the A1+A3+B1 read mix, phase
+// structured: each phase applies a deterministic write batch through the
+// service's write API, then the clients issue a closed-loop read burst.
+// Between phases the driver recomputes solo reference outputs for the
+// mutated database (off the clock), so EVERY timed response is still
+// byte-identity-checked. Run twice — delta layer on vs off — the ratio
+// is the number the incremental-evaluation layer is accountable for:
+// with it off, every post-write read re-plans and re-executes from
+// scratch; with it on, the first read per query delta-maintains the
+// cached result and the rest are pure result-cache hits.
+
+// The deterministic write stream both scenario runs (and the reference
+// precomputation) replay: guard-position facts with values inside the
+// generated domain, so inserts actually join and change outputs.
+Tuple WriteFact(uint32_t arity, size_t phase, size_t w, size_t domain) {
+  Tuple t;
+  for (uint32_t a = 0; a < arity; ++a) {
+    t.PushBack(Value::Int(static_cast<int64_t>(
+        (phase * 131 + w * 17 + a * 7 + 3) % (domain > 0 ? domain : 1))));
+  }
+  return t;
+}
+
+struct WriteHeavyResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t delta_hits = 0;
+  uint64_t result_hits = 0;
+  size_t reads = 0;
+  size_t writes = 0;
+  bool identical = true;
+};
+
+WriteHeavyResult RunWriteHeavy(
+    const Database& base, const std::vector<sgf::SgfQuery>& queries,
+    const std::vector<std::vector<Database>>& phase_refs,
+    const serve::ServiceOptions& opts, size_t clients,
+    size_t reads_per_client_per_phase, size_t writes_per_phase,
+    size_t domain, bool delta_on) {
+  WriteHeavyResult r;
+  Database wdb = base;  // private mutable copy; `base` stays pristine
+  const uint32_t guard_arity = wdb.Get("R").value()->arity();
+  serve::ServiceOptions o = opts;
+  o.result_cache = delta_on;
+  serve::QueryService service(&wdb, o);
+
+  // Warm the caches off the clock: the scenario measures steady-state
+  // serving under writes, not the cold first plan.
+  for (const sgf::SgfQuery& q : queries) {
+    if (!service.Run(q).ok()) {
+      r.identical = false;
+      return r;
+    }
+  }
+
+  std::vector<double> lat;
+  std::mutex lat_mu;
+  std::atomic<bool> ok{true};
+  double busy_s = 0.0;
+  for (size_t phase = 0; phase < phase_refs.size(); ++phase) {
+    // Write section (timed — writes are part of the offered traffic).
+    double t0 = Now();
+    for (size_t w = 0; w < writes_per_phase; ++w) {
+      if (!service.AddFact("R", WriteFact(guard_arity, phase, w, domain))
+               .ok()) {
+        r.identical = false;
+        return r;
+      }
+      ++r.writes;
+    }
+    busy_s += Now() - t0;
+    // Read burst (timed): every response checked against the reference
+    // for THIS phase's database state.
+    const std::vector<Database>& refs = phase_refs[phase];
+    t0 = Now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t k = 0; k < reads_per_client_per_phase; ++k) {
+          const size_t pick = (c + k) % queries.size();
+          serve::QueryResponse resp = service.Run(queries[pick]);
+          if (!resp.ok() || !Identical(resp, refs[pick])) {
+            ok.store(false);
+            return;
+          }
+          std::lock_guard<std::mutex> lock(lat_mu);
+          lat.push_back(resp.wall_ms);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    busy_s += Now() - t0;
+    r.reads += clients * reads_per_client_per_phase;
+    if (!ok.load()) break;
+  }
+  r.identical = ok.load();
+  r.qps = busy_s > 0.0
+              ? static_cast<double>(r.reads + r.writes) / busy_s
+              : 0.0;
+  r.p50_ms = PercentileMs(lat, 0.50);
+  r.p95_ms = PercentileMs(lat, 0.95);
+  r.p99_ms = PercentileMs(lat, 0.99);
+  const serve::ServiceStats stats = service.Stats();
+  r.delta_hits = stats.delta_hits;
+  r.result_hits = stats.result_hits;
+  return r;
 }
 
 }  // namespace
@@ -287,6 +407,12 @@ int main(int argc, char** argv) {
     serve::ServiceOptions o;
     o.max_inflight = inflight;
     o.plan_cache = cache;
+    // The admission matrix isolates plan-cache and concurrency effects;
+    // with the result cache on, repeat submissions short-circuit to pure
+    // hits and every mode collapses to cache lookup speed. The
+    // write-heavy scenario below measures the delta/result-cache layer
+    // on its own terms (RunWriteHeavy overrides this per run).
+    o.result_cache = false;
     o.cluster = cluster;
     o.runtime = options.runtime;
     return o;
@@ -473,6 +599,88 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
+  // ---- Write-heavy scenario: delta layer on vs off (DESIGN.md §12) ----
+  const size_t kPhases = 6;
+  const size_t kWritesPerPhase = 2;
+  const size_t kReadsPerClientPerPhase = 2;  // 16 reads + 2 writes -> ~11%
+  // Precompute per-phase solo references once: both scenario runs replay
+  // the identical deterministic write stream, so the truth per phase is
+  // shared. References run the classic plan + execute path off the clock.
+  std::vector<std::vector<Database>> phase_refs(kPhases);
+  {
+    Database evolving = db;
+    const uint32_t guard_arity = evolving.Get("R").value()->arity();
+    for (size_t phase = 0; phase < kPhases; ++phase) {
+      for (size_t w = 0; w < kWritesPerPhase; ++w) {
+        if (!evolving
+                 .AddFact("R", WriteFact(guard_arity, phase, w,
+                                         options.tuples))
+                 .ok()) {
+          std::fprintf(stderr, "FAIL: write-heavy reference setup\n");
+          return 1;
+        }
+      }
+      for (const sgf::SgfQuery& q : queries) {
+        Database copy = evolving;
+        auto plan = planner.Plan(q, copy);
+        auto run = plan.ok() ? plan::ExecutePlan(*plan, &engine, &copy)
+                             : Result<plan::ExecutionResult>(plan.status());
+        if (!run.ok()) {
+          std::fprintf(stderr, "FAIL: write-heavy reference run: %s\n",
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        Database outputs;
+        for (const auto& sub : q.subqueries()) {
+          outputs.Put(*copy.Get(sub.output()).value());
+        }
+        phase_refs[phase].push_back(std::move(outputs));
+      }
+    }
+  }
+  const WriteHeavyResult delta_on = RunWriteHeavy(
+      db, queries, phase_refs, mode_opts(kClients, true), kClients,
+      kReadsPerClientPerPhase, kWritesPerPhase, options.tuples, true);
+  const WriteHeavyResult delta_off = RunWriteHeavy(
+      db, queries, phase_refs, mode_opts(kClients, true), kClients,
+      kReadsPerClientPerPhase, kWritesPerPhase, options.tuples, false);
+  const double speedup_write =
+      delta_off.qps > 0.0 ? delta_on.qps / delta_off.qps : 0.0;
+  std::printf(
+      "write-heavy (%zu reads + %zu writes, %zu phases):\n"
+      "  delta-on  %7.1f q/s | p50 %6.1f ms p95 %6.1f ms | %llu delta "
+      "passes, %llu result hits%s\n"
+      "  delta-off %7.1f q/s | p50 %6.1f ms p95 %6.1f ms%s\n"
+      "  delta speedup: %.2fx\n",
+      delta_on.reads, delta_on.writes, kPhases, delta_on.qps, delta_on.p50_ms,
+      delta_on.p95_ms, static_cast<unsigned long long>(delta_on.delta_hits),
+      static_cast<unsigned long long>(delta_on.result_hits),
+      delta_on.identical ? "" : "  RESULTS DIVERGED", delta_off.qps,
+      delta_off.p50_ms, delta_off.p95_ms,
+      delta_off.identical ? "" : "  RESULTS DIVERGED", speedup_write);
+  if (!delta_on.identical || !delta_off.identical) {
+    std::fprintf(stderr,
+                 "FAIL write-heavy: a response diverged from the phase "
+                 "reference\n");
+    ++failures;
+  }
+  if (delta_on.delta_hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL write-heavy: the delta-on run never delta-maintained "
+                 "a result\n");
+    ++failures;
+  }
+  // The §12 acceptance bar — and it holds under --smoke too: the delta
+  // layer's advantage (delta-sized maintenance + pure hits vs full
+  // re-execution after every write batch) is structural, not a
+  // machine-speed artifact.
+  if (speedup_write < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: write-heavy delta speedup %.2fx below the 2.0x bar\n",
+                 speedup_write);
+    ++failures;
+  }
+
   // The acceptance bar: the full service must at least double the
   // serialized pre-serve throughput at the default size. The smoke bar
   // is lower only to absorb noisy shared CI runners — the run shape is
@@ -507,6 +715,22 @@ int main(int argc, char** argv) {
                  "%.1f ms\n",
                  modes[2].p95_ms, modes[0].p95_ms);
     ++failures;
+  }
+
+  // Snapshot the committed baseline BEFORE writing out_path: the CI
+  // invocation passes the same file for both (--baseline BENCH_serve.json
+  // from the repo root), and reading it after the write would compare the
+  // run against its own freshly written numbers — a vacuous gate.
+  std::string base_json;
+  bool have_baseline = false;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      base_json = ss.str();
+      have_baseline = true;
+    }
   }
 
   // ---- Machine-readable results ----
@@ -544,7 +768,17 @@ int main(int argc, char** argv) {
          << ", \"fg_ok\": " << fg_ok << ", \"fg_deadline\": " << fg_deadline
          << ", \"flood_ok\": " << flood_ok << ", \"shed\": " << flood_shed
          << ", \"shed_submit_p95_ms\": "
-         << StrFormat("%.2f", shed_submit_p95) << "}\n}\n";
+         << StrFormat("%.2f", shed_submit_p95)
+         << "},\n  \"write_heavy\": {\"reads\": " << delta_on.reads
+         << ", \"writes\": " << delta_on.writes
+         << ", \"qps_delta_on\": " << StrFormat("%.2f", delta_on.qps)
+         << ", \"qps_delta_off\": " << StrFormat("%.2f", delta_off.qps)
+         << ", \"p95_delta_on_ms\": " << StrFormat("%.2f", delta_on.p95_ms)
+         << ", \"p95_delta_off_ms\": " << StrFormat("%.2f", delta_off.p95_ms)
+         << ", \"delta_hits\": " << delta_on.delta_hits
+         << ", \"result_hits\": " << delta_on.result_hits
+         << ", \"speedup_write\": " << StrFormat("%.3f", speedup_write)
+         << "}\n}\n";
     std::ofstream out(out_path);
     out << json.str();
     std::printf("\nwrote %s\n", out_path.c_str());
@@ -552,16 +786,13 @@ int main(int argc, char** argv) {
 
   // ---- Regression gate vs a committed baseline (ratio, not qps) ----
   if (!baseline_path.empty()) {
-    std::ifstream in(baseline_path);
-    if (!in) {
+    if (!have_baseline) {
       std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
                    baseline_path.c_str());
       ++failures;
     } else {
-      std::stringstream ss;
-      ss << in.rdbuf();
       double base = 0.0;
-      if (!BaselineSpeedup(ss.str(), &base)) {
+      if (!BaselineDouble(base_json, "speedup", &base)) {
         std::fprintf(stderr, "FAIL: baseline has no speedup entry\n");
         ++failures;
       } else {
@@ -575,6 +806,22 @@ int main(int argc, char** argv) {
         } else {
           std::printf("baseline: %.2fx vs %.2fx committed — ok\n", speedup,
                       base);
+        }
+      }
+      // Same ratio gate for the write-heavy delta speedup (absent from
+      // pre-§12 baselines — the absolute 2.0x bar above still applies).
+      double base_write = 0.0;
+      if (BaselineDouble(base_json, "speedup_write", &base_write)) {
+        const double tolerance = smoke ? 0.7 : 0.8;
+        if (speedup_write < tolerance * base_write) {
+          std::fprintf(stderr,
+                       "FAIL: write-heavy speedup %.2fx regressed >%.0f%% vs "
+                       "baseline %.2fx\n",
+                       speedup_write, 100.0 * (1.0 - tolerance), base_write);
+          ++failures;
+        } else {
+          std::printf("baseline write-heavy: %.2fx vs %.2fx committed — ok\n",
+                      speedup_write, base_write);
         }
       }
     }

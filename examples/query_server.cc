@@ -7,12 +7,16 @@
 //   gumbo> Z := SELECT (x, y) FROM R(x, y, z, w) WHERE S(x) AND T(y);
 //   ... result sample + per-query metrics (plan cache hit, queue/plan/
 //       exec times) ...
-//   gumbo> \stats        aggregate service + plan-cache counters
+//   gumbo> \stats        aggregate service + plan/result-cache counters
 //   gumbo> \rel          relations in the database
+//   gumbo> \addfact R 1 2 3 4     insert a fact through the write API —
+//                        cached results are delta-maintained (DESIGN.md
+//                        §12), watch \stats delta counters move
 //   gumbo> \quit
 //
 // Statements may span lines; a ';' submits. Works piped too:
 //   echo 'Z := SELECT x FROM R(x,y,z,w) WHERE S(x);' | ./build/query_server
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -54,6 +58,64 @@ void PrintStats(const serve::QueryService& service) {
       static_cast<unsigned long long>(s.shed),
       static_cast<unsigned long long>(s.task_retries),
       static_cast<unsigned long long>(s.faults_injected));
+  std::printf(
+      "delta:   %llu result hits, %llu delta-maintained (%llu delta rows, "
+      "mean %.1f ms) | result cache %llu hits / %llu misses / %llu "
+      "invalidations / %llu entries\n",
+      static_cast<unsigned long long>(s.result_hits),
+      static_cast<unsigned long long>(s.delta_hits),
+      static_cast<unsigned long long>(s.delta_rows), s.mean_delta_ms,
+      static_cast<unsigned long long>(s.result_cache.hits),
+      static_cast<unsigned long long>(s.result_cache.misses),
+      static_cast<unsigned long long>(s.result_cache.invalidations),
+      static_cast<unsigned long long>(s.result_cache.entries));
+}
+
+// \addfact REL v1 v2 ...: integer fact through the service's write API.
+void HandleAddFact(serve::QueryService* service, const Database& db,
+                   const std::string& line) {
+  std::string rest = line.substr(std::string("\\addfact").size());
+  std::string name;
+  Tuple t;
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    while (pos < rest.size() && std::isspace(
+               static_cast<unsigned char>(rest[pos]))) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < rest.size() && !std::isspace(
+               static_cast<unsigned char>(rest[end]))) {
+      ++end;
+    }
+    if (end == pos) break;
+    const std::string tok = rest.substr(pos, end - pos);
+    pos = end;
+    if (name.empty()) {
+      name = tok;
+    } else {
+      char* parse_end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0') {
+        std::printf("not an integer: %s\n", tok.c_str());
+        return;
+      }
+      t.PushBack(Value::Int(v));
+    }
+  }
+  if (name.empty()) {
+    std::printf("usage: \\addfact REL v1 v2 ... (one integer per column)\n");
+    return;
+  }
+  const Status st = service->AddFact(name, t);
+  if (!st.ok()) {
+    std::printf("addfact error: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("%s += %zu-ary fact (%zu tuples, stats epoch %llu)\n",
+              name.c_str(), static_cast<size_t>(t.size()),
+              db.Get(name).value()->size(),
+              static_cast<unsigned long long>(db.StatsEpochOf(name)));
 }
 
 }  // namespace
@@ -92,6 +154,8 @@ int main(int argc, char** argv) {
       if (line == "\\quit" || line == "\\q") break;
       if (line == "\\stats") {
         PrintStats(service);
+      } else if (line.rfind("\\addfact", 0) == 0) {
+        HandleAddFact(&service, db, line);
       } else if (line == "\\rel") {
         for (const auto& [name, rel] : db.relations()) {
           std::printf("  %s/%u: %zu tuples (stats epoch %llu)\n",
@@ -99,7 +163,7 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(db.StatsEpochOf(name)));
         }
       } else {
-        std::printf("commands: \\stats \\rel \\quit\n");
+        std::printf("commands: \\stats \\rel \\addfact REL v1 v2 ... \\quit\n");
       }
       continue;
     }
@@ -129,12 +193,19 @@ int main(int argc, char** argv) {
       }
       std::printf(rel.size() > show ? ", ...\n" : "\n");
     }
+    const char* served_from =
+        resp.metrics.result_cache_hit
+            ? "result cache HIT"
+            : (resp.metrics.delta_applied
+                   ? "delta-maintained"
+                   : (resp.metrics.plan_cache_hit ? "plan cache HIT"
+                                                  : "planned fresh"));
     std::printf(
-        "%.1f ms (queue %.1f + plan %.1f + exec) | plan cache %s | "
+        "%.1f ms (queue %.1f + plan %.1f + exec) | %s | "
         "%d job(s), %d round(s), %.2f MB shuffled\n",
         resp.wall_ms, resp.metrics.queue_ms, resp.metrics.plan_ms,
-        resp.metrics.plan_cache_hit ? "HIT" : "miss", resp.metrics.jobs,
-        resp.metrics.rounds, resp.metrics.shuffle_mb);
+        served_from, resp.metrics.jobs, resp.metrics.rounds,
+        resp.metrics.shuffle_mb);
   }
   std::printf("\n");
   PrintStats(service);

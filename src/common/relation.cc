@@ -79,9 +79,32 @@ void Relation::Adopt(RelationBuilder&& b) {
       fingerprints_.insert(fingerprints_.end(), b.fingerprints_.begin(),
                            b.fingerprints_.end());
     }
+    ++append_version_;
   }
   b.words_.clear();
   b.fingerprints_.clear();
+}
+
+Relation Relation::CloneRange(size_t from, size_t to) const {
+  assert(from <= to && to <= size());
+  Relation out(name_, arity_);
+  out.words_.assign(words_.begin() + static_cast<std::ptrdiff_t>(from * arity_),
+                    words_.begin() + static_cast<std::ptrdiff_t>(to * arity_));
+  out.fingerprints_.assign(
+      fingerprints_.begin() + static_cast<std::ptrdiff_t>(from),
+      fingerprints_.begin() + static_cast<std::ptrdiff_t>(to));
+  out.bytes_per_tuple_ = bytes_per_tuple_;
+  out.representation_scale_ = representation_scale_;
+  return out;
+}
+
+void Relation::AppendFrom(const Relation& other) {
+  assert(other.arity_ == arity_ && "AppendFrom arity mismatch");
+  if (other.empty()) return;
+  words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+  fingerprints_.insert(fingerprints_.end(), other.fingerprints_.begin(),
+                       other.fingerprints_.end());
+  ++append_version_;
 }
 
 std::vector<Tuple> Relation::ToTuples() const {
@@ -94,6 +117,10 @@ std::vector<Tuple> Relation::ToTuples() const {
 void Relation::SortAndDedupe(Scheduler* scheduler, const SchedContext* ctx) {
   const size_t n = size();
   if (n <= 1) return;
+  // Rows may move or vanish below: any held row index or delta watermark
+  // into the old arena is void (Database::SettleLoans classifies this as
+  // a destructive write).
+  ++shape_version_;
   if (arity_ == 0) {
     // All zero-arity rows are equal: the set is a single empty tuple.
     fingerprints_.resize(1);

@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,7 @@ class Relation {
   void AddWords(const uint64_t* words) {
     words_.insert(words_.end(), words, words + arity_);
     fingerprints_.push_back(TupleFingerprint(words, arity_));
+    ++append_version_;
   }
 
   /// Pre-sizes the arenas for `rows` additional tuples.
@@ -196,6 +198,46 @@ class Relation {
   };
   ViewRange views() const { return ViewRange(this); }
 
+  /// Zero-copy view of the arena tail [from, size()) — the delta a
+  /// consumer whose watermark is `from` rows has not seen (DESIGN.md §12).
+  /// Borrows the arenas; valid until the relation is mutated.
+  struct Slice {
+    const uint64_t* words = nullptr;
+    const uint64_t* fingerprints = nullptr;
+    size_t rows = 0;
+    uint32_t arity = 0;
+    RowView view(size_t i) const {
+      assert(i < rows);
+      return RowView(words + i * arity, arity, fingerprints[i]);
+    }
+  };
+  Slice TailSince(size_t from) const {
+    assert(from <= size());
+    return Slice{words_.data() + from * arity_, fingerprints_.data() + from,
+                 size() - from, arity_};
+  }
+
+  /// Materializes rows [from, to) as a Relation under the same name:
+  /// two bulk copies of words + stored fingerprints, never re-hashed.
+  /// Size-accounting knobs (bytes_per_tuple, representation_scale) carry
+  /// over so a delta slice accounts like its parent.
+  Relation CloneRange(size_t from, size_t to) const;
+
+  /// Bulk-appends every row of `other` (same arity required): words and
+  /// stored fingerprints copied wholesale, no re-hash. The delta-union
+  /// half of incremental maintenance (DESIGN.md §12); callers wanting set
+  /// semantics follow with SortAndDedupe.
+  void AppendFrom(const Relation& other);
+
+  /// Bumped every time rows are appended (AddWords/Adopt/AppendFrom).
+  /// Together with shape_version(), lets Database::SettleLoans classify
+  /// what a mutable-handle holder actually did: nothing, pure appends, or
+  /// a reshape.
+  uint64_t append_version() const { return append_version_; }
+  /// Bumped by SortAndDedupe (rows may move or vanish — existing row
+  /// indices/watermarks are no longer prefixes of the new arena).
+  uint64_t shape_version() const { return shape_version_; }
+
   /// Materializes row `i` as an owning Tuple (tests / diagnostics; scans
   /// should use view()).
   Tuple TupleAt(size_t i) const { return view(i).ToTuple(); }
@@ -251,20 +293,35 @@ class Relation {
   uint32_t arity_;
   std::vector<uint64_t> words_;         ///< size() * arity_ flat words
   std::vector<uint64_t> fingerprints_;  ///< one per row, set at add time
+  uint64_t append_version_ = 0;         ///< ++ on every row append
+  uint64_t shape_version_ = 0;          ///< ++ on SortAndDedupe
   double bytes_per_tuple_ = -1.0;
   double representation_scale_ = 1.0;
 };
 
 /// A database: a set of relation instances addressed by name.
 ///
-/// Two serving-layer features (DESIGN.md §8) live here:
+/// Three serving-layer features (DESIGN.md §8, §12) live here:
 ///
-/// *Stats epochs.* Every mutation that can change a relation's statistics
-/// (Put, Create, Erase, AddFact, or handing out a mutable pointer via
-/// GetMutable) bumps a database-wide epoch counter and stamps the touched
-/// relation with it. The serve-layer plan cache keys cached plans on the
-/// epochs of the relations a query reads, so a stale plan can never be
-/// served after the underlying data changed. Reads never bump epochs.
+/// *Stats epochs.* Every actual mutation (Put, Create, Erase, AddFact, or
+/// writes made through a GetMutable handle, recognized at loan
+/// settlement — see below) bumps a database-wide epoch counter and stamps
+/// the touched relation with it. The serve-layer plan cache keys cached
+/// plans on the epochs of the relations a query reads, so a stale plan
+/// can never be served after the underlying data changed. Reads never
+/// bump epochs, and neither does a mutable handle the holder never
+/// writes through.
+///
+/// *Delta watermarks.* Each epoch bump is classified as *insert-only*
+/// (AddFact, or settled handle writes that only appended rows) or
+/// *destructive* (Put/Create/Erase, or settled handle writes that
+/// reshaped the arena). For insert-only bumps the post-mutation row count
+/// is recorded, so a consumer holding an older epoch can ask
+/// InsertOnlySince/RowsAtEpoch and view "rows added since my epoch" as a
+/// contiguous arena tail (Relation::TailSince) — the foundation of
+/// incremental delta evaluation (DESIGN.md §12). History is bounded;
+/// epochs that fall off resolve conservatively (as unknown -> callers
+/// fall back to full recomputation).
 ///
 /// *Overlay views.* A Database constructed over a base database resolves
 /// Get/Contains through the base but takes all writes locally, so many
@@ -288,15 +345,22 @@ class Database {
     if (Contains(name)) {
       return Status::AlreadyExists("relation " + name);
     }
+    SettleLoans();
     relations_.emplace(name, Relation(name, arity));
-    BumpStatsEpoch(name);
+    RecordDestructive(name, /*rows=*/0);
     return Status::Ok();
   }
 
-  /// Inserts or replaces a relation under its own name.
+  /// Inserts or replaces a relation under its own name. Destructive: a
+  /// replaced relation shares no arena with its predecessor, so delta
+  /// watermarks over the old rows are void.
   void Put(Relation rel) {
-    BumpStatsEpoch(rel.name());
-    relations_[rel.name()] = std::move(rel);
+    SettleLoans();
+    const std::string name = rel.name();
+    loans_.erase(name);  // any outstanding handle now refers to new content
+    const size_t rows = rel.size();
+    relations_[name] = std::move(rel);
+    RecordDestructive(name, rows);
   }
 
   bool Contains(const std::string& name) const {
@@ -312,28 +376,67 @@ class Database {
   }
 
   /// Local-only: never reaches into an overlay's base (overlays must not
-  /// mutate the shared snapshot they read). Bumps the stats epoch — the
-  /// caller received a mutation handle, so cached plans over this
-  /// relation are conservatively stale.
+  /// mutate the shared snapshot they read). Hands out a mutation *loan*:
+  /// the relation's version counters are snapshotted, and the stats epoch
+  /// bumps only when a later settlement (any mutating Database call, or
+  /// an explicit SettleLoans()) observes that the holder actually wrote —
+  /// classified as insert-only if rows were only appended, destructive if
+  /// the arena was reshaped. Read-only access through a mutable handle
+  /// therefore no longer invalidates cached plans.
   Result<Relation*> GetMutable(const std::string& name) {
+    SettleLoans();
     auto it = relations_.find(name);
     if (it == relations_.end()) return Status::NotFound("relation " + name);
-    BumpStatsEpoch(name);
+    loans_[name] =
+        Loan{it->second.append_version(), it->second.shape_version()};
     return &it->second;
   }
 
-  /// Adds a fact to an existing relation; the fact goes straight into the
-  /// relation's flat arena.
+  /// Adds a fact to an existing (local) relation; the fact goes straight
+  /// into the relation's flat arena and the epoch bump is recorded as
+  /// insert-only — delta consumers at older epochs stay valid.
   Status AddFact(const std::string& name, const Tuple& t) {
-    GUMBO_ASSIGN_OR_RETURN(Relation * rel, GetMutable(name));
-    return rel->Add(t);
+    SettleLoans();
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("relation " + name);
+    GUMBO_RETURN_IF_ERROR(it->second.Add(t));
+    RecordInsert(name, it->second.size());
+    return Status::Ok();
   }
 
-  /// Removes a (local) relation; returns false if absent.
+  /// Removes a (local) relation; returns false if absent. Destructive.
   bool Erase(const std::string& name) {
+    SettleLoans();
+    loans_.erase(name);
     if (relations_.erase(name) == 0) return false;
-    BumpStatsEpoch(name);
+    RecordDestructive(name, /*rows=*/0);
     return true;
+  }
+
+  /// Settles every outstanding GetMutable loan: compares each loaned
+  /// relation's version counters against the loan snapshot and bumps the
+  /// stats epoch for the ones actually written (insert-only when rows
+  /// were only appended, destructive when the arena was reshaped).
+  /// Called implicitly by every mutating entry point; call explicitly
+  /// after writing through a held pointer so StatsEpochOf (a const read)
+  /// reflects the writes.
+  void SettleLoans() {
+    for (auto it = loans_.begin(); it != loans_.end();) {
+      auto rel_it = relations_.find(it->first);
+      if (rel_it == relations_.end()) {
+        it = loans_.erase(it);
+        continue;
+      }
+      const Relation& rel = rel_it->second;
+      if (rel.shape_version() != it->second.shape_version) {
+        RecordDestructive(it->first, rel.size());
+      } else if (rel.append_version() != it->second.append_version) {
+        RecordInsert(it->first, rel.size());
+      }
+      it->second =
+          Loan{rel.append_version(), rel.shape_version()};  // re-arm
+      ++it;
+    }
   }
 
   /// Locally-stored relations only; an overlay does not enumerate its base.
@@ -343,13 +446,16 @@ class Database {
 
   size_t size() const { return relations_.size(); }
 
-  /// Database-wide stats epoch: bumped by every mutation. Two equal
-  /// readings bracket a mutation-free window.
+  /// Database-wide stats epoch: bumped by every settled mutation. Two
+  /// equal readings bracket a mutation-free window.
   uint64_t stats_epoch() const { return stats_epoch_; }
 
   /// Epoch of the last mutation touching `name` (0 = never mutated here).
   /// Falls through to the base for relations not stored locally, so an
   /// overlay reports the base's epochs for the snapshot it reads.
+  /// Const and pure: writes made through an outstanding GetMutable handle
+  /// are visible here only after settlement (SettleLoans or the next
+  /// mutating call).
   uint64_t StatsEpochOf(const std::string& name) const {
     auto it = relation_epochs_.find(name);
     if (it != relation_epochs_.end()) return it->second;
@@ -359,14 +465,82 @@ class Database {
     return 0;
   }
 
+  /// True iff every settled mutation of `name` after `epoch` was a pure
+  /// insert — the rows that existed at `epoch` are a prefix of the rows
+  /// now, so "the delta since `epoch`" is the arena tail past
+  /// RowsAtEpoch(name, epoch). False when a destructive mutation
+  /// intervened, when `epoch` predates the last destructive mutation, or
+  /// for names without local delta history (conservative).
+  bool InsertOnlySince(const std::string& name, uint64_t epoch) const {
+    auto it = delta_states_.find(name);
+    if (it == delta_states_.end()) return false;
+    return epoch >= it->second.destructive_epoch;
+  }
+
+  /// Row count of `name` as of stats epoch `epoch` (which must be a value
+  /// StatsEpochOf returned at some point); nullopt when unknown — the
+  /// epoch predates retained watermark history or a destructive rewrite.
+  std::optional<size_t> RowsAtEpoch(const std::string& name,
+                                    uint64_t epoch) const {
+    auto it = delta_states_.find(name);
+    if (it == delta_states_.end()) return std::nullopt;
+    const DeltaState& st = it->second;
+    if (epoch == st.destructive_epoch) return st.rows_at_destructive;
+    for (const Watermark& w : st.inserts) {
+      if (w.epoch == epoch) return w.rows;
+    }
+    return std::nullopt;
+  }
+
  private:
+  struct Loan {
+    uint64_t append_version = 0;
+    uint64_t shape_version = 0;
+  };
+  struct Watermark {
+    uint64_t epoch = 0;  ///< stats epoch stamped by the insert
+    size_t rows = 0;     ///< relation row count right after it
+  };
+  struct DeltaState {
+    /// Epoch of the last destructive mutation (Put/Create/Erase or a
+    /// settled reshape); deltas are expressible only from epochs >= this.
+    uint64_t destructive_epoch = 0;
+    size_t rows_at_destructive = 0;
+    /// Insert-only epoch bumps since then, ascending; bounded — the
+    /// oldest watermarks are dropped and resolve as "unknown".
+    std::vector<Watermark> inserts;
+  };
+  /// Insert watermarks retained per relation; epochs older than the
+  /// retained window fall back to full recomputation, so this only caps
+  /// how *stale* a delta consumer may be, never correctness.
+  static constexpr size_t kMaxWatermarks = 64;
+
   void BumpStatsEpoch(const std::string& name) {
     relation_epochs_[name] = ++stats_epoch_;
+  }
+
+  void RecordInsert(const std::string& name, size_t rows) {
+    BumpStatsEpoch(name);
+    DeltaState& st = delta_states_[name];
+    st.inserts.push_back(Watermark{stats_epoch_, rows});
+    if (st.inserts.size() > kMaxWatermarks) {
+      st.inserts.erase(st.inserts.begin());
+    }
+  }
+
+  void RecordDestructive(const std::string& name, size_t rows) {
+    BumpStatsEpoch(name);
+    DeltaState& st = delta_states_[name];
+    st.destructive_epoch = stats_epoch_;
+    st.rows_at_destructive = rows;
+    st.inserts.clear();
   }
 
   // std::map for deterministic iteration order.
   std::map<std::string, Relation> relations_;
   std::map<std::string, uint64_t> relation_epochs_;
+  std::map<std::string, DeltaState> delta_states_;
+  std::map<std::string, Loan> loans_;  ///< outstanding GetMutable loans
   uint64_t stats_epoch_ = 0;
   const Database* base_ = nullptr;
 };

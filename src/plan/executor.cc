@@ -76,6 +76,31 @@ Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
   return result;
 }
 
+Result<ExecutionResult> ExecutePlanWithOverrides(const QueryPlan& plan,
+                                                 const mr::Runtime& runtime,
+                                                 const Database& base,
+                                                 const Database& overrides,
+                                                 Database* outputs,
+                                                 const SchedContext& ctx) {
+  Database overlay(&base);
+  // Shadow first: a local relation wins over the base namesake for every
+  // read, so the plan sees the delta slice wherever it would have read
+  // the full relation. The slices are small by construction — copying
+  // them into the per-query overlay keeps `overrides` reusable.
+  for (const auto& [name, rel] : overrides.relations()) {
+    overlay.Put(rel);
+  }
+  ExecutionResult result;
+  GUMBO_ASSIGN_OR_RETURN(result.stats,
+                         runtime.Execute(plan.program, &overlay, ctx));
+  for (const std::string& name : plan.outputs) {
+    GUMBO_ASSIGN_OR_RETURN(Relation * rel, overlay.GetMutable(name));
+    outputs->Put(std::move(*rel));
+  }
+  FillMetrics(&result);
+  return result;
+}
+
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
                                     Database* db) {
   return ExecutePlan(plan, mr::Runtime(engine), db);

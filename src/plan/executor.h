@@ -38,11 +38,18 @@ struct Metrics {
   int max_jobs_per_round = 0;
   /// Observed peak of concurrently-executing jobs (runtime behavior).
   int peak_concurrent_jobs = 0;
-  // ---- Serving-layer bookkeeping (DESIGN.md §8) ----
+  // ---- Serving-layer bookkeeping (DESIGN.md §8, §12) ----
   // Filled by serve::QueryService; zero/false for direct ExecutePlan calls.
   bool plan_cache_hit = false;  ///< lowered plan came from the plan cache
   double queue_ms = 0.0;        ///< admission-queue wait before execution
   double plan_ms = 0.0;         ///< planning wall time (0 on a cache hit)
+  /// Outputs served straight from the result cache — no planning, no
+  /// execution (the other fields describe an empty execution).
+  bool result_cache_hit = false;
+  /// Outputs delta-maintained from a cached result: the execution fields
+  /// describe the (delta-sized) maintenance pass, not a full run.
+  bool delta_applied = false;
+  uint64_t delta_rows = 0;  ///< input delta rows the maintenance pass read
   // ---- Morsel-scheduling attribution (DESIGN.md §9) ----
   /// Wall time this query's morsels were runnable but unserved (its task
   /// groups had queued work and nothing running — "stolen-from" time).
@@ -91,6 +98,20 @@ Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
                                               const Database& base,
                                               Database* outputs,
                                               const SchedContext& ctx = {});
+
+/// Delta-mode execution (DESIGN.md §12): like ExecutePlanOnSnapshot, but
+/// every relation in `overrides` shadows its base namesake for the whole
+/// run, so a cached plan re-executes over delta slices instead of the
+/// full relations. The caller (serve::QueryService) guarantees via
+/// serve::PlanDelta that shadowed names occur only in guard position, so
+/// the run produces exactly the delta of each dirty output. Output
+/// relations land in `*outputs` as usual.
+Result<ExecutionResult> ExecutePlanWithOverrides(const QueryPlan& plan,
+                                                 const mr::Runtime& runtime,
+                                                 const Database& base,
+                                                 const Database& overrides,
+                                                 Database* outputs,
+                                                 const SchedContext& ctx = {});
 
 /// Convenience overload: wraps `engine` in a default Runtime (jobs of the
 /// same round run concurrently on the engine's scheduler).

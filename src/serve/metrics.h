@@ -12,6 +12,7 @@
 
 #include "common/scheduler.h"
 #include "serve/plan_cache.h"
+#include "serve/result_cache.h"
 
 namespace gumbo::serve {
 
@@ -73,6 +74,17 @@ struct ServiceStats {
   uint64_t plans_built = 0;
   int peak_inflight = 0;    ///< observed peak of concurrent executions
   PlanCache::Counters cache;
+  // ---- Incremental delta evaluation (DESIGN.md §12) ----
+  /// Queries answered straight from the result cache (no execution).
+  uint64_t result_hits = 0;
+  /// Queries answered by delta-maintaining a cached result instead of
+  /// re-executing it from scratch.
+  uint64_t delta_hits = 0;
+  /// Total input delta rows those maintenance passes consumed.
+  uint64_t delta_rows = 0;
+  /// Mean wall time of a delta maintenance pass (ms).
+  double mean_delta_ms = 0.0;
+  ResultCache::Counters result_cache;
   // Latency quantiles (ms) over completed+failed queries, end to end
   // (submit -> response) and per phase.
   double total_p50_ms = 0.0;

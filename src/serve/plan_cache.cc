@@ -4,8 +4,7 @@
 
 namespace gumbo::serve {
 
-std::vector<uint64_t> PlanCache::EpochsOf(const sgf::SgfQuery& query,
-                                          const Database& db) {
+std::vector<std::string> PlanCache::EpochNamesOf(const sgf::SgfQuery& query) {
   // Every relation name the query mentions, sorted and deduplicated so
   // the vector ordering is independent of mention order. Produced names
   // are included too: they normally do not exist in the base database
@@ -15,6 +14,12 @@ std::vector<uint64_t> PlanCache::EpochsOf(const sgf::SgfQuery& query,
   for (const std::string& n : query.ProducedNames()) names.push_back(n);
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<uint64_t> PlanCache::EpochsOf(const sgf::SgfQuery& query,
+                                          const Database& db) {
+  const std::vector<std::string> names = EpochNamesOf(query);
   std::vector<uint64_t> epochs;
   epochs.reserve(names.size());
   for (const std::string& n : names) epochs.push_back(db.StatsEpochOf(n));

@@ -40,10 +40,13 @@ class PlanCache {
 
   explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
 
+  /// The relation names whose epochs key a cached plan for `query`: every
+  /// name the query mentions (base relations AND produced names — produced
+  /// names shadow base relations if present), sorted and deduplicated.
+  static std::vector<std::string> EpochNamesOf(const sgf::SgfQuery& query);
+
   /// The epoch vector a cached plan for `query` must match: the stats
-  /// epoch of every relation the query mentions (base relations AND
-  /// produced names — produced names shadow base relations if present),
-  /// in deterministic (sorted, deduplicated) name order.
+  /// epoch of each EpochNamesOf name, in that order.
   static std::vector<uint64_t> EpochsOf(const sgf::SgfQuery& query,
                                         const Database& db);
 

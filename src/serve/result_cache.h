@@ -1,0 +1,92 @@
+// The serving-layer result cache (DESIGN.md §12): plan-cache key ->
+// materialized, canonical query outputs + the immutable plan that
+// produced them, validated against per-relation stats epochs.
+//
+// Where the plan cache answers "skip planning", this cache answers "skip
+// execution": a lookup whose epoch vector matches is a pure hit (the
+// stored outputs are the answer, byte for byte); one whose epochs moved
+// insert-only can be *delta-maintained* by the QueryService (re-run the
+// stored plan over the delta slices, union into the stored outputs —
+// serve/delta.h) and refreshed in place; anything else is invalidated.
+// Entries are shared immutable snapshots: a hit hands out a
+// shared_ptr<const Entry>, refreshes replace the entry wholesale, so
+// concurrent readers never observe a half-updated result. Capacity is
+// bounded with LRU eviction.
+#ifndef GUMBO_SERVE_RESULT_CACHE_H_
+#define GUMBO_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relation.h"
+#include "plan/planner.h"
+
+namespace gumbo::serve {
+
+class ResultCache {
+ public:
+  /// Monotonic counters, readable at any time (counters()).
+  struct Counters {
+    uint64_t hits = 0;        ///< pure hits: outputs served with no execution
+    uint64_t delta_hits = 0;  ///< entries refreshed by a delta pass
+    uint64_t misses = 0;      ///< no entry for the key
+    uint64_t invalidations = 0;  ///< entries dropped (non-delta-able movement)
+    uint64_t evictions = 0;      ///< LRU capacity evictions
+    uint64_t entries = 0;        ///< current size (gauge, not a counter)
+  };
+
+  /// One materialized result. `outputs` holds exactly the query's output
+  /// relations, canonical (sorted + deduped) — the invariant that makes
+  /// delta-union byte-identical to from-scratch evaluation.
+  struct Entry {
+    std::vector<std::string> names;   ///< PlanCache::EpochNamesOf order
+    std::vector<uint64_t> epochs;     ///< stats epoch per name at capture
+    plan::PlanRef plan;               ///< the lowered plan that produced it
+    std::shared_ptr<const Database> outputs;
+  };
+
+  explicit ResultCache(size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Returns the entry for `key` (bumping its LRU position) or nullptr,
+  /// counting a miss. The caller classifies what the entry is good for —
+  /// pure hit, delta pass, or invalidation — against current epochs and
+  /// reports back via NoteHit/NoteDeltaHit/Invalidate.
+  std::shared_ptr<const Entry> Lookup(const std::string& key);
+
+  /// Inserts or replaces the entry for `key`, evicting the least recently
+  /// used entry when at capacity. A capacity of 0 disables storage.
+  void Insert(const std::string& key, Entry entry);
+
+  /// Drops the entry for `key` (if still present), counting an
+  /// invalidation: its epochs moved in a way delta maintenance cannot
+  /// express.
+  void Invalidate(const std::string& key);
+
+  void NoteHit();       ///< a Lookup result served as-is
+  void NoteDeltaHit();  ///< a Lookup result refreshed via a delta pass
+
+  Counters counters() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Slot> slots_;
+  Counters counters_;
+};
+
+}  // namespace gumbo::serve
+
+#endif  // GUMBO_SERVE_RESULT_CACHE_H_

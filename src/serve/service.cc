@@ -1,7 +1,9 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cstdlib>
 
+#include "serve/delta.h"
 #include "serve/signature.h"
 
 namespace gumbo::serve {
@@ -36,23 +38,58 @@ ServiceOptions InstallCalibration(ServiceOptions options) {
   return options;
 }
 
+// Environment escape hatches for the delta layer (DESIGN.md §12):
+// GUMBO_DISABLE_DELTA=1 forces the result cache (and with it all delta
+// maintenance) off; GUMBO_RESULT_CACHE_CAP overrides its capacity.
+ServiceOptions ApplyDeltaEnv(ServiceOptions options) {
+  const char* disable = std::getenv("GUMBO_DISABLE_DELTA");
+  if (disable != nullptr && disable[0] != '\0' &&
+      std::string(disable) != "0") {
+    options.result_cache = false;
+  }
+  if (const char* cap = std::getenv("GUMBO_RESULT_CACHE_CAP")) {
+    options.result_cache_capacity = static_cast<size_t>(std::atoll(cap));
+  }
+  return options;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Database* db, ServiceOptions options,
                            Scheduler* scheduler)
     : db_(db),
-      options_(InstallCalibration(std::move(options))),
+      options_(ApplyDeltaEnv(InstallCalibration(std::move(options)))),
       env_faults_(FaultInjector::FromEnv()),
       faults_(options_.faults != nullptr ? options_.faults : &env_faults_),
       engine_(options_.cluster, scheduler),
       runtime_(&engine_, options_.runtime),
       planner_(options_.cluster, options_.planner),
-      cache_(options_.plan_cache ? options_.plan_cache_capacity : 0) {
+      cache_(options_.plan_cache ? options_.plan_cache_capacity : 0),
+      results_(options_.result_cache ? options_.result_cache_capacity : 0) {
   const size_t n = options_.max_inflight > 0 ? options_.max_inflight : 1;
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+QueryService::QueryService(Database* db, ServiceOptions options,
+                           Scheduler* scheduler)
+    : QueryService(static_cast<const Database*>(db), std::move(options),
+                   scheduler) {
+  mutable_db_ = db;
+}
+
+Status QueryService::AddFact(const std::string& name, const Tuple& t) {
+  if (mutable_db_ == nullptr) {
+    return Status::FailedPrecondition(
+        "AddFact requires a service constructed over a mutable database");
+  }
+  // Write half of the database lock: waits for in-flight executions to
+  // finish their read hold, so no query ever observes a half-applied
+  // write (and no arena reallocates under a running scan).
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  return mutable_db_->AddFact(name, t);
 }
 
 QueryService::~QueryService() {
@@ -292,6 +329,122 @@ Result<plan::PlanRef> QueryService::PlanSingleFlight(
   return outcome;
 }
 
+bool QueryService::TryResultCache(const Task& task, const std::string& key,
+                                  const std::vector<std::string>& names,
+                                  const std::vector<uint64_t>& epochs,
+                                  QueryResponse* resp) {
+  std::shared_ptr<const ResultCache::Entry> entry = results_.Lookup(key);
+  if (entry == nullptr) return false;
+  if (entry->names != names) {
+    // Signature collision safeguard: same key but different epoch-name
+    // universe means the entry cannot be validated — drop it.
+    results_.Invalidate(key);
+    return false;
+  }
+
+  if (entry->epochs == epochs) {
+    // Pure hit: nothing moved — the stored canonical outputs ARE the
+    // answer, byte for byte. No planning, no execution.
+    results_.NoteHit();
+    result_hits_.fetch_add(1, std::memory_order_relaxed);
+    resp->outputs = *entry->outputs;
+    resp->metrics.result_cache_hit = true;
+    return true;
+  }
+
+  DeltaPlan dp = PlanDelta(task.query, *db_, names, entry->epochs, epochs);
+  if (!dp.eligible) {
+    // Non-insert movement (or aged-out watermark, or delta in conditional
+    // position): the fallback matrix says invalidate and recompute.
+    results_.Invalidate(key);
+    return false;
+  }
+  for (const std::string& out : entry->plan->outputs) {
+    if (dp.dirty.count(out) > 0 && !entry->outputs->Contains(out)) {
+      results_.Invalidate(key);  // defensive: nothing to union into
+      return false;
+    }
+  }
+
+  // ---- Delta maintenance pass (DESIGN.md §12) ----
+  // Re-run the cached plan with each moved relation shadowed by its
+  // delta slice: dirty subqueries produce exactly their new output rows.
+  SchedGroupMetrics sched_metrics;
+  SchedContext ctx;
+  ctx.priority = task.priority;
+  ctx.metrics = &sched_metrics;
+  ctx.cancel = task.token;
+  ctx.faults = faults_->active() ? faults_ : nullptr;
+  const Clock::time_point delta_start = Clock::now();
+  Database delta_out;
+  Result<plan::ExecutionResult> executed = plan::ExecutePlanWithOverrides(
+      *entry->plan, runtime_, *db_, dp.overrides, &delta_out, ctx);
+  const double delta_wall_ms = MsSince(delta_start);
+  if (!executed.ok()) {
+    // A failed pass (cancel, deadline, injected fault past retries) fails
+    // the query; the cached entry is untouched and still valid.
+    resp->status = executed.status();
+    return true;
+  }
+
+  // Union + canonicalize: a dirty output is cached ∪ delta, re-deduped —
+  // SortAndDedupe restores exactly the canonical order a from-scratch
+  // run emits, so the bytes (words AND fingerprints) are identical. A
+  // clean output was recomputed in full by the pass (its inputs were all
+  // unmoved), so it is already canonical and complete.
+  for (const std::string& out : entry->plan->outputs) {
+    Result<Relation*> got = delta_out.GetMutable(out);
+    if (!got.ok()) {
+      resp->status = got.status();
+      return true;
+    }
+    if (dp.dirty.count(out) > 0) {
+      Relation merged = **entry->outputs->Get(out);
+      merged.AppendFrom(**got);
+      merged.SortAndDedupe();
+      resp->outputs.Put(std::move(merged));
+    } else {
+      resp->outputs.Put(std::move(**got));
+    }
+  }
+
+  // Refresh the entry in place: replacement is atomic, concurrent readers
+  // keep the snapshot they already hold.
+  ResultCache::Entry fresh;
+  fresh.names = names;
+  fresh.epochs = epochs;
+  fresh.plan = entry->plan;
+  fresh.outputs = std::make_shared<const Database>(resp->outputs);
+  results_.Insert(key, std::move(fresh));
+  results_.NoteDeltaHit();
+  delta_hits_.fetch_add(1, std::memory_order_relaxed);
+  delta_rows_.fetch_add(dp.delta_rows, std::memory_order_relaxed);
+  delta_us_.fetch_add(static_cast<uint64_t>(delta_wall_ms * 1e3),
+                      std::memory_order_relaxed);
+
+  const double sched_wait_ms =
+      static_cast<double>(
+          sched_metrics.stall_us.load(std::memory_order_relaxed)) /
+      1e3;
+  exec_us_.fetch_add(
+      static_cast<uint64_t>(std::max(0.0, delta_wall_ms - sched_wait_ms) *
+                            1e3),
+      std::memory_order_relaxed);
+  sched_wait_us_.fetch_add(static_cast<uint64_t>(sched_wait_ms * 1e3),
+                           std::memory_order_relaxed);
+  resp->metrics = executed->metrics;
+  resp->stats = std::move(executed->stats);
+  resp->metrics.sched_wait_ms = sched_wait_ms;
+  resp->metrics.sched_morsels =
+      sched_metrics.morsels.load(std::memory_order_relaxed);
+  resp->metrics.delta_applied = true;
+  resp->metrics.delta_rows = dp.delta_rows;
+  // No calibration feedback from delta passes: the cached plan's
+  // estimates describe full-size inputs, the observed stats a delta-sized
+  // run — pairing them would poison the store (DESIGN.md §10).
+  return true;
+}
+
 void QueryService::Execute(Task task) {
   const int cur = inflight_.fetch_add(1) + 1;
   int seen = peak_inflight_.load();
@@ -307,27 +460,50 @@ void QueryService::Execute(Task task) {
   // Cancel(), deadlines, and fault escalation alike.
   resp.status = CheckCancel(task.token);
 
+  const std::string key = PlanCacheKey(task.query, options_.planner);
+
+  // Database read hold (DESIGN.md §12): epoch capture, cache routing,
+  // planning, execution, and the result-cache refresh all see one
+  // consistent base — AddFact writers wait for this hold to drain.
+  std::shared_lock<std::shared_mutex> db_lock(db_mu_);
+
+  // Cache fault site (DESIGN.md §11): an injected fault degrades the
+  // lookup (result cache and plan cache alike) to a miss — the query
+  // re-plans and re-executes, staying correct; only the cached latency
+  // win is lost. The cache entries themselves are untouched.
+  const bool cache_faulted =
+      (options_.plan_cache || options_.result_cache) && faults_->active() &&
+      faults_->ShouldFail(FaultSite::kCache, KeyUnit(key), /*attempt=*/0);
+  if (cache_faulted) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- Result cache: pure hit or delta maintenance (DESIGN.md §12) ----
+  bool result_done = false;
+  std::vector<std::string> epoch_names;
+  std::vector<uint64_t> epochs;
+  bool have_epochs = false;
+  if (resp.ok() && options_.result_cache) {
+    epoch_names = PlanCache::EpochNamesOf(task.query);
+    epochs.reserve(epoch_names.size());
+    for (const std::string& n : epoch_names) {
+      epochs.push_back(db_->StatsEpochOf(n));
+    }
+    have_epochs = true;
+    if (!cache_faulted) {
+      result_done = TryResultCache(task, key, epoch_names, epochs, &resp);
+    }
+  }
+
   // ---- Plan: cache lookup keyed on signature + stats epochs ----
   // The key is computed even with the cache off: single-flight planning
   // coalesces identical in-flight queries either way.
   plan::PlanRef plan;
   bool cache_hit = false;
   double plan_ms = 0.0;
-  const std::string key = PlanCacheKey(task.query, options_.planner);
-  if (resp.ok()) {
-    std::vector<uint64_t> epochs;
-    // Cache fault site (DESIGN.md §11): an injected fault degrades the
-    // lookup to a miss — the query re-plans (or coalesces) and stays
-    // correct; only the cached latency win is lost. The cache entry
-    // itself is untouched.
-    const bool cache_faulted =
-        options_.plan_cache && faults_->active() &&
-        faults_->ShouldFail(FaultSite::kCache, KeyUnit(key), /*attempt=*/0);
-    if (cache_faulted) {
-      faults_injected_.fetch_add(1, std::memory_order_relaxed);
-    }
+  if (resp.ok() && !result_done) {
     if (options_.plan_cache && !cache_faulted) {
-      epochs = PlanCache::EpochsOf(task.query, *db_);
+      if (!have_epochs) epochs = PlanCache::EpochsOf(task.query, *db_);
       plan = cache_.Lookup(key, epochs);
       cache_hit = plan != nullptr;
     }
@@ -335,7 +511,7 @@ void QueryService::Execute(Task task) {
       const Clock::time_point plan_start = Clock::now();
       bool coalesced = false;
       Result<plan::PlanRef> planned =
-          PlanSingleFlight(task.query, key, std::move(epochs),
+          PlanSingleFlight(task.query, key, epochs,
                            options_.plan_cache && !cache_faulted, &coalesced);
       plan_ms = MsSince(plan_start);
       if (coalesced) plan_coalesced_.fetch_add(1, std::memory_order_relaxed);
@@ -356,7 +532,7 @@ void QueryService::Execute(Task task) {
   // inside the shared scheduler, not just the admission queue.
   double exec_ms = 0.0;
   double sched_wait_ms = 0.0;
-  if (resp.ok()) {
+  if (resp.ok() && !result_done) {
     SchedGroupMetrics sched_metrics;
     SchedContext ctx;
     ctx.priority = task.priority;
@@ -387,11 +563,24 @@ void QueryService::Execute(Task task) {
       // execution refine the shared store so later plannings estimate
       // better. Thread-safe; results are unaffected (estimates only).
       plan::CalibrateFromExecution(*plan, resp.stats, options_.calibration);
+      // Materialize into the result cache so the next lookup is a pure
+      // hit — or, after insert-only writes, a delta pass (DESIGN.md §12).
+      if (options_.result_cache && have_epochs && plan != nullptr) {
+        ResultCache::Entry entry;
+        entry.names = epoch_names;
+        entry.epochs = epochs;
+        entry.plan = plan;
+        entry.outputs = std::make_shared<const Database>(resp.outputs);
+        results_.Insert(key, std::move(entry));
+      }
     }
   }
-  resp.metrics.plan_cache_hit = cache_hit;
+  db_lock.unlock();
+  if (!result_done) {
+    resp.metrics.plan_cache_hit = cache_hit;
+    resp.metrics.plan_ms = plan_ms;
+  }
   resp.metrics.queue_ms = queue_ms;
-  resp.metrics.plan_ms = plan_ms;
   resp.wall_ms = MsSince(task.submitted);
 
   // ---- Aggregate metrics, then fulfill the caller's future ----
@@ -460,6 +649,15 @@ ServiceStats QueryService::Stats() const {
   s.plan_coalesced = plan_coalesced_.load(std::memory_order_relaxed);
   s.plans_built = plans_built_.load(std::memory_order_relaxed);
   s.cache = cache_.counters();
+  s.result_hits = result_hits_.load(std::memory_order_relaxed);
+  s.delta_hits = delta_hits_.load(std::memory_order_relaxed);
+  s.delta_rows = delta_rows_.load(std::memory_order_relaxed);
+  s.mean_delta_ms =
+      s.delta_hits == 0
+          ? 0.0
+          : static_cast<double>(delta_us_.load(std::memory_order_relaxed)) /
+                1e3 / static_cast<double>(s.delta_hits);
+  s.result_cache = results_.counters();
   s.total_p50_ms = total_latency_.Percentile(0.50);
   s.total_p95_ms = total_latency_.Percentile(0.95);
   s.total_p99_ms = total_latency_.Percentile(0.99);

@@ -21,13 +21,25 @@
 //       too — identical in-flight queries share one planning run even
 //       when nothing is ever stored.
 //
+//   (c) a result cache + delta evaluation layer (DESIGN.md §12) — plan
+//       cache key -> materialized canonical outputs, validated against
+//       the same stats epochs. A repeat query over unchanged data is a
+//       *pure hit* (the stored outputs are the answer; no execution); a
+//       repeat over insert-only epoch movement is *delta-maintained*:
+//       the cached plan re-runs over just the delta slices
+//       (serve/delta.h) and the union refreshes the cache entry. Any
+//       other movement invalidates the entry (and the plan cache entry)
+//       exactly as before. GUMBO_DISABLE_DELTA=1 forces this layer off.
+//
 // Every query executes against the same immutable base Database snapshot
 // through a private overlay (plan::ExecutePlanOnSnapshot), so results are
 // byte-identical to a solo run regardless of admission order, pool
 // contention, or cache hits: the engine's determinism is per-query, and
-// queries share nothing mutable. The base database must not be mutated
-// while queries are in flight; mutate it between quiesced periods and the
-// stats epochs take care of cache invalidation.
+// queries share nothing mutable. Mutations go through the service's own
+// write API (AddFact, available when constructed over a mutable
+// database), which serializes against in-flight executions with a
+// reader/writer lock; a caller holding the database directly must still
+// only mutate it between quiesced periods.
 #ifndef GUMBO_SERVE_SERVICE_H_
 #define GUMBO_SERVE_SERVICE_H_
 
@@ -38,6 +50,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +66,7 @@
 #include "plan/planner.h"
 #include "serve/metrics.h"
 #include "serve/plan_cache.h"
+#include "serve/result_cache.h"
 
 namespace gumbo::serve {
 
@@ -77,6 +91,14 @@ struct ServiceOptions {
   /// Plan cache switch + capacity (entries).
   bool plan_cache = true;
   size_t plan_cache_capacity = 64;
+  /// Result cache + incremental delta evaluation (DESIGN.md §12): cached
+  /// query outputs are served without execution while their epochs hold,
+  /// and maintained by a delta pass across insert-only writes instead of
+  /// being recomputed. Off = every epoch movement invalidates (the
+  /// pre-delta behavior). Forced off by GUMBO_DISABLE_DELTA=1;
+  /// GUMBO_RESULT_CACHE_CAP overrides the capacity.
+  bool result_cache = true;
+  size_t result_cache_capacity = 32;
   plan::PlannerOptions planner;
   cost::ClusterConfig cluster;
   mr::RuntimeOptions runtime;
@@ -149,6 +171,12 @@ class QueryService {
   /// Scheduler::Global()), shared by all in-flight queries.
   QueryService(const Database* db, ServiceOptions options,
                Scheduler* scheduler = nullptr);
+  /// Mutable-base construction: same as above, and additionally enables
+  /// the service's write API (AddFact), which serializes writes against
+  /// in-flight query executions. Direct external mutation of `db` must
+  /// still happen only while the service is quiesced.
+  QueryService(Database* db, ServiceOptions options,
+               Scheduler* scheduler = nullptr);
   /// Drains the backlog (every accepted query is answered), then joins.
   ~QueryService();
 
@@ -168,11 +196,19 @@ class QueryService {
   /// Stops accepting new queries; already-accepted ones still complete.
   void Shutdown();
 
+  /// Appends a fact to base relation `name` (DESIGN.md §12). Requires
+  /// mutable-base construction (FailedPrecondition otherwise). Takes the
+  /// write half of the database lock, so the append is serialized against
+  /// in-flight query executions; the insert-only epoch bump lets cached
+  /// results be delta-maintained instead of invalidated.
+  Status AddFact(const std::string& name, const Tuple& t);
+
   /// Aggregate counters + latency quantiles (serve/metrics.h).
   ServiceStats Stats() const;
 
   const ServiceOptions& options() const { return options_; }
   const PlanCache& plan_cache() const { return cache_; }
+  const ResultCache& result_cache() const { return results_; }
 
  private:
   struct Task {
@@ -209,7 +245,19 @@ class QueryService {
                                          std::vector<uint64_t> epochs,
                                          bool use_cache, bool* coalesced);
 
+  /// Result-cache front door (DESIGN.md §12): pure hit, delta pass, or
+  /// invalidation for `key` at the current `epochs`. Returns true when
+  /// `resp` is final (hit or delta — including a delta pass that failed,
+  /// e.g. cancelled mid-run); false = fall through to plan + execute.
+  /// Caller holds the read half of db_mu_.
+  bool TryResultCache(const Task& task, const std::string& key,
+                      const std::vector<std::string>& names,
+                      const std::vector<uint64_t>& epochs,
+                      QueryResponse* resp);
+
   const Database* db_;
+  /// Non-null iff constructed over a mutable database; target of AddFact.
+  Database* mutable_db_ = nullptr;
   ServiceOptions options_;
   /// The env-configured injector backing options_.faults when the caller
   /// supplied none; faults_ below is the one actually consulted.
@@ -219,6 +267,11 @@ class QueryService {
   mr::Runtime runtime_;
   plan::Planner planner_;
   PlanCache cache_;
+  ResultCache results_;
+  /// Readers = query executions (epoch capture through result-cache
+  /// refresh happens under one shared hold, so a write never interleaves
+  /// with an execution's snapshot); writer = AddFact.
+  mutable std::shared_mutex db_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   ///< workers wait for backlog items
@@ -246,6 +299,10 @@ class QueryService {
   uint64_t shed_ = 0;
   std::atomic<uint64_t> plan_coalesced_{0};
   std::atomic<uint64_t> plans_built_{0};
+  std::atomic<uint64_t> result_hits_{0};
+  std::atomic<uint64_t> delta_hits_{0};
+  std::atomic<uint64_t> delta_rows_{0};
+  std::atomic<uint64_t> delta_us_{0};  ///< wall time of delta passes
   std::atomic<uint64_t> task_retries_{0};
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> retry_us_{0};

@@ -161,19 +161,25 @@ Outcome CheckStrategy(const sgf::SgfQuery& query, const Database& db,
   return detail->empty() ? Outcome::kOk : Outcome::kFail;
 }
 
-// The serve paths: with the plan cache on, the query is submitted twice —
-// the second response must come from the cached plan AND stay identical;
-// with it off, once. `store` may be null (uncalibrated service).
+// The serve paths: with a cache on, the query is submitted twice — the
+// second response must come from that cache (the cached plan re-executed,
+// or a pure result-cache hit with no execution at all) AND stay
+// identical; with everything off, once. `store` may be null
+// (uncalibrated service). The "serve-cache" path keeps the result cache
+// OFF so the cached-plan re-execution stays exercised — with it on, the
+// second submission would short-circuit before ever reaching the plan.
 Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
                    const Database& expected,
                    const std::vector<std::string>& outputs, bool cache,
-                   cost::CalibrationStore* store, const FaultInjector* faults,
-                   uint64_t* retries, std::string* detail) {
+                   bool result_cache, cost::CalibrationStore* store,
+                   const FaultInjector* faults, uint64_t* retries,
+                   std::string* detail) {
   detail->clear();
   const bool chaos = faults != nullptr && faults->active();
   serve::ServiceOptions so;
   so.max_inflight = 2;
   so.plan_cache = cache;
+  so.result_cache = result_cache;
   so.cluster = SoakCluster();
   so.planner.sample_size = 32;
   so.calibration = store;
@@ -184,7 +190,7 @@ Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
   so.faults = faults != nullptr ? faults : &kNoFaults;
   serve::QueryService service(&db, so);
   Outcome outcome = Outcome::kOk;
-  const int runs = cache ? 2 : 1;
+  const int runs = (cache || result_cache) ? 2 : 1;
   for (int r = 0; r < runs; ++r) {
     serve::QueryResponse resp = service.Run(query);
     if (!resp.ok()) {
@@ -194,15 +200,25 @@ Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
       break;
     }
     // Under chaos a kCache fault legitimately degrades the second lookup
-    // to a miss, so the hit assertion only holds fault-free.
-    if (cache && r == 1 && !chaos && !resp.metrics.plan_cache_hit) {
-      *detail = "second submission missed the plan cache";
-      outcome = Outcome::kFail;
-      break;
+    // to a miss, so the hit assertions only hold fault-free.
+    if (r == 1 && !chaos) {
+      if (result_cache && !resp.metrics.result_cache_hit) {
+        *detail = "second submission missed the result cache";
+        outcome = Outcome::kFail;
+        break;
+      }
+      if (!result_cache && cache && !resp.metrics.plan_cache_hit) {
+        *detail = "second submission missed the plan cache";
+        outcome = Outcome::kFail;
+        break;
+      }
     }
     std::string diff = DiffOutputs(expected, resp.outputs, outputs);
     if (!diff.empty()) {
-      *detail = (r == 0 ? "cold run: " : "cached-plan run: ") + diff;
+      *detail = (r == 0 ? "cold run: "
+                        : (result_cache ? "result-hit run: "
+                                        : "cached-plan run: ")) +
+                diff;
       outcome = Outcome::kFail;
       break;
     }
@@ -211,15 +227,98 @@ Outcome CheckServe(const sgf::SgfQuery& query, const Database& db,
   return outcome;
 }
 
+// Mutation mode (DESIGN.md §12): one service over a *mutable* copy of the
+// iteration database, both caches on. A cold run populates the result
+// cache; then, per base relation in deterministic order, a small seeded
+// batch of AddFacts lands through the service's write API and the query
+// re-runs. Every post-mutation response must be byte-identical to a
+// from-scratch naive evaluation of the mutated database — whether the
+// service answered via a guard-delta maintenance pass, a pure result hit
+// (no epoch moved for this query's relations), or full fallback
+// re-execution (conditional-position insert). Cycling the insert target
+// through all base relations exercises all three regimes.
+Outcome CheckMutation(const sgf::SgfQuery& query, const Database& base_db,
+                      const std::map<std::string, uint32_t>& base,
+                      const std::vector<std::string>& outputs, uint64_t seed,
+                      size_t tuples, cost::CalibrationStore* store,
+                      uint64_t* delta_hits, uint64_t* result_hits,
+                      std::string* detail) {
+  detail->clear();
+  Database db = base_db;  // mutable copy; the iteration db stays pristine
+  serve::ServiceOptions so;
+  so.max_inflight = 2;
+  so.cluster = SoakCluster();
+  so.planner.sample_size = 32;
+  so.calibration = store;
+  // Mutation checks are always fault-free: they pin delta soundness, and
+  // chaos coverage of the read path already exists in CheckServe.
+  static const FaultInjector kNoFaults(0, 0.0);
+  so.faults = &kNoFaults;
+  serve::QueryService service(&db, so);
+  {
+    serve::QueryResponse cold = service.Run(query);
+    if (!cold.ok()) {
+      *detail = "cold run failed: " + cold.status.ToString();
+      return Outcome::kFail;
+    }
+  }
+  Xoshiro256 rng(SplitMix64::Mix(seed ^ 0xde17aULL));
+  // Same value domain the generators draw from, so inserted facts join
+  // against existing rows often enough to actually change outputs.
+  const uint64_t domain = tuples > 0 ? tuples : 1;
+  for (const auto& [name, arity] : base) {
+    constexpr int kFactsPerBatch = 3;
+    for (int f = 0; f < kFactsPerBatch; ++f) {
+      Tuple t;
+      for (uint32_t a = 0; a < arity; ++a) {
+        t.PushBack(Value::Int(static_cast<int64_t>(rng.Uniform(domain))));
+      }
+      const Status st = service.AddFact(name, t);
+      if (!st.ok()) {
+        *detail = "AddFact(" + name + ") failed: " + st.ToString();
+        return Outcome::kFail;
+      }
+    }
+    serve::QueryResponse resp = service.Run(query);
+    if (!resp.ok()) {
+      *detail = "post-mutation run (after " + name +
+                " inserts) failed: " + resp.status.ToString();
+      return Outcome::kFail;
+    }
+    if (delta_hits != nullptr && resp.metrics.delta_applied) ++*delta_hits;
+    if (result_hits != nullptr && resp.metrics.result_cache_hit) {
+      ++*result_hits;
+    }
+    // The service is quiescent between Run calls, so reading db here is
+    // safe; NaiveEvalSgf recomputes the truth over the mutated state.
+    Result<Database> expected = sgf::NaiveEvalSgf(query, db);
+    if (!expected.ok()) {
+      *detail = "naive reference on mutated db failed: " +
+                expected.status().ToString();
+      return Outcome::kFail;
+    }
+    std::string diff = DiffOutputs(*expected, resp.outputs, outputs);
+    if (!diff.empty()) {
+      *detail = "after inserts into " + name + ": " + diff;
+      return Outcome::kFail;
+    }
+  }
+  return Outcome::kOk;
+}
+
 // Dispatches a path by name — the minimizer's re-check hook. Paths are
-// strategy names plus "serve-cache" / "serve-nocache".
+// strategy names plus "serve-cache" / "serve-nocache" / "serve-result".
+// ("serve-delta" mutation failures are recorded unminimized: the
+// minimizer's re-checks don't replay the service-applied write batches.)
 Outcome CheckPath(const std::string& path, const sgf::SgfQuery& query,
                   const Database& db, const Database& expected,
                   const std::vector<std::string>& outputs,
                   std::string* detail) {
-  if (path == "serve-cache" || path == "serve-nocache") {
-    return CheckServe(query, db, expected, outputs, path == "serve-cache",
-                      nullptr, nullptr, nullptr, detail);
+  if (path == "serve-cache" || path == "serve-nocache" ||
+      path == "serve-result") {
+    return CheckServe(query, db, expected, outputs, path != "serve-nocache",
+                      path == "serve-result", nullptr, nullptr, nullptr,
+                      detail);
   }
   Result<plan::Strategy> strategy = plan::StrategyFromName(path);
   if (!strategy.ok()) {
@@ -326,6 +425,7 @@ SoakConfig SoakConfig::FromEnv() {
       static_cast<size_t>(EnvU64("GUMBO_SOAK_ITERS", config.iterations));
   config.tuples =
       static_cast<size_t>(EnvU64("GUMBO_SOAK_TUPLES", config.tuples));
+  config.mutate = EnvU64("GUMBO_SOAK_MUTATE", config.mutate ? 1 : 0) != 0;
   // Chaos knobs share the injector's own env parsing (site-name lists,
   // rate clamping) so a chaos soak is configured exactly like any other
   // fault-injected run.
@@ -343,7 +443,7 @@ std::string SoakFailure::Repro() const {
   s += "  detail: " + detail + "\n";
   s += "  repro: GUMBO_SOAK_SEED=" + std::to_string(seed) +
        " GUMBO_SOAK_ITERS=1 GUMBO_SOAK_TUPLES=" + std::to_string(tuples) +
-       " bench_soak\n";
+       (mutate ? " GUMBO_SOAK_MUTATE=1" : "") + " bench_soak\n";
   s += "  minimized query:\n" + query_text + "\n";
   return s;
 }
@@ -363,6 +463,12 @@ std::string SoakReport::Summary() const {
     }
     s += "), " + std::to_string(task_retries) + " task retries, " +
          std::to_string(clean_errors) + " clean typed errors";
+  }
+  if (mutation_checks > 0) {
+    s += "\nmutation: " + std::to_string(mutation_checks) +
+         " post-write identity checks, " + std::to_string(delta_hits) +
+         " delta-maintained, " + std::to_string(result_hits) +
+         " result-cache hits";
   }
   for (const SoakFailure& f : failures) {
     s += "\n" + f.Repro();
@@ -497,11 +603,20 @@ SoakReport RunSoak(const SoakConfig& config) {
       }
     }
     if (config.serve_paths) {
-      for (const bool cache : {true, false}) {
-        const std::string path = cache ? "serve-cache" : "serve-nocache";
+      struct ServePath {
+        const char* name;
+        bool plan_cache;
+        bool result_cache;
+      };
+      constexpr ServePath kServePaths[] = {
+          {"serve-cache", true, false},  // cached-plan re-execution
+          {"serve-nocache", false, false},
+          {"serve-result", true, true},  // pure result-cache hit
+      };
+      for (const ServePath& sp : kServePaths) {
         const Outcome outcome = CheckServe(
-            generated.query, db, *expected, outputs, cache,
-            config.calibrate ? &store : nullptr, inject,
+            generated.query, db, *expected, outputs, sp.plan_cache,
+            sp.result_cache, config.calibrate ? &store : nullptr, inject,
             &report.task_retries, &detail);
         if (outcome == Outcome::kCleanError) {
           ++report.clean_errors;
@@ -511,9 +626,31 @@ SoakReport RunSoak(const SoakConfig& config) {
         if (outcome == Outcome::kFail) {
           report.failures.push_back(
               inject != nullptr
-                  ? chaos_failure(path, generated, regime, detail)
-                  : Minimize(generated, regime, seed, config, path, detail));
+                  ? chaos_failure(sp.name, generated, regime, detail)
+                  : Minimize(generated, regime, seed, config, sp.name,
+                             detail));
         }
+      }
+    }
+    if (config.mutate) {
+      const Outcome outcome = CheckMutation(
+          generated.query, db, generated.base_relations, outputs, seed,
+          config.tuples, config.calibrate ? &store : nullptr,
+          &report.delta_hits, &report.result_hits, &detail);
+      ++report.mutation_checks;
+      ++report.checks;
+      if (outcome == Outcome::kFail) {
+        // Recorded unminimized: the shrink re-checks don't replay the
+        // seeded write batches, so shrinking would lose the repro.
+        SoakFailure f;
+        f.seed = seed;
+        f.regime = regime;
+        f.path = "serve-delta";
+        f.mutate = true;
+        f.query_text = generated.Text();
+        f.tuples = config.tuples;
+        f.detail = detail;
+        report.failures.push_back(std::move(f));
       }
     }
     report.faults_injected += faults.injected();

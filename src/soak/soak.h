@@ -1,7 +1,8 @@
 // Differential soak harness (DESIGN.md §10): random SGF queries over
 // random skewed/correlated databases, evaluated through every planner
-// strategy and both serve::QueryService paths (plan cache on and off),
-// with every result checked byte-identical — flat words AND row
+// strategy and the serve::QueryService paths (plan cache on/off, result
+// cache, and — in mutation mode — delta maintenance under AddFact
+// writes), with every result checked byte-identical — flat words AND row
 // fingerprints — against the naive reference evaluator.
 //
 // Everything is deterministic in one seed: iteration i of a soak with
@@ -47,9 +48,18 @@ struct SoakConfig {
   size_t tuples = 240;
   /// Conditional-relation selectivity (data/generator.h).
   double selectivity = 0.4;
-  /// Also run each query through serve::QueryService: cache-on submitted
-  /// twice (second hit exercises the cached-plan path) plus cache-off.
+  /// Also run each query through serve::QueryService: plan-cache-on
+  /// submitted twice (second hit exercises the cached-plan path),
+  /// cache-off, and result-cache-on submitted twice (second hit must be a
+  /// pure result-cache hit, byte-identical with no execution).
   bool serve_paths = true;
+  /// Mutation mode (DESIGN.md §12): per iteration, run each query through
+  /// one service over a *mutable* copy of the database, interleave seeded
+  /// AddFact batches through the service's write API, and require every
+  /// post-mutation response — delta-maintained, result-hit, or fallback
+  /// re-execution — byte-identical to a from-scratch naive evaluation of
+  /// the mutated database. Env: GUMBO_SOAK_MUTATE (non-zero enables).
+  bool mutate = false;
   /// Thread a shared CalibrationStore through the whole soak: planners
   /// estimate through it and executions feed it, so the soak also pins
   /// the invariant that calibration changes estimates, never results.
@@ -83,7 +93,10 @@ struct SoakConfig {
 struct SoakFailure {
   uint64_t seed = 0;       ///< exact iteration seed (generators + query)
   DataRegime regime = DataRegime::kUniform;
-  std::string path;        ///< strategy name, "serve-cache", "serve-nocache"
+  /// Strategy name, "serve-cache", "serve-nocache", "serve-result", or
+  /// "serve-delta" (mutation mode).
+  std::string path;
+  bool mutate = false;     ///< repro needs GUMBO_SOAK_MUTATE=1
   std::string query_text;  ///< minimized query
   size_t tuples = 0;       ///< minimized database size
   std::string detail;      ///< what differed
@@ -102,6 +115,10 @@ struct SoakReport {
   uint64_t faults_injected = 0;  ///< total injections across the soak
   uint64_t task_retries = 0;     ///< attempts re-run across the soak
   std::array<uint64_t, kNumFaultSites> faults_per_site{};
+  // ---- Mutation-mode accounting (all zero when mutate == false) ----
+  size_t mutation_checks = 0;  ///< post-mutation byte-identity checks
+  uint64_t delta_hits = 0;     ///< responses answered by delta maintenance
+  uint64_t result_hits = 0;    ///< responses served straight from the cache
   std::vector<SoakFailure> failures;
 
   bool ok() const { return failures.empty(); }

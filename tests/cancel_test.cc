@@ -402,11 +402,12 @@ TEST(ServiceDeadlineTest, ExpiredTokenFailsFastAndDoesNotPoisonTheCache) {
   serve::QueryResponse gone = service.Run(query, qc);
   EXPECT_EQ(gone.status.code(), StatusCode::kCancelled);
 
-  // The cached plan survived both: the next clean run is a cache hit
-  // with bytes identical to the first.
+  // The cached plan AND cached result survived both: the next clean run
+  // is a pure result-cache hit (DESIGN.md §12 — it short-circuits ahead
+  // of the plan path) with bytes identical to the first.
   serve::QueryResponse again = service.Run(query);
   ASSERT_OK(again.status);
-  EXPECT_TRUE(again.metrics.plan_cache_hit);
+  EXPECT_TRUE(again.metrics.result_cache_hit);
   const Relation* a = warm.outputs.Get("Z").value();
   const Relation* b = again.outputs.Get("Z").value();
   EXPECT_TRUE(a->words() == b->words());

@@ -4,6 +4,7 @@
 // QueryService's admission scheduler — including the central determinism
 // claim: N-thread concurrent submission produces results byte-identical
 // to sequential solo execution.
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "serve/plan_cache.h"
 #include "serve/service.h"
 #include "serve/signature.h"
+#include "sgf/naive_eval.h"
 #include "test_util.h"
 
 namespace gumbo {
@@ -103,16 +105,68 @@ TEST(DatabaseEpochTest, MutationsBumpReadsDoNot) {
   EXPECT_GT(db.stats_epoch(), e0);
   EXPECT_GT(db.StatsEpochOf("R"), r0);
 
-  const uint64_t s0 = db.StatsEpochOf("S");
-  ASSERT_OK(db.GetMutable("S"));  // a mutation handle is a (potential) write
-  EXPECT_GT(db.StatsEpochOf("S"), s0);
-
   const uint64_t e1 = db.stats_epoch();
   EXPECT_TRUE(db.Erase("V"));
   EXPECT_GT(db.StatsEpochOf("V"), e1);
 
   ASSERT_OK(db.Create("W", 2));
   EXPECT_GT(db.StatsEpochOf("W"), 0u);
+}
+
+// Regression (DESIGN.md §12): GetMutable used to bump the epoch
+// unconditionally — taking the handle counted as a write even if the
+// caller never touched the relation, so every cached plan and result
+// whose query read that relation was invalidated for nothing. The loan
+// protocol bumps on *observed* mutation only: GetMutable snapshots the
+// relation's version counters and the next settlement point (any
+// mutating Database entry point, or an explicit SettleLoans) classifies
+// what actually happened.
+TEST(DatabaseEpochTest, MutableHandleBumpsOnlyOnActualWrite) {
+  Database db = MakeTestDb(50);
+
+  // Taking the handle and walking away is a read: no bump, ever.
+  const uint64_t s0 = db.StatsEpochOf("S");
+  ASSERT_OK(db.GetMutable("S"));
+  db.SettleLoans();
+  EXPECT_EQ(db.StatsEpochOf("S"), s0);
+
+  // Appending through the handle is an insert-only write: the epoch
+  // bumps and the watermark classifies the move as delta-eligible.
+  Relation* s = db.GetMutable("S").value();
+  const size_t rows_before = s->size();
+  Tuple t;
+  t.PushBack(Value::Int(999));
+  ASSERT_OK(s->Add(t));
+  db.SettleLoans();
+  EXPECT_GT(db.StatsEpochOf("S"), s0);
+  EXPECT_TRUE(db.InsertOnlySince("S", s0));
+  ASSERT_TRUE(db.RowsAtEpoch("S", s0).has_value());
+  EXPECT_EQ(*db.RowsAtEpoch("S", s0), rows_before);
+
+  // Reordering in place is a destructive write: the epoch bumps and the
+  // insert-only classification is revoked for older epochs.
+  const uint64_t t0 = db.StatsEpochOf("T");
+  Relation* tr = db.GetMutable("T").value();
+  tr->SortAndDedupe();
+  db.SettleLoans();
+  EXPECT_GT(db.StatsEpochOf("T"), t0);
+  EXPECT_FALSE(db.InsertOnlySince("T", t0));
+
+  // AddFact (the delta write API) is insert-only by construction.
+  const uint64_t u0 = db.StatsEpochOf("U");
+  const size_t u_rows = db.Get("U").value()->size();
+  Tuple f;
+  f.PushBack(Value::Int(1000));
+  ASSERT_OK(db.AddFact("U", f));
+  EXPECT_GT(db.StatsEpochOf("U"), u0);
+  EXPECT_TRUE(db.InsertOnlySince("U", u0));
+  EXPECT_EQ(*db.RowsAtEpoch("U", u0), u_rows);
+
+  // Put and Erase are destructive moves.
+  const uint64_t v0 = db.StatsEpochOf("V");
+  db.Put(Relation("V", 1));
+  EXPECT_FALSE(db.InsertOnlySince("V", v0));
+  EXPECT_GT(db.StatsEpochOf("V"), v0);
 }
 
 // ---- Overlays + snapshot execution ------------------------------------------
@@ -175,6 +229,11 @@ TEST(PlanCacheTest, HitOnIdenticalAndAlphaRenamedQueries) {
   Database db = MakeTestDb();
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
+  // These tests pin *plan*-cache behavior: the result cache sits in front
+  // of it and would short-circuit repeat submissions before they reach
+  // the plan path, so it is switched off here (and in the other
+  // PlanCacheTest cases). ResultCacheTest below covers the front layer.
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
 
   serve::QueryResponse first = service.Run(ParseSgfOrDie(kQueryA1));
@@ -212,6 +271,7 @@ TEST(PlanCacheTest, InvalidationOnStatsEpochBump) {
   Database db = MakeTestDb();
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
 
   ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
@@ -237,6 +297,7 @@ TEST(PlanCacheTest, MutatingUnrelatedRelationDoesNotInvalidate) {
   ASSERT_OK(db.Create("Unrelated", 1));
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
 
   ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
@@ -252,6 +313,7 @@ TEST(PlanCacheTest, LruEvictionAtCapacity) {
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
   opts.plan_cache_capacity = 2;
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
 
   ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);    // {A1}
@@ -266,6 +328,7 @@ TEST(PlanCacheTest, DisabledCacheNeverHits) {
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
   opts.plan_cache = false;
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
   ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
   EXPECT_FALSE(service.Run(ParseSgfOrDie(kQueryA1)).metrics.plan_cache_hit);
@@ -281,6 +344,7 @@ TEST(PlanCacheTest, CachedPlanRerunsDoNotAccumulateMetrics) {
   Database db = MakeTestDb();
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
+  opts.result_cache = false;
   serve::QueryService service(&db, opts);
   const serve::QueryResponse cold = service.Run(ParseSgfOrDie(kQueryA1));
   ASSERT_OK(cold.status);
@@ -307,6 +371,230 @@ TEST(PlanCacheTest, CachedPlanRerunsDoNotAccumulateMetrics) {
   }
 }
 
+// ---- Result cache + incremental delta evaluation (DESIGN.md §12) ------------
+
+// Compares a response against a from-scratch naive evaluation of the
+// database's *current* state: canonical words AND fingerprints.
+void ExpectMatchesNaive(const sgf::SgfQuery& query, const Database& db,
+                        const serve::QueryResponse& resp) {
+  auto expected = sgf::NaiveEvalSgf(query, db);
+  ASSERT_OK(expected);
+  for (const auto& sub : query.subqueries()) {
+    const auto want = expected->Get(sub.output());
+    ASSERT_OK(want);
+    const auto got = resp.outputs.Get(sub.output());
+    ASSERT_OK(got);
+    Relation canon = **got;
+    canon.SortAndDedupe();
+    EXPECT_EQ(canon.words(), want.value()->words()) << sub.output();
+    EXPECT_EQ(canon.fingerprints(), want.value()->fingerprints())
+        << sub.output();
+  }
+}
+
+Tuple GuardFact(int64_t v) {
+  Tuple t;
+  for (int i = 0; i < 4; ++i) t.PushBack(Value::Int(v + i));
+  return t;
+}
+
+TEST(ResultCacheTest, RepeatIsAPureHitByteIdentical) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  const serve::QueryResponse cold = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(cold.status);
+  EXPECT_FALSE(cold.metrics.result_cache_hit);
+
+  const serve::QueryResponse hit = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(hit.status);
+  EXPECT_TRUE(hit.metrics.result_cache_hit);
+  EXPECT_FALSE(hit.metrics.plan_cache_hit);  // never reached the plan path
+  EXPECT_FALSE(hit.metrics.delta_applied);
+  EXPECT_EQ(hit.outputs.Get("Z").value()->words(),
+            cold.outputs.Get("Z").value()->words());
+  EXPECT_EQ(hit.outputs.Get("Z").value()->fingerprints(),
+            cold.outputs.Get("Z").value()->fingerprints());
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.result_hits, 1u);
+  EXPECT_EQ(stats.result_cache.hits, 1u);
+  EXPECT_EQ(stats.delta_hits, 0u);
+}
+
+TEST(ResultCacheTest, GuardInsertIsDeltaMaintained) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);  // mutable-base overload
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+
+  // A guard-position insert moves R's epoch insert-only: the next lookup
+  // must delta-maintain the cached result instead of re-executing, and
+  // stay byte-identical to a from-scratch evaluation.
+  ASSERT_OK(service.AddFact("R", GuardFact(3)));
+  const serve::QueryResponse delta = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(delta.status);
+  EXPECT_TRUE(delta.metrics.delta_applied);
+  EXPECT_FALSE(delta.metrics.result_cache_hit);
+  EXPECT_EQ(delta.metrics.delta_rows, 1u);
+  ExpectMatchesNaive(ParseSgfOrDie(kQueryA1), db, delta);
+
+  // The maintenance pass refreshed the cache at the new epochs: an
+  // unchanged repeat is a pure hit again.
+  const serve::QueryResponse hit = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(hit.status);
+  EXPECT_TRUE(hit.metrics.result_cache_hit);
+  EXPECT_EQ(hit.outputs.Get("Z").value()->words(),
+            delta.outputs.Get("Z").value()->words());
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.delta_hits, 1u);
+  EXPECT_EQ(stats.delta_rows, 1u);
+  EXPECT_EQ(stats.result_hits, 1u);
+}
+
+TEST(ResultCacheTest, ConditionalInsertFallsBackToFullRun) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+
+  // Conditional-position inserts are not guard-distributive (and not
+  // monotone under NOT): the service must fall back to a full
+  // re-execution — and still be exactly right.
+  Tuple t;
+  t.PushBack(Value::Int(12345));
+  ASSERT_OK(service.AddFact("S", t));
+  const serve::QueryResponse full = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(full.status);
+  EXPECT_FALSE(full.metrics.delta_applied);
+  EXPECT_FALSE(full.metrics.result_cache_hit);
+  ExpectMatchesNaive(ParseSgfOrDie(kQueryA1), db, full);
+  EXPECT_EQ(service.Stats().delta_hits, 0u);
+}
+
+TEST(ResultCacheTest, DestructiveWriteFallsBackToFullRun) {
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+
+  // Put replaces the relation wholesale — a destructive epoch move, so
+  // neither a pure hit nor a delta pass is sound.
+  data::GeneratorConfig cfg;
+  cfg.tuples = 300;
+  cfg.seed = 99;
+  cfg.representation_scale = 1.0;
+  db.Put(data::Generator(cfg).Guard("R", 4));
+
+  const serve::QueryResponse full = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(full.status);
+  EXPECT_FALSE(full.metrics.delta_applied);
+  EXPECT_FALSE(full.metrics.result_cache_hit);
+  ExpectMatchesNaive(ParseSgfOrDie(kQueryA1), db, full);
+}
+
+TEST(ResultCacheTest, MultiSubqueryDeltaRecomputesCleanOutputsExactly) {
+  // Two subqueries with disjoint guards: an insert into R dirties Z1
+  // only; the maintenance pass must union Z1 with its delta and
+  // recompute the clean Z2 in full — both byte-identical to scratch.
+  Database db = MakeTestDb();
+  data::GeneratorConfig cfg;
+  cfg.tuples = 600;
+  cfg.representation_scale = 1.0;
+  db.Put(data::Generator(cfg).Guard("G", 4));
+  const char* kTwoGuards =
+      "Z1 := SELECT x FROM R(x, y, z, w) WHERE S(x) AND T(y);\n"
+      "Z2 := SELECT x FROM G(x, y, z, w) WHERE U(x) AND NOT V(x);";
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kTwoGuards)).status);
+  ASSERT_OK(service.AddFact("R", GuardFact(7)));
+  const serve::QueryResponse delta = service.Run(ParseSgfOrDie(kTwoGuards));
+  ASSERT_OK(delta.status);
+  EXPECT_TRUE(delta.metrics.delta_applied);
+  ExpectMatchesNaive(ParseSgfOrDie(kTwoGuards), db, delta);
+}
+
+TEST(ResultCacheTest, DisableDeltaEnvKnobTurnsTheLayerOff) {
+  setenv("GUMBO_DISABLE_DELTA", "1", 1);
+  Database db = MakeTestDb();
+  serve::ServiceOptions opts;
+  opts.max_inflight = 1;
+  serve::QueryService service(&db, opts);
+  unsetenv("GUMBO_DISABLE_DELTA");
+
+  ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
+  const serve::QueryResponse second = service.Run(ParseSgfOrDie(kQueryA1));
+  ASSERT_OK(second.status);
+  EXPECT_FALSE(second.metrics.result_cache_hit);
+  EXPECT_TRUE(second.metrics.plan_cache_hit);  // plan cache still works
+  EXPECT_EQ(service.Stats().result_hits, 0u);
+  EXPECT_EQ(service.Stats().result_cache.hits, 0u);
+}
+
+TEST(ResultCacheTest, WriteApiRequiresMutableBase) {
+  Database db = MakeTestDb(50);
+  const Database& const_db = db;
+  serve::QueryService service(&const_db, serve::ServiceOptions{});
+  Tuple t;
+  t.PushBack(Value::Int(1));
+  EXPECT_EQ(service.AddFact("S", t).code(), StatusCode::kFailedPrecondition);
+}
+
+// TSan coverage: AddFact holds the writer lock while queries hold reader
+// locks for their whole capture -> execute -> cache-refresh span, so a
+// concurrent write/read mix must be race-free and every response must
+// match a from-scratch evaluation of *some* consistent database state —
+// verified here only for the final quiesced state.
+TEST(ResultCacheTest, ConcurrentAddFactAndRunAreRaceFree) {
+  Database db = MakeTestDb(300);
+  Scheduler scheduler(4);
+  serve::ServiceOptions opts;
+  opts.max_inflight = 3;
+  serve::QueryService service(&db, opts, &scheduler);
+  const sgf::SgfQuery query = ParseSgfOrDie(kQueryA1);
+
+  std::vector<std::thread> threads;
+  std::vector<Status> status(3, Status::Ok());
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < 6; ++i) {
+        serve::QueryResponse resp = service.Run(query);
+        if (!resp.ok()) {
+          status[c] = resp.status;
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 10; ++i) {
+      const Status st = service.AddFact("R", GuardFact(1000 + 7 * i));
+      if (!st.ok()) {
+        status[2] = st;
+        return;
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  for (const Status& s : status) EXPECT_OK(s);
+
+  const serve::QueryResponse final_resp = service.Run(query);
+  ASSERT_OK(final_resp.status);
+  ExpectMatchesNaive(query, db, final_resp);
+}
+
 // The calibration loop (DESIGN.md §10) observes every successful
 // execution without changing a single result byte.
 TEST(ServiceTest, CalibrationFeedbackObservesWithoutChangingResults) {
@@ -318,6 +606,7 @@ TEST(ServiceTest, CalibrationFeedbackObservesWithoutChangingResults) {
   cost::CalibrationStore store;
   serve::ServiceOptions opts;
   opts.calibration = &store;
+  opts.result_cache = false;  // repeats must re-execute to feed the store
   serve::QueryService calibrated(&db, opts);
   const serve::QueryResponse b1 = calibrated.Run(ParseSgfOrDie(kQueryA1));
   ASSERT_OK(b1.status);
@@ -455,8 +744,10 @@ TEST(ServiceTest, ConcurrentSubmissionByteIdenticalToSequential) {
             static_cast<uint64_t>(kClients * kRounds) * queries.size());
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_LE(stats.peak_inflight, 3);
-  // Repeats hit the cache (first occurrence of each query misses).
-  EXPECT_GE(stats.cache.hits, 1u);
+  // Repeats are served from a cache: a plan-cache hit while the first
+  // execution is still in flight, or a result-cache hit once it finished
+  // (which of the two depends on scheduling).
+  EXPECT_GE(stats.cache.hits + stats.result_hits, 1u);
 }
 
 TEST(ServiceTest, FastLaneCannotStarveTheFifo) {
@@ -525,7 +816,12 @@ TEST(ServiceTest, ColdCacheStampedeAccounting) {
   const serve::ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.completed, kN);
   EXPECT_GE(stats.plans_built, 1u);
-  EXPECT_EQ(stats.cache.hits + stats.plan_coalesced + stats.plans_built, kN);
+  // Every query is exactly one of: result-cache hit (an early finisher
+  // populated the result cache before a queued sibling was admitted),
+  // plan-cache hit, coalesced wait, or plan built.
+  EXPECT_EQ(stats.result_hits + stats.cache.hits + stats.plan_coalesced +
+                stats.plans_built,
+            kN);
 }
 
 TEST(ServiceTest, DrainsBacklogOnDestruction) {
