@@ -1,28 +1,20 @@
 #include "bench_harness.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <string_view>
 
+#include "common/config.h"
 #include "common/str_util.h"
 #include "mr/engine.h"
 
 namespace gumbo::bench {
 
 BenchOptions BenchOptions::FromEnv() {
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
   BenchOptions o;
-  if (const char* t = std::getenv("GUMBO_BENCH_TUPLES")) {
-    o.tuples = static_cast<size_t>(std::strtoull(t, nullptr, 10));
-    if (o.tuples < 100) o.tuples = 100;
-  }
-  if (const char* s = std::getenv("GUMBO_BENCH_SEED")) {
-    o.seed = std::strtoull(s, nullptr, 10);
-  }
-  if (const char* q = std::getenv("GUMBO_BENCH_SEQUENTIAL")) {
-    // Any set, non-"0", non-empty value ("1", "true", "yes", ...) means
-    // sequential; a numeric parse would silently read "true" as 0.
-    o.runtime.concurrent_jobs =
-        q[0] == '\0' || std::string_view(q) == "0";
+  o.tuples = cfg.bench_tuples.value_or(o.tuples);
+  o.seed = cfg.bench_seed.value_or(o.seed);
+  if (cfg.bench_sequential.value_or(false)) {
+    o.runtime.concurrent_jobs = false;
   }
   return o;
 }

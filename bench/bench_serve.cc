@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "bench_harness.h"
+#include "common/config.h"
 #include "common/str_util.h"
 #include "serve/service.h"
 
@@ -344,7 +345,7 @@ int main(int argc, char** argv) {
   }
 
   BenchOptions options = BenchOptions::FromEnv();
-  if (std::getenv("GUMBO_BENCH_TUPLES") == nullptr) {
+  if (!common::RuntimeConfig::Get().bench_tuples.has_value()) {
     options.tuples = 5000;  // serving-shaped default (see header comment)
   }
   const size_t kClients = 8;

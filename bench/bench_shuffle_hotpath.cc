@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "bench_harness.h"
+#include "common/config.h"
 #include "common/str_util.h"
 #include "data/workloads.h"
 #include "mr/map_output.h"
@@ -472,7 +473,7 @@ int main(int argc, char** argv) {
       flat_records = RunFlat(*streams, &flat_sum);
     });
 
-    if (std::getenv("GUMBO_BENCH_PHASES") != nullptr) {
+    if (common::RuntimeConfig::Get().bench_phases.value_or(false)) {
       Phases lp, fp;
       Checksum dummy;
       RunLegacy(*streams, &dummy, &lp);

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/config.h"
 #include "common/dictionary.h"
 #include "data/generator.h"
 #include "serve/service.h"
@@ -69,6 +70,8 @@ void PrintStats(const serve::QueryService& service) {
       static_cast<unsigned long long>(s.result_cache.misses),
       static_cast<unsigned long long>(s.result_cache.invalidations),
       static_cast<unsigned long long>(s.result_cache.entries));
+  std::printf("config (GUMBO_* knobs live in this process):\n%s",
+              common::RuntimeConfig::Get().Describe().c_str());
 }
 
 // \addfact REL v1 v2 ...: integer fact through the service's write API.
@@ -121,6 +124,14 @@ void HandleAddFact(serve::QueryService* service, const Database& db,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "usage: query_server [tuples]\n"
+        "REPL over a generated demo database; \\stats, \\rel, \\addfact, "
+        "\\quit.\n\nGUMBO_* environment knobs (current values):\n%s",
+        common::RuntimeConfig::Get().Describe().c_str());
+    return 0;
+  }
   const size_t tuples =
       argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
 

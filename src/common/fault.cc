@@ -1,9 +1,9 @@
 #include "common/fault.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 
+#include "common/config.h"
 #include "common/rng.h"
 
 namespace gumbo {
@@ -68,22 +68,11 @@ FaultInjector::FaultInjector(uint64_t seed, double rate, uint32_t site_mask)
 }
 
 FaultInjector FaultInjector::FromEnv() {
-  uint64_t seed = 0;
-  double rate = 0.0;
-  uint32_t mask = ~0u;
-  if (const char* v = std::getenv("GUMBO_FAULT_SEED")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end != v) seed = static_cast<uint64_t>(parsed);
-  }
-  if (const char* v = std::getenv("GUMBO_FAULT_RATE")) {
-    char* end = nullptr;
-    const double parsed = std::strtod(v, &end);
-    if (end != v && parsed > 0.0) rate = parsed;
-  }
-  if (const char* v = std::getenv("GUMBO_FAULT_SITES")) {
-    if (*v != '\0') mask = ParseSiteMask(v);
-  }
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
+  const uint64_t seed = cfg.fault_seed.value_or(0);
+  const double rate = cfg.fault_rate.value_or(0.0);
+  const uint32_t mask =
+      cfg.fault_sites ? ParseSiteMask(cfg.fault_sites->c_str()) : ~0u;
   return FaultInjector(seed, rate, mask);
 }
 

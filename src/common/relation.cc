@@ -107,6 +107,16 @@ void Relation::AppendFrom(const Relation& other) {
   ++append_version_;
 }
 
+void Relation::AppendRaw(const uint64_t* words, const uint64_t* fps,
+                         size_t rows) {
+  if (rows == 0) return;
+  assert(fps[0] == TupleFingerprint(words, arity_) &&
+         "AppendRaw fed a fingerprint that does not match its row");
+  words_.insert(words_.end(), words, words + rows * arity_);
+  fingerprints_.insert(fingerprints_.end(), fps, fps + rows);
+  ++append_version_;
+}
+
 std::vector<Tuple> Relation::ToTuples() const {
   std::vector<Tuple> out;
   out.reserve(size());

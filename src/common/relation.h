@@ -229,6 +229,14 @@ class Relation {
   /// semantics follow with SortAndDedupe.
   void AppendFrom(const Relation& other);
 
+  /// Bulk-appends `rows` rows from raw arenas: `words` (rows * arity()
+  /// flat words) and `fps` (one stored fingerprint per row) are copied
+  /// verbatim — NEVER re-hashed, so fingerprints decoded from a wire
+  /// frame (src/dist/wire.h) survive round-trips bit-for-bit. The caller
+  /// vouches that fps[i] == TupleFingerprint(row i) — debug builds spot-
+  /// check the first row.
+  void AppendRaw(const uint64_t* words, const uint64_t* fps, size_t rows);
+
   /// Bumped every time rows are appended (AddWords/Adopt/AppendFrom).
   /// Together with shape_version(), lets Database::SettleLoans classify
   /// what a mutable-handle holder actually did: nothing, pure appends, or

@@ -1,7 +1,8 @@
 #include "common/scheduler.h"
 
 #include <chrono>
-#include <cstdlib>
+
+#include "common/config.h"
 
 namespace gumbo {
 
@@ -29,20 +30,11 @@ constexpr uint64_t kStarvationPeriod = 13;
 }  // namespace
 
 SchedOptions SchedOptions::FromEnv() {
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
   SchedOptions o;
-  if (const char* v = std::getenv("GUMBO_MORSEL_ROWS")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end != v && parsed > 0) o.morsel_rows = static_cast<size_t>(parsed);
-  }
-  if (const char* v = std::getenv("GUMBO_DISABLE_STEALING")) {
-    if (v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) o.stealing = false;
-  }
-  if (const char* v = std::getenv("GUMBO_MAX_TASK_RETRIES")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end != v) o.max_task_retries = static_cast<uint32_t>(parsed);
-  }
+  o.morsel_rows = cfg.morsel_rows.value_or(o.morsel_rows);
+  if (cfg.disable_stealing.value_or(false)) o.stealing = false;
+  o.max_task_retries = cfg.max_task_retries.value_or(o.max_task_retries);
   return o;
 }
 
@@ -94,12 +86,8 @@ Scheduler::~Scheduler() {
 
 Scheduler& Scheduler::Global() {
   static Scheduler* scheduler = [] {
-    size_t workers = 0;
-    if (const char* v = std::getenv("GUMBO_SCHED_WORKERS")) {
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(v, &end, 10);
-      if (end != v && parsed > 0) workers = static_cast<size_t>(parsed);
-    }
+    const size_t workers =
+        common::RuntimeConfig::Get().sched_workers.value_or(0);
     return new Scheduler(workers);
   }();
   return *scheduler;

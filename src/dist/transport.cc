@@ -1,0 +1,157 @@
+#include "dist/transport.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+namespace gumbo::dist {
+
+namespace {
+
+std::string ChannelName(int from, int to) {
+  return "c" + std::to_string(from) + "_" + std::to_string(to);
+}
+
+}  // namespace
+
+// ---- InProcTransport ------------------------------------------------------
+
+InProcTransport::InProcTransport(int endpoints)
+    : endpoints_(endpoints),
+      channels_(static_cast<size_t>(endpoints) * endpoints) {
+  assert(endpoints > 0);
+}
+
+Status InProcTransport::Send(int from, int to, std::vector<uint8_t> frame) {
+  if (from < 0 || from >= endpoints_ || to < 0 || to >= endpoints_) {
+    return Status::InvalidArgument("inproc transport: endpoint out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    channels_[static_cast<size_t>(from) * endpoints_ + to].push_back(
+        std::move(frame));
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> InProcTransport::Recv(int to, int from,
+                                                   int timeout_ms) {
+  if (from < 0 || from >= endpoints_ || to < 0 || to >= endpoints_) {
+    return Status::InvalidArgument("inproc transport: endpoint out of range");
+  }
+  std::deque<std::vector<uint8_t>>& q =
+      channels_[static_cast<size_t>(from) * endpoints_ + to];
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                    [&q] { return !q.empty(); })) {
+    return Status::DeadlineExceeded(
+        "inproc transport: no frame from shard " + std::to_string(from) +
+        " within " + std::to_string(timeout_ms) + " ms");
+  }
+  std::vector<uint8_t> frame = std::move(q.front());
+  q.pop_front();
+  return frame;
+}
+
+// ---- MmapTransport --------------------------------------------------------
+
+MmapTransport::MmapTransport(std::string dir, int endpoints)
+    : dir_(std::move(dir)),
+      endpoints_(endpoints),
+      send_seq_(static_cast<size_t>(endpoints) * endpoints, 0),
+      recv_seq_(static_cast<size_t>(endpoints) * endpoints, 0) {
+  assert(endpoints > 0);
+  // Every channel directory up front, idempotently: a receiver may start
+  // polling a channel before its sender process even launched.
+  std::error_code ec;
+  for (int f = 0; f < endpoints_; ++f) {
+    for (int t = 0; t < endpoints_; ++t) {
+      std::filesystem::create_directories(ChannelDir(f, t), ec);
+    }
+  }
+}
+
+std::string MmapTransport::ChannelDir(int from, int to) const {
+  return dir_ + "/" + ChannelName(from, to);
+}
+
+Status MmapTransport::Send(int from, int to, std::vector<uint8_t> frame) {
+  if (from < 0 || from >= endpoints_ || to < 0 || to >= endpoints_) {
+    return Status::InvalidArgument("mmap transport: endpoint out of range");
+  }
+  const uint64_t seq = send_seq_[static_cast<size_t>(from) * endpoints_ + to]++;
+  const std::string dir = ChannelDir(from, to);
+  const std::string tmp = dir + "/t" + std::to_string(seq) + ".tmp";
+  const std::string final_path = dir + "/f" + std::to_string(seq) + ".msg";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("mmap transport: cannot create " + tmp);
+  }
+  const size_t written = std::fwrite(frame.data(), 1, frame.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != frame.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("mmap transport: short write to " + tmp);
+  }
+  // The atomic rename is the publish: the receiver never sees a partial
+  // frame, only absence or the complete file.
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("mmap transport: cannot publish " + final_path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> MmapTransport::Recv(int to, int from,
+                                                 int timeout_ms) {
+  if (from < 0 || from >= endpoints_ || to < 0 || to >= endpoints_) {
+    return Status::InvalidArgument("mmap transport: endpoint out of range");
+  }
+  uint64_t& seq = recv_seq_[static_cast<size_t>(from) * endpoints_ + to];
+  const std::string path =
+      ChannelDir(from, to) + "/f" + std::to_string(seq) + ".msg";
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int fd = -1;
+  for (;;) {
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "mmap transport: no frame from shard " + std::to_string(from) +
+          " within " + std::to_string(timeout_ms) + " ms (" + path + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Unavailable("mmap transport: cannot stat " + path);
+  }
+  std::vector<uint8_t> frame(static_cast<size_t>(st.st_size));
+  if (!frame.empty()) {
+    void* map = ::mmap(nullptr, frame.size(), PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      return Status::Unavailable("mmap transport: cannot mmap " + path);
+    }
+    std::memcpy(frame.data(), map, frame.size());
+    ::munmap(map, frame.size());
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  ++seq;
+  return frame;
+}
+
+}  // namespace gumbo::dist

@@ -143,6 +143,62 @@ Result<ShuffleTaskIo> Shuffle::AddTaskOutput(size_t task,
   return io;
 }
 
+void Shuffle::ForEachTaskRecord(
+    size_t ti,
+    const std::function<void(const KeyEntry&, const uint64_t* key_words,
+                             const Message* msgs,
+                             const uint64_t* payload_arena)>& fn) const {
+  assert(ti < tasks_.size());
+  const TaskData& td = tasks_[ti];
+  for (const KeyEntry& e : td.entries) {
+    fn(e, td.key_arena.data() + e.key_pos, td.messages.data() + e.msg_begin,
+       td.payload_arena.data());
+  }
+}
+
+Status Shuffle::ImportTaskRecord(size_t task, const uint64_t* key_words,
+                                 uint32_t key_arity, uint64_t fingerprint,
+                                 double wire_bytes, const ImportMessage* msgs,
+                                 size_t msg_count) {
+  if (task >= tasks_.size()) {
+    return Status::Internal("shuffle: imported record for task " +
+                            std::to_string(task) + " out of range (" +
+                            std::to_string(tasks_.size()) + " tasks)");
+  }
+  if (!partitions_.empty() || num_partitions_ != 0) {
+    return Status::Internal("shuffle: record imported after Partition");
+  }
+  TaskData& td = tasks_[task];
+  KeyEntry e;
+  e.key_pos = static_cast<uint32_t>(td.key_arena.size());
+  e.key_arity = key_arity;
+  e.fingerprint = fingerprint;
+  e.msg_begin = static_cast<uint32_t>(td.messages.size());
+  e.msg_count = static_cast<uint32_t>(msg_count);
+  e.wire_bytes = wire_bytes;
+  td.key_arena.insert(td.key_arena.end(), key_words, key_words + key_arity);
+  for (size_t i = 0; i < msg_count; ++i) {
+    const ImportMessage& im = msgs[i];
+    Message m;
+    m.tag = im.tag;
+    m.aux = im.aux;
+    m.payload_size = im.payload_size;
+    m.wire_bytes = im.wire_bytes;
+    if (im.payload_size <= Message::kInlinePayloadValues) {
+      for (uint32_t w = 0; w < im.payload_size; ++w) {
+        m.inline_payload[w] = im.payload[w];
+      }
+    } else {
+      m.payload_pos = static_cast<uint32_t>(td.payload_arena.size());
+      td.payload_arena.insert(td.payload_arena.end(), im.payload,
+                              im.payload + im.payload_size);
+    }
+    td.messages.push_back(m);
+  }
+  td.entries.push_back(e);
+  return Status::Ok();
+}
+
 bool Shuffle::KeyLess(const RecordRef& a, const RecordRef& b) const {
   // Fast paths on the inlined fields: the first word is the first
   // lexicographic position, and when either key ends there (arity < 2),
@@ -214,7 +270,7 @@ Status Shuffle::Partition(int num_partitions, Scheduler* scheduler,
     counts[ti].assign(r, 0);
     wires[ti].assign(r, 0.0);
     for (const KeyEntry& e : tasks_[ti].entries) {
-      const size_t p = e.fingerprint % static_cast<uint64_t>(r);
+      const size_t p = PartitionIndex(e.fingerprint, num_partitions);
       ++counts[ti][p];
       wires[ti][p] += e.wire_bytes;
     }
@@ -237,7 +293,7 @@ Status Shuffle::Partition(int num_partitions, Scheduler* scheduler,
       ref.task_arity =
           task_bits | std::min(e.key_arity, RecordRef::kAritySaturated);
       ref.entry = ei;
-      const size_t p = e.fingerprint % static_cast<uint64_t>(r);
+      const size_t p = PartitionIndex(e.fingerprint, num_partitions);
       partitions_[p][offset[p]++] = ref;
     }
   };

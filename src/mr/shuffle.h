@@ -65,6 +65,61 @@ class Shuffle {
 
   size_t num_map_tasks() const { return tasks_.size(); }
 
+  /// One wire record: a packed key group, or a single message when
+  /// packing is off. Key words live in the owning task's key arena.
+  struct KeyEntry {
+    uint32_t key_pos = 0;
+    uint32_t key_arity = 0;
+    uint64_t fingerprint = 0;
+    uint32_t msg_begin = 0;  ///< into TaskData::messages
+    uint32_t msg_count = 0;
+    double wire_bytes = 0.0;  ///< key header + value bytes of this record
+  };
+
+  /// The reduce partition a record with this fingerprint lands in —
+  /// THE shard/partition mapping of the whole system (DESIGN.md §13):
+  /// Partition() buckets with it, and the sharded runtime routes wire
+  /// records with it, so both sides agree by construction.
+  static size_t PartitionIndex(uint64_t fingerprint, int num_partitions) {
+    return static_cast<size_t>(fingerprint %
+                               static_cast<uint64_t>(num_partitions));
+  }
+
+  /// Walks task `ti`'s ingested records in their materialized (emission)
+  /// order, exposing everything a wire export needs: the entry, the key
+  /// words, the record's contiguous messages, and the payload arena that
+  /// resolves spilled payloads. Must be called after AddTaskOutput for
+  /// `ti` (records are unaffected by Partition, so before or after it).
+  void ForEachTaskRecord(
+      size_t ti,
+      const std::function<void(const KeyEntry&, const uint64_t* key_words,
+                               const Message* msgs,
+                               const uint64_t* payload_arena)>& fn) const;
+
+  /// One message of a record arriving over the wire: the POD fields plus
+  /// the payload words to copy into the receiving task's arena.
+  struct ImportMessage {
+    uint32_t tag = 0;
+    uint32_t aux = 0;
+    uint32_t payload_size = 0;
+    double wire_bytes = 0.0;
+    const uint64_t* payload = nullptr;  ///< payload_size words
+  };
+
+  /// Appends one record to task `task` (the wire import path, inverse of
+  /// ForEachTaskRecord): key words are copied into the task's key arena,
+  /// spilled payloads into its payload arena, and the fingerprint /
+  /// wire-byte accounting is adopted verbatim — never recomputed, so an
+  /// imported shuffle is byte-identical to the one it was exported from.
+  /// Records of one (task, partition) pair must arrive in their original
+  /// order; interleaving different partitions' records of a task is fine
+  /// (key ties — the only order-sensitive comparisons — never span
+  /// partitions). Must precede Partition.
+  Status ImportTaskRecord(size_t task, const uint64_t* key_words,
+                          uint32_t key_arity, uint64_t fingerprint,
+                          double wire_bytes, const ImportMessage* msgs,
+                          size_t msg_count);
+
   /// Adopts one map task's emission buffer. `combiner` (may be null) is
   /// applied to every key group before accounting (DESIGN.md §5.1);
   /// without packing, surviving values are re-materialized as singleton
@@ -123,17 +178,6 @@ class Shuffle {
       const std::function<void(TupleView, const MessageGroup&)>& fn) const;
 
  private:
-  /// One wire record: a packed key group, or a single message when
-  /// packing is off. Key words live in the owning task's key arena.
-  struct KeyEntry {
-    uint32_t key_pos = 0;
-    uint32_t key_arity = 0;
-    uint64_t fingerprint = 0;
-    uint32_t msg_begin = 0;  ///< into TaskData::messages
-    uint32_t msg_count = 0;
-    double wire_bytes = 0.0;  ///< key header + value bytes of this record
-  };
-
   /// One map task's finalized output: messages contiguous per key entry.
   struct TaskData {
     std::vector<uint64_t> key_arena;

@@ -64,10 +64,21 @@ struct JobStats {
   uint64_t faults_injected = 0; ///< injected faults this job observed
   double retry_ms = 0.0;        ///< wall time spent in abandoned attempts
 
-  /// Aggregate cost of the job = cost_h + filter build + all task costs
-  /// (filter broadcast is inside the map task costs, DESIGN.md §5.3).
+  // ---- Distribution (DESIGN.md §13) ----
+  /// Real bytes this job pushed through the shard transport (shuffle
+  /// chunks, control frames, output fragments), summed across shards.
+  /// Unlike shuffle_mb these are raw frame MB, not represented MB:
+  /// they measure the wire format itself. 0 in single-process runs.
+  double dist_wire_mb = 0.0;
+  /// Cost-seconds charged for dist_wire_mb at the model's network
+  /// transfer rate t (§5.3) — the measured counterpart of the t·M term.
+  double dist_cost = 0.0;
+
+  /// Aggregate cost of the job = cost_h + filter build + real wire
+  /// transfer + all task costs (filter broadcast is inside the map task
+  /// costs, DESIGN.md §5.3).
   double TotalCost() const {
-    double c = job_overhead + filter_build_cost;
+    double c = job_overhead + filter_build_cost + dist_cost;
     for (double t : map_task_costs) c += t;
     for (double t : reduce_task_costs) c += t;
     return c;
@@ -156,6 +167,13 @@ struct ProgramStats {
   double FilterBroadcastMb() const {
     double v = 0.0;
     for (const auto& j : jobs) v += j.filter_broadcast_mb;
+    return v;
+  }
+
+  // ---- Distribution aggregates (DESIGN.md §13) ----
+  double DistWireMb() const {
+    double v = 0.0;
+    for (const auto& j : jobs) v += j.dist_wire_mb;
     return v;
   }
 

@@ -1,23 +1,13 @@
 #include "ops/options.h"
 
-#include <cstdlib>
-#include <string_view>
+#include "common/config.h"
 
 namespace gumbo::ops {
 
-namespace {
-
-// Any set, non-"0", non-empty value ("1", "true", ...) means disabled.
-bool EnvDisables(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
-}
-
-}  // namespace
-
 OpOptions ApplyEnvOverrides(OpOptions options) {
-  if (EnvDisables("GUMBO_DISABLE_COMBINERS")) options.combiners = false;
-  if (EnvDisables("GUMBO_DISABLE_FILTERS")) options.bloom_filters = false;
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
+  if (cfg.disable_combiners.value_or(false)) options.combiners = false;
+  if (cfg.disable_filters.value_or(false)) options.bloom_filters = false;
   return options;
 }
 

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 
+#include "dist/sharded.h"
 #include "sgf/naive_eval.h"
 
 namespace gumbo::plan {
 
 namespace {
+
+// One dispatch for every context-driven entry point: a real cluster shard
+// wins over the local harness, which wins over the plain runtime. All
+// three produce byte-identical outputs (DESIGN.md §13).
+Result<mr::ProgramStats> RunProgram(const mr::Program& program,
+                                    mr::Engine* engine, Database* db,
+                                    const ExecutionContext& ctx) {
+  if (ctx.cluster != nullptr && ctx.cluster->num_shards > 1) {
+    dist::ShardedRuntime runtime(engine, *ctx.cluster);
+    return runtime.Execute(program, db, ctx.sched);
+  }
+  if (ctx.local_shards > 1) {
+    return dist::ExecuteShardedLocal(engine, program, db, ctx.local_shards,
+                                     ctx.sched);
+  }
+  return mr::Runtime(engine).Execute(program, db, ctx.sched);
+}
 
 // The paper's four metrics plus the shuffle/round counters, derived from
 // the program statistics — shared by every execution entry point.
@@ -24,6 +42,7 @@ void FillMetrics(ExecutionResult* result) {
   m.communication_mb =
       result->stats.ShuffleMb() + result->stats.FilterBroadcastMb();
   m.shuffle_mb = result->stats.ShuffleMb();
+  m.dist_wire_mb = result->stats.DistWireMb();
   m.output_mb = result->stats.HdfsWriteMb();
   m.shuffle_records = result->stats.ShuffleRecords();
   m.shuffle_messages = result->stats.ShuffleMessages();
@@ -104,6 +123,38 @@ Result<ExecutionResult> ExecutePlanWithOverrides(const QueryPlan& plan,
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
                                     Database* db) {
   return ExecutePlan(plan, mr::Runtime(engine), db);
+}
+
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
+                                    Database* db,
+                                    const ExecutionContext& ctx) {
+  ExecutionResult result;
+  GUMBO_ASSIGN_OR_RETURN(result.stats,
+                         RunProgram(plan.program, engine, db, ctx));
+  for (const std::string& name : plan.intermediates) {
+    db->Erase(name);
+  }
+  FillMetrics(&result);
+  CalibrateFromExecution(plan, result.stats, ctx.calibration);
+  return result;
+}
+
+Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
+                                              mr::Engine* engine,
+                                              const Database& base,
+                                              Database* outputs,
+                                              const ExecutionContext& ctx) {
+  Database overlay(&base);
+  ExecutionResult result;
+  GUMBO_ASSIGN_OR_RETURN(result.stats,
+                         RunProgram(plan.program, engine, &overlay, ctx));
+  for (const std::string& name : plan.outputs) {
+    GUMBO_ASSIGN_OR_RETURN(Relation * rel, overlay.GetMutable(name));
+    outputs->Put(std::move(*rel));
+  }
+  FillMetrics(&result);
+  CalibrateFromExecution(plan, result.stats, ctx.calibration);
+  return result;
 }
 
 Result<ExecutionResult> ExecuteAndVerify(const sgf::SgfQuery& query,

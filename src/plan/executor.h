@@ -6,12 +6,37 @@
 
 #include "common/relation.h"
 #include "common/result.h"
+#include "cost/calibration.h"
+#include "dist/cluster.h"
 #include "mr/program.h"
 #include "mr/runtime.h"
 #include "plan/planner.h"
 #include "sgf/sgf.h"
 
 namespace gumbo::plan {
+
+/// Everything an execution entry point needs beyond the plan and the
+/// database — one struct instead of a parameter per concern, so adding a
+/// concern (as §13 added `cluster`) does not ripple through every
+/// ExecutePlan* signature again.
+struct ExecutionContext {
+  /// Scheduling identity of the query: priority class, cancel token,
+  /// fault plan, metrics sink (common/scheduler.h). The scheduler field
+  /// is ignored as usual — the engine's wins.
+  SchedContext sched;
+  /// When set, the execution's observed sizes/yields are fed back into
+  /// the store (CalibrateFromExecution) before returning — the §10
+  /// calibration loop without a second call at every call site.
+  cost::CalibrationStore* calibration = nullptr;
+  /// When set (and num_shards > 1), the program runs on this shard of a
+  /// real cluster via dist::ShardedRuntime — every shard of the cluster
+  /// must execute the same plan. Borrowed.
+  dist::Cluster* cluster = nullptr;
+  /// When cluster is null and local_shards > 1, the program runs under
+  /// dist::ExecuteShardedLocal: `local_shards` in-process worker shards
+  /// over an InProcTransport, byte-identical to the default path.
+  int local_shards = 1;
+};
 
 /// The paper's four performance metrics (§5.1) plus bookkeeping.
 struct Metrics {
@@ -24,6 +49,10 @@ struct Metrics {
   /// Pure mapper -> reducer shuffle bytes (no filter broadcast) — the
   /// figure the §5 shuffle-volume optimizations shrink.
   double shuffle_mb = 0.0;
+  /// Real wire frame bytes exchanged between shards (DESIGN.md §13);
+  /// zero for single-process executions. Charged to the cost model at
+  /// the transfer rate via JobStats::dist_cost.
+  double dist_wire_mb = 0.0;
   double output_mb = 0.0;
   double wall_ms = 0.0;         ///< real wall-clock of the execution
   int jobs = 0;
@@ -117,6 +146,19 @@ Result<ExecutionResult> ExecutePlanWithOverrides(const QueryPlan& plan,
 /// same round run concurrently on the engine's scheduler).
 Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
                                     Database* db);
+
+/// The context-driven entry points (preferred): dispatch to the plain
+/// runtime, a real cluster shard, or the local sharded harness according
+/// to `ctx`, feed the calibration store when one is given, and otherwise
+/// behave exactly like their Runtime-based namesakes above (which remain
+/// as thin shims for existing callers).
+Result<ExecutionResult> ExecutePlan(const QueryPlan& plan, mr::Engine* engine,
+                                    Database* db, const ExecutionContext& ctx);
+Result<ExecutionResult> ExecutePlanOnSnapshot(const QueryPlan& plan,
+                                              mr::Engine* engine,
+                                              const Database& base,
+                                              Database* outputs,
+                                              const ExecutionContext& ctx);
 
 /// Plans + executes + verifies in one call: evaluates `query` under
 /// `planner`'s strategy on `runtime` and checks every produced relation

@@ -1,8 +1,8 @@
 #include "serve/service.h"
 
 #include <chrono>
-#include <cstdlib>
 
+#include "common/config.h"
 #include "serve/delta.h"
 #include "serve/signature.h"
 
@@ -42,14 +42,16 @@ ServiceOptions InstallCalibration(ServiceOptions options) {
 // GUMBO_DISABLE_DELTA=1 forces the result cache (and with it all delta
 // maintenance) off; GUMBO_RESULT_CACHE_CAP overrides its capacity.
 ServiceOptions ApplyDeltaEnv(ServiceOptions options) {
-  const char* disable = std::getenv("GUMBO_DISABLE_DELTA");
-  if (disable != nullptr && disable[0] != '\0' &&
-      std::string(disable) != "0") {
-    options.result_cache = false;
-  }
-  if (const char* cap = std::getenv("GUMBO_RESULT_CACHE_CAP")) {
-    options.result_cache_capacity = static_cast<size_t>(std::atoll(cap));
-  }
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
+  if (cfg.disable_delta.value_or(false)) options.result_cache = false;
+  options.result_cache_capacity =
+      cfg.result_cache_cap.value_or(options.result_cache_capacity);
+  // Distribution knobs layer the same way (DESIGN.md §13): GUMBO_SHARDS
+  // over ServiceOptions::dist, so a deployed binary shards without a
+  // code change.
+  options.dist.shards = cfg.shards.value_or(options.dist.shards);
+  options.dist.transport = cfg.transport.value_or(options.dist.transport);
+  options.dist.dir = cfg.dist_dir.value_or(options.dist.dir);
   return options;
 }
 
@@ -540,8 +542,20 @@ void QueryService::Execute(Task task) {
     ctx.cancel = task.token;
     ctx.faults = faults_->active() ? faults_ : nullptr;
     const Clock::time_point exec_start = Clock::now();
+    // dist.shards > 1 routes through the sharded harness (DESIGN.md
+    // §13): same snapshot/overlay contract, byte-identical outputs.
     Result<plan::ExecutionResult> executed =
-        plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs, ctx);
+        [&]() -> Result<plan::ExecutionResult> {
+      if (options_.dist.shards > 1) {
+        plan::ExecutionContext ectx;
+        ectx.sched = ctx;
+        ectx.local_shards = options_.dist.shards;
+        return plan::ExecutePlanOnSnapshot(*plan, &engine_, *db_,
+                                           &resp.outputs, ectx);
+      }
+      return plan::ExecutePlanOnSnapshot(*plan, runtime_, *db_, &resp.outputs,
+                                         ctx);
+    }();
     const double exec_wall_ms = MsSince(exec_start);
     // Attribution fix: time our morsels sat runnable-but-unserved is the
     // scheduler's doing, not the query's — report it as sched_wait so an

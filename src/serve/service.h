@@ -60,6 +60,7 @@
 #include "common/relation.h"
 #include "common/scheduler.h"
 #include "cost/constants.h"
+#include "dist/cluster.h"
 #include "mr/engine.h"
 #include "mr/runtime.h"
 #include "plan/executor.h"
@@ -124,11 +125,22 @@ struct ServiceOptions {
   /// outlive the service. nullptr = the process-wide GUMBO_FAULT_* env
   /// configuration (inactive unless GUMBO_FAULT_RATE is set).
   const FaultInjector* faults = nullptr;
+  /// Sharded execution (DESIGN.md §13): dist.shards > 1 routes every
+  /// query execution through `dist.shards` in-process worker shards over
+  /// an InProcTransport (plan::ExecutionContext::local_shards) —
+  /// byte-identical outputs, real wire bytes charged to the cost model.
+  /// GUMBO_SHARDS layers over this (env wins when set). Delta passes
+  /// stay single-process: their inputs are delta-sized by construction.
+  dist::ClusterOptions dist;
 };
 
-/// Per-query submission options. All defaults preserve the plain
-/// Submit(query) behavior: no deadline beyond the service default,
-/// normal priority, no external cancellation.
+/// Per-query submission options — the one place deadline, priority, and
+/// cancellation live (callers used to thread them separately). Builder
+/// style: `QueryOptions().WithDeadlineMs(50).WithPriority(kHigh)` reads
+/// as the submission it configures; plain aggregate initialization still
+/// works. All defaults preserve the plain Submit(query) behavior: no
+/// deadline beyond the service default, normal priority, no external
+/// cancellation.
 struct QueryOptions {
   /// Wall-clock budget from submission (ms); <= 0 = only the service
   /// default applies. Past the deadline the query fails with
@@ -146,22 +158,46 @@ struct QueryOptions {
   /// armed on this token when provided. Must outlive the response
   /// future's completion.
   CancelToken* cancel = nullptr;
+
+  // ---- Builder surface ----
+  QueryOptions& WithDeadlineMs(double ms) {
+    deadline_ms = ms;
+    return *this;
+  }
+  QueryOptions& WithPriority(SchedPriority p) {
+    priority = p;
+    return *this;
+  }
+  QueryOptions& WithCancel(CancelToken* token) {
+    cancel = token;
+    return *this;
+  }
 };
 
-/// The outcome of one query: produced relations plus per-query metrics.
-struct QueryResponse {
+/// The per-query metrics a Response carries: the paper's §5.1 figures
+/// plus the serving fields (plan_cache_hit, queue_ms, plan_ms, ...).
+using QueryMetrics = plan::Metrics;
+
+/// The typed outcome of one query — status, outputs, and metrics travel
+/// together, so callers never fish through futures plus side-channel
+/// stats accessors.
+struct Response {
   Status status = Status::Ok();
   bool ok() const { return status.ok(); }
   /// The query's output relations (subquery output names), moved out of
   /// the per-query overlay. Base relations are not included.
   Database outputs;
-  /// Paper metrics + serving fields (plan_cache_hit, queue_ms, plan_ms).
-  plan::Metrics metrics;
+  QueryMetrics metrics;
   /// Per-job statistics of the execution (empty on failure).
   mr::ProgramStats stats;
   /// End-to-end submit -> response wall time.
   double wall_ms = 0.0;
 };
+
+/// Deprecated pre-§13 name for Response; kept as a shim (pinned by
+/// tests/serve_test.cc) so existing callers keep compiling. New code
+/// should spell serve::Response.
+using QueryResponse = Response;
 
 class QueryService {
  public:
@@ -187,11 +223,10 @@ class QueryService {
   /// backlog is full (unless shedding applies, see ServiceOptions);
   /// after Shutdown the returned future holds a FailedPrecondition
   /// response immediately, and a shed query holds ResourceExhausted.
-  std::future<QueryResponse> Submit(sgf::SgfQuery query,
-                                    QueryOptions qopts = {});
+  std::future<Response> Submit(sgf::SgfQuery query, QueryOptions qopts = {});
 
   /// Submit + wait: the blocking convenience for closed-loop callers.
-  QueryResponse Run(sgf::SgfQuery query, QueryOptions qopts = {});
+  Response Run(sgf::SgfQuery query, QueryOptions qopts = {});
 
   /// Stops accepting new queries; already-accepted ones still complete.
   void Shutdown();

@@ -1,8 +1,8 @@
 #include "soak/soak.h"
 
-#include <cstdlib>
 #include <string>
 
+#include "common/config.h"
 #include "common/dictionary.h"
 #include "cost/calibration.h"
 #include "data/generator.h"
@@ -45,14 +45,6 @@ cost::ClusterConfig SoakCluster() {
   config.split_mb = 0.002;
   config.mb_per_reducer = 0.002;
   return config;
-}
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
 std::vector<std::string> OutputNames(const sgf::SgfQuery& query) {
@@ -419,13 +411,14 @@ const char* DataRegimeName(DataRegime regime) {
 }
 
 SoakConfig SoakConfig::FromEnv() {
+  const common::RuntimeConfig& cfg = common::RuntimeConfig::Get();
   SoakConfig config;
-  config.seed = EnvU64("GUMBO_SOAK_SEED", config.seed);
-  config.iterations =
-      static_cast<size_t>(EnvU64("GUMBO_SOAK_ITERS", config.iterations));
+  config.seed = cfg.soak_seed.value_or(config.seed);
+  config.iterations = static_cast<size_t>(
+      cfg.soak_iters.value_or(config.iterations));
   config.tuples =
-      static_cast<size_t>(EnvU64("GUMBO_SOAK_TUPLES", config.tuples));
-  config.mutate = EnvU64("GUMBO_SOAK_MUTATE", config.mutate ? 1 : 0) != 0;
+      static_cast<size_t>(cfg.soak_tuples.value_or(config.tuples));
+  config.mutate = cfg.soak_mutate.value_or(config.mutate ? 1 : 0) != 0;
   // Chaos knobs share the injector's own env parsing (site-name lists,
   // rate clamping) so a chaos soak is configured exactly like any other
   // fault-injected run.

@@ -1,0 +1,593 @@
+// Tests for the sharded execution stack (DESIGN.md §13): wire frames,
+// transports, shuffle export/import, and the oracle of the whole design —
+// sharded runs (in-process threads and real worker processes) are
+// byte-identical (words + fingerprints) to the single-process runtime at
+// any shard count.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/config.h"
+#include "common/dictionary.h"
+#include "data/workloads.h"
+#include "dist/cluster.h"
+#include "dist/sharded.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "mr/engine.h"
+#include "mr/map_output.h"
+#include "mr/shuffle.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
+#include "serve/service.h"
+#include "test_util.h"
+
+#ifndef GUMBO_WORKER_BIN
+#define GUMBO_WORKER_BIN ""
+#endif
+
+namespace gumbo::dist {
+namespace {
+
+using ::gumbo::testing::MakeRelation;
+
+// ---- Wire frames ------------------------------------------------------------
+
+TEST(WireTest, FrameRoundTripsTypedFields) {
+  FrameWriter w;
+  w.U32(7);
+  w.U64(0xDEADBEEFCAFEF00DULL);
+  w.F64(-1234.5);
+  w.Str("hello wire");
+  const std::vector<uint64_t> words = {1, 2, 3};
+  w.Words(words.data(), words.size());
+  const std::vector<uint8_t> frame =
+      w.Finish(FrameType::kJobStats, /*src_shard=*/3, /*aux=*/9);
+  EXPECT_EQ(w.body_bytes(), 0u);  // writer reusable after Finish
+
+  auto rd = FrameReader::Parse(frame);
+  ASSERT_OK(rd);
+  EXPECT_EQ(rd->type(), FrameType::kJobStats);
+  EXPECT_EQ(rd->src_shard(), 3u);
+  EXPECT_EQ(rd->aux(), 9u);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double f64 = 0.0;
+  std::string s;
+  std::vector<uint64_t> back;
+  ASSERT_OK(rd->ReadU32(&u32));
+  ASSERT_OK(rd->ReadU64(&u64));
+  ASSERT_OK(rd->ReadF64(&f64));
+  ASSERT_OK(rd->ReadStr(&s));
+  ASSERT_OK(rd->ReadWords(words.size(), &back));
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(f64, -1234.5);
+  EXPECT_EQ(s, "hello wire");
+  EXPECT_EQ(back, words);
+  EXPECT_EQ(rd->remaining(), 0u);
+  // Over-reads are bounds-checked, not UB.
+  EXPECT_FALSE(rd->ReadU32(&u32).ok());
+}
+
+// The nasty-value gauntlet: negatives, interned string ids (high-bit
+// words at kStringBase), wide rows (heap Tuples), and 0-arity rows must
+// all survive a relation round-trip with words AND stored fingerprints
+// bit-for-bit intact.
+TEST(WireTest, RelationRoundTripsNastyValues) {
+  Relation rel("nasty", 4);
+  Dictionary* dict = &Dictionary::Global();
+  {
+    Tuple t;
+    t.PushBack(Value::Int(-1));
+    t.PushBack(Value::Int(std::numeric_limits<int32_t>::min()));
+    t.PushBack(dict->Intern("wire-string-a"));
+    t.PushBack(Value::Int(0));
+    ASSERT_OK(rel.Add(t));
+  }
+  {
+    Tuple t;
+    t.PushBack(dict->Intern("wire-string-b"));
+    t.PushBack(dict->Intern(""));
+    t.PushBack(Value::Int(-987654321));
+    t.PushBack(dict->Intern("wire-string-a"));
+    ASSERT_OK(rel.Add(t));
+  }
+  rel.set_bytes_per_tuple(40.0);
+  rel.set_representation_scale(250000.0);
+
+  const std::vector<uint8_t> frame = EncodeRelationFrame(rel, /*src=*/1);
+  auto rd = FrameReader::Parse(frame);
+  ASSERT_OK(rd);
+  EXPECT_EQ(rd->type(), FrameType::kRelation);
+  auto back = DecodeRelationBody(&*rd);
+  ASSERT_OK(back);
+  EXPECT_EQ(back->name(), "nasty");
+  EXPECT_EQ(back->arity(), 4u);
+  EXPECT_EQ(back->words(), rel.words());
+  EXPECT_EQ(back->fingerprints(), rel.fingerprints());
+  EXPECT_EQ(back->bytes_per_tuple(), 40.0);
+  EXPECT_EQ(back->representation_scale(), 250000.0);
+  // The decoded string ids still resolve.
+  EXPECT_EQ(back->view(0)[2].string_id(), dict->Intern("wire-string-a").string_id());
+}
+
+TEST(WireTest, RelationRoundTripsZeroArityRows) {
+  Relation rel("unit", 0);
+  ASSERT_OK(rel.Add(Tuple{}));
+  ASSERT_OK(rel.Add(Tuple{}));
+  const std::vector<uint8_t> frame = EncodeRelationFrame(rel, /*src=*/0);
+  auto rd = FrameReader::Parse(frame);
+  ASSERT_OK(rd);
+  auto back = DecodeRelationBody(&*rd);
+  ASSERT_OK(back);
+  EXPECT_EQ(back->arity(), 0u);
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->fingerprints(), rel.fingerprints());
+}
+
+TEST(WireTest, RejectsTruncatedForeignSkewedAndCorruptFrames) {
+  const std::vector<uint8_t> frame =
+      EncodeRelationFrame(MakeRelation("r", 2, {{1, 2}, {3, -4}}), 0);
+  ASSERT_GT(frame.size(), kFrameHeaderBytes);
+
+  {  // truncated: shorter than the header
+    std::vector<uint8_t> t(frame.begin(), frame.begin() + 10);
+    EXPECT_FALSE(FrameReader::Parse(t).ok());
+  }
+  {  // truncated: header promises more body than present
+    std::vector<uint8_t> t(frame.begin(), frame.end() - 1);
+    EXPECT_FALSE(FrameReader::Parse(t).ok());
+  }
+  {  // foreign magic (offset 0)
+    std::vector<uint8_t> t = frame;
+    t[0] ^= 0xFF;
+    EXPECT_FALSE(FrameReader::Parse(t).ok());
+  }
+  {  // version skew (offset 4)
+    std::vector<uint8_t> t = frame;
+    t[4] += 1;
+    EXPECT_FALSE(FrameReader::Parse(t).ok());
+  }
+  {  // corrupt body -> checksum mismatch
+    std::vector<uint8_t> t = frame;
+    t[kFrameHeaderBytes] ^= 0x01;
+    auto r = FrameReader::Parse(t);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+  // The untouched frame still parses (the mutations above were the
+  // problem, not the fixture).
+  EXPECT_OK(FrameReader::Parse(frame));
+}
+
+TEST(WireTest, ErrorFrameCarriesStatus) {
+  const Status s = Status::Unavailable("shard 2 lost its replica");
+  const std::vector<uint8_t> frame = EncodeErrorFrame(s, /*src=*/2);
+  auto rd = FrameReader::Parse(frame);
+  ASSERT_OK(rd);
+  ASSERT_EQ(rd->type(), FrameType::kError);
+  const Status back = DecodeErrorBody(&*rd);
+  EXPECT_EQ(back.code(), StatusCode::kUnavailable);
+  EXPECT_NE(back.ToString().find("shard 2 lost its replica"),
+            std::string::npos);
+}
+
+// ---- Shuffle export / import ------------------------------------------------
+
+// One exported record, flattened for comparison.
+struct FlatRecord {
+  uint32_t key_arity = 0;
+  uint64_t fingerprint = 0;
+  double wire_bytes = 0.0;
+  std::vector<uint64_t> key;
+  // Per message: tag, aux, payload words, wire bytes.
+  std::vector<std::tuple<uint32_t, uint32_t, std::vector<uint64_t>, double>>
+      msgs;
+  bool operator==(const FlatRecord& o) const {
+    return key_arity == o.key_arity && fingerprint == o.fingerprint &&
+           wire_bytes == o.wire_bytes && key == o.key && msgs == o.msgs;
+  }
+};
+
+std::vector<FlatRecord> FlattenTask(const mr::Shuffle& sh, size_t ti) {
+  std::vector<FlatRecord> out;
+  sh.ForEachTaskRecord(
+      ti, [&](const mr::Shuffle::KeyEntry& e, const uint64_t* key_words,
+              const mr::Message* msgs, const uint64_t* payload_arena) {
+        FlatRecord r;
+        r.key_arity = e.key_arity;
+        r.fingerprint = e.fingerprint;
+        r.wire_bytes = e.wire_bytes;
+        r.key.assign(key_words, key_words + e.key_arity);
+        for (uint32_t i = 0; i < e.msg_count; ++i) {
+          const mr::Message& m = msgs[i];
+          const uint64_t* p = m.payload_words(payload_arena);
+          r.msgs.emplace_back(m.tag, m.aux,
+                              std::vector<uint64_t>(p, p + m.payload_size),
+                              m.wire_bytes);
+        }
+        out.push_back(std::move(r));
+      });
+  return out;
+}
+
+// Exporting every record of one shuffle and importing it into a fresh one
+// (the sharded runtime's exchange path, minus the transport) must
+// reproduce keys, fingerprints, payloads — including heap-spilled ones —
+// and wire accounting verbatim.
+TEST(ShuffleWireTest, ExportImportRoundTripsRecords) {
+  for (const bool pack : {true, false}) {
+    SCOPED_TRACE(pack ? "packed" : "unpacked");
+    mr::Shuffle src(/*num_map_tasks=*/2, pack);
+    {
+      mr::MapOutputBuffer buf;
+      Tuple spilled;  // 3 values > Message::kInlinePayloadValues -> arena
+      spilled.PushBack(Value::Int(-7));
+      spilled.PushBack(Value::Int(1ull << 40));
+      spilled.PushBack(Dictionary::Global().Intern("spill"));
+      buf.Emit(Tuple{Value::Int(5)}, /*tag=*/1, /*aux=*/0, spilled, 34.0);
+      buf.Emit(Tuple{Value::Int(5)}, /*tag=*/0, /*aux=*/3, 14.0);  // packed pair
+      buf.Emit(Tuple{Value::Int(-5)}, /*tag=*/2, /*aux=*/1,
+               Tuple{Value::Int(9)}, 24.0);  // inline payload
+      ASSERT_OK(src.AddTaskOutput(0, std::move(buf)));
+    }
+    {
+      mr::MapOutputBuffer buf;
+      buf.Emit(Tuple{Value::Int(5)}, /*tag=*/0, /*aux=*/7, 14.0);
+      ASSERT_OK(src.AddTaskOutput(1, std::move(buf)));
+    }
+
+    mr::Shuffle dst(/*num_map_tasks=*/2, pack);
+    for (size_t ti = 0; ti < 2; ++ti) {
+      src.ForEachTaskRecord(
+          ti, [&](const mr::Shuffle::KeyEntry& e, const uint64_t* key_words,
+                  const mr::Message* msgs, const uint64_t* payload_arena) {
+            std::vector<mr::Shuffle::ImportMessage> im(e.msg_count);
+            for (uint32_t i = 0; i < e.msg_count; ++i) {
+              im[i].tag = msgs[i].tag;
+              im[i].aux = msgs[i].aux;
+              im[i].payload_size = msgs[i].payload_size;
+              im[i].wire_bytes = msgs[i].wire_bytes;
+              im[i].payload = msgs[i].payload_words(payload_arena);
+            }
+            ASSERT_OK(dst.ImportTaskRecord(ti, key_words, e.key_arity,
+                                           e.fingerprint, e.wire_bytes,
+                                           im.data(), im.size()));
+          });
+    }
+
+    for (size_t ti = 0; ti < 2; ++ti) {
+      EXPECT_EQ(FlattenTask(src, ti), FlattenTask(dst, ti))
+          << "task " << ti;
+    }
+  }
+}
+
+// ---- Transports -------------------------------------------------------------
+
+TEST(TransportTest, InProcDeliversPerChannelInOrder) {
+  InProcTransport tp(3);
+  EXPECT_EQ(tp.endpoints(), 3);
+  ASSERT_OK(tp.Send(0, 2, {1}));
+  ASSERT_OK(tp.Send(1, 2, {2}));
+  ASSERT_OK(tp.Send(0, 2, {3}));
+  // Channels are independent; within (0 -> 2), send order holds.
+  auto a = tp.Recv(2, 0, /*timeout_ms=*/1000);
+  auto b = tp.Recv(2, 1, /*timeout_ms=*/1000);
+  auto c = tp.Recv(2, 0, /*timeout_ms=*/1000);
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  ASSERT_OK(c);
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*b)[0], 2);
+  EXPECT_EQ((*c)[0], 3);
+}
+
+TEST(TransportTest, InProcRecvTimesOut) {
+  InProcTransport tp(2);
+  auto r = tp.Recv(1, 0, /*timeout_ms=*/10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportTest, MmapRoundTripsFramesThroughADirectory) {
+  char dir_template[] = "/tmp/gumbo_dist_test_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  {
+    // Two transport instances over one mailbox, as two processes would.
+    MmapTransport sender(dir, 2);
+    MmapTransport receiver(dir, 2);
+    const std::vector<uint8_t> f1 = {0xAA, 0xBB, 0xCC};
+    const std::vector<uint8_t> f2(4096, 0x5E);  // multi-page payload
+    ASSERT_OK(sender.Send(0, 1, f1));
+    ASSERT_OK(sender.Send(0, 1, f2));
+    auto r1 = receiver.Recv(1, 0, /*timeout_ms=*/5000);
+    auto r2 = receiver.Recv(1, 0, /*timeout_ms=*/5000);
+    ASSERT_OK(r1);
+    ASSERT_OK(r2);
+    EXPECT_EQ(*r1, f1);
+    EXPECT_EQ(*r2, f2);
+    auto empty = receiver.Recv(1, 0, /*timeout_ms=*/10);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Sharded execution: the byte-identity oracle ----------------------------
+
+cost::ClusterConfig TestCluster() {
+  cost::ClusterConfig c;
+  c.split_mb = 0.0005;       // many map tasks even on tiny samples
+  c.mb_per_reducer = 0.0005; // several reduce partitions
+  return c;
+}
+
+Result<data::Workload> SmallWorkload(const std::string& name) {
+  data::GeneratorConfig g;
+  g.tuples = 400;
+  g.representation_scale = 1.0;
+  g.seed = 7;
+  if (name == "A1") return data::MakeA(1, g);
+  if (name == "A3") return data::MakeA(3, g);
+  if (name == "B1") return data::MakeB(1, g);
+  return Status::InvalidArgument("unknown workload " + name);
+}
+
+// name -> (words, fingerprints) of every query output.
+using OutputBytes =
+    std::map<std::string,
+             std::pair<std::vector<uint64_t>, std::vector<uint64_t>>>;
+
+OutputBytes RunWorkload(const std::string& wl, int local_shards,
+                        double* dist_wire_mb = nullptr) {
+  OutputBytes out;
+  auto w = SmallWorkload(wl);
+  EXPECT_OK(w);
+  if (!w.ok()) return out;
+  const cost::ClusterConfig config = TestCluster();
+  plan::Planner planner(config, plan::PlannerOptions{});
+  auto plan = planner.Plan(w->query, w->db);
+  EXPECT_OK(plan);
+  if (!plan.ok()) return out;
+  mr::Engine engine(config);
+  plan::ExecutionContext ectx;
+  ectx.local_shards = local_shards;
+  auto result = plan::ExecutePlan(*plan, &engine, &w->db, ectx);
+  EXPECT_OK(result);
+  if (!result.ok()) return out;
+  if (dist_wire_mb != nullptr) *dist_wire_mb = result->metrics.dist_wire_mb;
+  for (const auto& q : w->query.subqueries()) {
+    auto rel = w->db.Get(q.output());
+    EXPECT_OK(rel);
+    if (!rel.ok()) continue;
+    out[q.output()] = {(*rel)->words(), (*rel)->fingerprints()};
+  }
+  return out;
+}
+
+TEST(ShardedTest, ByteIdenticalToSingleProcessAtAnyShardCount) {
+  for (const std::string wl : {"A1", "A3", "B1"}) {
+    const OutputBytes reference = RunWorkload(wl, /*local_shards=*/1);
+    ASSERT_FALSE(reference.empty()) << wl;
+    for (const int shards : {2, 3, 4}) {
+      SCOPED_TRACE(wl + " at " + std::to_string(shards) + " shards");
+      double wire_mb = 0.0;
+      const OutputBytes sharded = RunWorkload(wl, shards, &wire_mb);
+      EXPECT_EQ(sharded, reference);
+      // Real frames crossed the (in-process) wire and were charged.
+      EXPECT_GT(wire_mb, 0.0);
+    }
+  }
+}
+
+TEST(ShardedTest, SingleShardChargesNoWireBytes) {
+  double wire_mb = -1.0;
+  RunWorkload("A1", /*local_shards=*/1, &wire_mb);
+  EXPECT_EQ(wire_mb, 0.0);
+}
+
+// ExecutionContext's cluster branch (a borrowed Cluster handle, the path
+// the worker binary takes) must behave exactly like local_shards.
+TEST(ShardedTest, ExplicitClusterMatchesLocalHarness) {
+  const OutputBytes reference = RunWorkload("A3", /*local_shards=*/1);
+  ASSERT_FALSE(reference.empty());
+
+  const int shards = 3;
+  InProcTransport tp(shards);
+  std::vector<std::optional<OutputBytes>> results(shards);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < shards; ++s) {
+    threads.emplace_back([&, s] {
+      auto w = SmallWorkload("A3");
+      ASSERT_OK(w);
+      const cost::ClusterConfig config = TestCluster();
+      plan::Planner planner(config, plan::PlannerOptions{});
+      auto plan = planner.Plan(w->query, w->db);
+      ASSERT_OK(plan);
+      mr::Engine engine(config);
+      Cluster cluster{&tp, s, shards};
+      plan::ExecutionContext ectx;
+      ectx.cluster = &cluster;
+      auto result = plan::ExecutePlan(*plan, &engine, &w->db, ectx);
+      ASSERT_OK(result);
+      OutputBytes out;
+      for (const auto& q : w->query.subqueries()) {
+        auto rel = w->db.Get(q.output());
+        ASSERT_OK(rel);
+        out[q.output()] = {(*rel)->words(), (*rel)->fingerprints()};
+      }
+      results[s] = std::move(out);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every replica — coordinator and workers — committed the same bytes.
+  for (int s = 0; s < shards; ++s) {
+    ASSERT_TRUE(results[s].has_value()) << "shard " << s;
+    EXPECT_EQ(*results[s], reference) << "shard " << s;
+  }
+}
+
+// ---- Multi-process: the worker binary over an mmap mailbox ------------------
+
+std::string WorkerBin() {
+  const char* env = std::getenv("GUMBO_WORKER_BIN");
+  if (env != nullptr && *env != '\0') return env;
+  return GUMBO_WORKER_BIN;
+}
+
+TEST(ShardedProcessTest, FourWorkerProcessesMatchSingleProcessBytes) {
+  const std::string bin = WorkerBin();
+  if (bin.empty() || !std::filesystem::exists(bin)) {
+    GTEST_SKIP() << "worker binary unavailable (build examples or set "
+                    "GUMBO_WORKER_BIN)";
+  }
+
+  // Reference: what the worker computes in one process. Mirrors the
+  // worker binary's workload construction (400 tuples, seed 11).
+  data::GeneratorConfig g;
+  g.tuples = 400;
+  g.seed = 11;
+  g.representation_scale = 100e6 / 400.0;
+  auto w = data::MakeA(3, g);
+  ASSERT_OK(w);
+  cost::ClusterConfig config;
+  plan::Planner planner(config, plan::PlannerOptions{});
+  auto plan = planner.Plan(w->query, w->db);
+  ASSERT_OK(plan);
+  mr::Engine engine(config);
+  ASSERT_OK(plan::ExecutePlan(*plan, &engine, &w->db,
+                              plan::ExecutionContext{}));
+
+  char dir_template[] = "/tmp/gumbo_dist_proc_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+
+  const int shards = 4;
+  std::vector<pid_t> pids;
+  for (int s = 0; s < shards; ++s) {
+    const std::string a_shard = "--shard=" + std::to_string(s);
+    const std::string a_dir = "--dir=" + dir;
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      const char* argv[] = {bin.c_str(),     a_shard.c_str(), "--shards=4",
+                            a_dir.c_str(),   "--workload=A3", "--tuples=400",
+                            "--seed=11",     nullptr};
+      execv(bin.c_str(), const_cast<char* const*>(argv));
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  for (const auto& q : w->query.subqueries()) {
+    SCOPED_TRACE(q.output());
+    auto want = w->db.Get(q.output());
+    ASSERT_OK(want);
+    std::ifstream in(dir + "/out_" + q.output() + ".rel", std::ios::binary);
+    ASSERT_TRUE(in.good()) << "worker published no frame";
+    std::vector<uint8_t> frame((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    auto rd = FrameReader::Parse(frame);
+    ASSERT_OK(rd);
+    auto got = DecodeRelationBody(&*rd);
+    ASSERT_OK(got);
+    EXPECT_EQ(got->words(), (*want)->words());
+    EXPECT_EQ(got->fingerprints(), (*want)->fingerprints());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Configuration + serve integration --------------------------------------
+
+TEST(DistConfigTest, KnobsFlowThroughScopedOverrideIntoServiceOptions) {
+  common::RuntimeConfig cfg;
+  cfg.shards = 3;
+  cfg.transport = "mmap";
+  cfg.dist_dir = "/tmp/gumbo-mailbox";
+  common::RuntimeConfig::ScopedOverride guard(cfg);
+  EXPECT_EQ(common::RuntimeConfig::Get().shards.value_or(1), 3);
+  EXPECT_NE(common::RuntimeConfig::Get().Describe().find("GUMBO_SHARDS"),
+            std::string::npos);
+
+  // The service layers the env knobs over its programmatic defaults.
+  auto w = SmallWorkload("A1");
+  ASSERT_OK(w);
+  serve::QueryService service(
+      static_cast<const Database*>(&w->db), serve::ServiceOptions{});
+  EXPECT_EQ(service.options().dist.shards, 3);
+  EXPECT_EQ(service.options().dist.transport, "mmap");
+  EXPECT_EQ(service.options().dist.dir, "/tmp/gumbo-mailbox");
+}
+
+TEST(ServeApiTest, QueryOptionsBuilderAndResponseShim) {
+  // The deprecation shims are part of the API contract.
+  static_assert(std::is_same_v<serve::QueryResponse, serve::Response>,
+                "QueryResponse must alias Response");
+  static_assert(std::is_same_v<serve::QueryMetrics, plan::Metrics>,
+                "QueryMetrics must alias plan::Metrics");
+  CancelToken token;
+  const serve::QueryOptions q = serve::QueryOptions()
+                                    .WithDeadlineMs(123.0)
+                                    .WithPriority(SchedPriority::kHigh)
+                                    .WithCancel(&token);
+  EXPECT_EQ(q.deadline_ms, 123.0);
+  EXPECT_EQ(q.priority, SchedPriority::kHigh);
+  EXPECT_EQ(q.cancel, &token);
+  EXPECT_EQ(serve::QueryOptions{}.deadline_ms, 0.0);
+}
+
+TEST(ServeShardedTest, ShardedServiceAnswersByteIdentically) {
+  auto w = SmallWorkload("A3");
+  ASSERT_OK(w);
+  const Database* db = &w->db;
+
+  serve::ServiceOptions plain;
+  plain.cluster = TestCluster();
+  serve::ServiceOptions sharded = plain;
+  sharded.dist.shards = 3;
+
+  serve::Response a, b;
+  {
+    serve::QueryService service(db, plain);
+    a = service.Run(w->query);
+  }
+  {
+    serve::QueryService service(db, sharded);
+    b = service.Run(w->query);
+  }
+  ASSERT_OK(a.status);
+  ASSERT_OK(b.status);
+  EXPECT_GT(b.metrics.dist_wire_mb, 0.0);
+  EXPECT_EQ(a.metrics.dist_wire_mb, 0.0);
+  for (const auto& q : w->query.subqueries()) {
+    SCOPED_TRACE(q.output());
+    auto ra = a.outputs.Get(q.output());
+    auto rb = b.outputs.Get(q.output());
+    ASSERT_OK(ra);
+    ASSERT_OK(rb);
+    EXPECT_EQ((*ra)->words(), (*rb)->words());
+    EXPECT_EQ((*ra)->fingerprints(), (*rb)->fingerprints());
+  }
+}
+
+}  // namespace
+}  // namespace gumbo::dist

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/config.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -356,28 +358,36 @@ TEST(SchedulerTest, GroupMetricsReportStallTime) {
 }
 
 TEST(SchedOptionsTest, FromEnvParsesKnobs) {
-  // Defaults.
-  unsetenv("GUMBO_MORSEL_ROWS");
-  unsetenv("GUMBO_DISABLE_STEALING");
-  SchedOptions defaults = SchedOptions::FromEnv();
-  EXPECT_EQ(defaults.morsel_rows, 4096u);
-  EXPECT_TRUE(defaults.stealing);
-
-  setenv("GUMBO_MORSEL_ROWS", "128", 1);
-  setenv("GUMBO_DISABLE_STEALING", "1", 1);
-  SchedOptions tuned = SchedOptions::FromEnv();
-  EXPECT_EQ(tuned.morsel_rows, 128u);
-  EXPECT_FALSE(tuned.stealing);
-
-  // "0" and empty string mean "not disabled"; garbage rows are ignored.
-  setenv("GUMBO_MORSEL_ROWS", "bogus", 1);
-  setenv("GUMBO_DISABLE_STEALING", "0", 1);
-  SchedOptions fallback = SchedOptions::FromEnv();
-  EXPECT_EQ(fallback.morsel_rows, 4096u);
-  EXPECT_TRUE(fallback.stealing);
-
-  unsetenv("GUMBO_MORSEL_ROWS");
-  unsetenv("GUMBO_DISABLE_STEALING");
+  // The environment is parsed into common::RuntimeConfig exactly once
+  // per process; tests inject configurations with ScopedOverride instead
+  // of racing setenv against that parse.
+  {
+    // Defaults: no knobs engaged.
+    common::RuntimeConfig::ScopedOverride ov{common::RuntimeConfig{}};
+    SchedOptions defaults = SchedOptions::FromEnv();
+    EXPECT_EQ(defaults.morsel_rows, 4096u);
+    EXPECT_TRUE(defaults.stealing);
+  }
+  {
+    common::RuntimeConfig cfg;
+    cfg.morsel_rows = 128;
+    cfg.disable_stealing = true;
+    common::RuntimeConfig::ScopedOverride ov{std::move(cfg)};
+    SchedOptions tuned = SchedOptions::FromEnv();
+    EXPECT_EQ(tuned.morsel_rows, 128u);
+    EXPECT_FALSE(tuned.stealing);
+  }
+  {
+    // "0" and empty mean "not disabled"; garbage rows never parse. The
+    // env layer leaves such knobs disengaged (RuntimeConfig::FromEnv),
+    // so the struct defaults hold.
+    common::RuntimeConfig cfg;
+    cfg.disable_stealing = false;
+    common::RuntimeConfig::ScopedOverride ov{std::move(cfg)};
+    SchedOptions fallback = SchedOptions::FromEnv();
+    EXPECT_EQ(fallback.morsel_rows, 4096u);
+    EXPECT_TRUE(fallback.stealing);
+  }
 }
 
 }  // namespace

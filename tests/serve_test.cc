@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/config.h"
 #include "data/generator.h"
 #include "mr/engine.h"
 #include "plan/executor.h"
@@ -527,12 +528,13 @@ TEST(ResultCacheTest, MultiSubqueryDeltaRecomputesCleanOutputsExactly) {
 }
 
 TEST(ResultCacheTest, DisableDeltaEnvKnobTurnsTheLayerOff) {
-  setenv("GUMBO_DISABLE_DELTA", "1", 1);
+  common::RuntimeConfig cfg;
+  cfg.disable_delta = true;
+  common::RuntimeConfig::ScopedOverride ov{std::move(cfg)};
   Database db = MakeTestDb();
   serve::ServiceOptions opts;
   opts.max_inflight = 1;
   serve::QueryService service(&db, opts);
-  unsetenv("GUMBO_DISABLE_DELTA");
 
   ASSERT_OK(service.Run(ParseSgfOrDie(kQueryA1)).status);
   const serve::QueryResponse second = service.Run(ParseSgfOrDie(kQueryA1));

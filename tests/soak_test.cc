@@ -5,6 +5,7 @@
 // the property the printed failure repro relies on.
 #include <gtest/gtest.h>
 
+#include "common/config.h"
 #include "soak/soak.h"
 #include "test_util.h"
 
@@ -86,16 +87,18 @@ TEST(SoakTest, BuildDatabaseIsDeterministicPerRegime) {
 }
 
 TEST(SoakTest, FromEnvReadsKnobs) {
-  ::setenv("GUMBO_SOAK_SEED", "99", 1);
-  ::setenv("GUMBO_SOAK_ITERS", "3", 1);
-  ::setenv("GUMBO_SOAK_TUPLES", "64", 1);
-  const soak::SoakConfig c = soak::SoakConfig::FromEnv();
-  EXPECT_EQ(c.seed, 99u);
-  EXPECT_EQ(c.iterations, 3u);
-  EXPECT_EQ(c.tuples, 64u);
-  ::unsetenv("GUMBO_SOAK_SEED");
-  ::unsetenv("GUMBO_SOAK_ITERS");
-  ::unsetenv("GUMBO_SOAK_TUPLES");
+  {
+    common::RuntimeConfig cfg;
+    cfg.soak_seed = 99;
+    cfg.soak_iters = 3;
+    cfg.soak_tuples = 64;
+    common::RuntimeConfig::ScopedOverride ov{std::move(cfg)};
+    const soak::SoakConfig c = soak::SoakConfig::FromEnv();
+    EXPECT_EQ(c.seed, 99u);
+    EXPECT_EQ(c.iterations, 3u);
+    EXPECT_EQ(c.tuples, 64u);
+  }
+  common::RuntimeConfig::ScopedOverride ov{common::RuntimeConfig{}};
   const soak::SoakConfig d = soak::SoakConfig::FromEnv();
   EXPECT_EQ(d.iterations, 200u);  // defaults restored
 }
